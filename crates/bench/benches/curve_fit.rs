@@ -1,0 +1,31 @@
+//! Micro-benchmark of the quadratic least-squares curve fit the database
+//! performs on every training run and every online refit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenhetero_core::database::fit_quadratic;
+use std::hint::black_box;
+
+fn samples(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let x = 60.0 + 90.0 * (i as f64 / (n - 1).max(1) as f64);
+            let noise = if i % 2 == 0 { 3.0 } else { -3.0 };
+            (x, -400.0 + 20.0 * x - 0.04 * x * x + noise)
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_fit");
+    // 5 = one training run; 128 = a full retained-history refit.
+    for n in [5usize, 32, 128] {
+        let pts = samples(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| fit_quadratic(black_box(pts)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end benchmark: simulating one full day (96 epochs) of the
+//! paper's runtime experiment, per policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_sim::engine::run_scenario;
+use greenhetero_sim::scenario::Scenario;
+use std::hint::black_box;
+
+fn bench_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("day_simulation");
+    group.sample_size(10);
+    for policy in [
+        PolicyKind::Uniform,
+        PolicyKind::GreenHeteroP,
+        PolicyKind::GreenHetero,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let report =
+                    run_scenario(black_box(Scenario::paper_runtime(policy))).unwrap();
+                report.mean_throughput()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_day);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmark of one full controller epoch: prediction, source
+//! selection, database lookup and the solver — what runs every 15 minutes
+//! on the paper's rack controller.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenhetero_core::config::ControllerConfig;
+use greenhetero_core::controller::{Controller, EpochDecision};
+use greenhetero_core::database::ProfileSample;
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::sources::BatteryView;
+use greenhetero_core::types::{Ratio, SimTime, Watts};
+use greenhetero_server::rack::{Combination, Rack};
+use greenhetero_server::workload::WorkloadKind;
+use std::hint::black_box;
+
+fn trained_controller(rack: &Rack, policy: PolicyKind) -> Controller {
+    let mut c = Controller::new(ControllerConfig::default(), policy).unwrap();
+    for (gi, g) in rack.groups().iter().enumerate() {
+        let sweep = rack.training_sweep(gi, 5, Ratio::ONE);
+        let samples: Vec<ProfileSample> = sweep
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                ProfileSample::new(s.power, s.throughput, SimTime::from_secs(i as u64 * 120))
+            })
+            .collect();
+        c.complete_training(
+            g.platform.id(),
+            g.workload.id(),
+            g.server().truth().envelope(),
+            &samples,
+        )
+        .unwrap();
+    }
+    for _ in 0..4 {
+        c.end_epoch(Watts::new(700.0), Watts::new(1100.0), &[]);
+    }
+    c
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let rack = Rack::combination(Combination::Comb1, 5, WorkloadKind::SpecJbb).unwrap();
+    let spec = rack.controller_spec().unwrap();
+    let battery = BatteryView {
+        max_discharge: Watts::new(1500.0),
+        max_charge: Watts::new(2400.0),
+        needs_recharge: false,
+    };
+
+    let mut group = c.benchmark_group("epoch_step");
+    for policy in [PolicyKind::Uniform, PolicyKind::GreenHetero] {
+        let mut controller = trained_controller(&rack, policy);
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let d = controller
+                    .begin_epoch(black_box(&spec), &battery, Watts::new(1000.0), None)
+                    .unwrap();
+                match &d {
+                    EpochDecision::Run { allocation, .. } => allocation.projected,
+                    EpochDecision::Train { .. } => unreachable!("already trained"),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

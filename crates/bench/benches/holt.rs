@@ -1,0 +1,35 @@
+//! Micro-benchmarks of Holt prediction: the per-epoch observe/predict
+//! cost and the periodic (α, β) grid-search training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenhetero_core::predictor::{train_holt, HoltPredictor, Predictor};
+use greenhetero_core::types::Watts;
+use greenhetero_power::solar::{synthesize, SolarConfig};
+use std::hint::black_box;
+
+fn bench_holt(c: &mut Criterion) {
+    let trace = synthesize(&SolarConfig::high(Watts::new(1800.0), 3)).unwrap();
+    let series: Vec<f64> = trace.values().iter().map(|w| w.value()).collect();
+
+    c.bench_function("holt/observe_predict", |b| {
+        let mut p = HoltPredictor::new(0.8, 0.2).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            p.observe(black_box(series[i % series.len()]));
+            i += 1;
+            p.predict().unwrap()
+        })
+    });
+
+    let mut group = c.benchmark_group("holt/train");
+    for history in [96usize, 192, 672] {
+        let slice = &series[..history.min(series.len())];
+        group.bench_with_input(BenchmarkId::from_parameter(history), &slice, |b, s| {
+            b.iter(|| train_holt(black_box(s), 0.05).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_holt);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Ablation — profiling-noise sensitivity: how power-meter noise degrades
+//! the database's fitted projections and, through them, the solver's
+//! allocation quality.
+//!
+//! The controller never sees ground truth; it fits quadratics to noisy
+//! (power, perf) samples. This sweep injects increasing gaussian meter
+//! noise into a training run and reports (a) the fit's error at peak
+//! power and (b) how much throughput the resulting allocation loses
+//! against the true optimum.
+
+use greenhetero_bench::{banner, table_header, table_row};
+use greenhetero_core::database::{PerfDatabase, ProfileSample};
+use greenhetero_core::solver::{solve, AllocationProblem, ServerGroup};
+use greenhetero_core::types::{Ratio, SimTime, Throughput, Watts};
+use greenhetero_power::meter::PowerMeter;
+use greenhetero_server::rack::{Combination, Rack};
+use greenhetero_server::workload::WorkloadKind;
+
+fn main() {
+    banner(
+        "Ablation: profiling noise",
+        "Database fit quality and allocation loss vs meter noise (SPECjbb, Comb1, 220 W)",
+    );
+
+    let rack = Rack::combination(Combination::Comb1, 1, WorkloadKind::SpecJbb)
+        .expect("Comb1 runs SPECjbb");
+    let budget = Watts::new(220.0);
+
+    // Ground-truth optimum via fine manual search.
+    let mut true_best = Throughput::ZERO;
+    for step in 0..=200 {
+        let to_a = budget * Ratio::saturating(f64::from(step) / 200.0);
+        let thr = rack.measured_throughput(&[to_a, budget - to_a], Ratio::ONE);
+        true_best = true_best.max(thr);
+    }
+
+    table_header(&[
+        "Meter noise σ (W)",
+        "fit error @peak (%)",
+        "allocation loss vs optimum (%)",
+    ]);
+
+    for noise in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        // Average over several seeds so the row is stable.
+        let mut fit_errs = Vec::new();
+        let mut losses = Vec::new();
+        for seed in 0..8u64 {
+            let mut meter = PowerMeter::new(Watts::new(noise), seed);
+            let mut db = PerfDatabase::new();
+            for (gi, group) in rack.groups().iter().enumerate() {
+                let sweep = rack.training_sweep(gi, 5, Ratio::ONE);
+                let samples: Vec<ProfileSample> = sweep
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        ProfileSample::new(
+                            meter.read(s.power),
+                            s.throughput,
+                            SimTime::from_secs(i as u64 * 120),
+                        )
+                    })
+                    .collect();
+                db.insert_training(
+                    group.platform.id(),
+                    group.workload.id(),
+                    group.server().truth().envelope(),
+                    &samples,
+                )
+                .expect("training fits");
+            }
+
+            // Fit error at peak for the Xeon group.
+            let xeon = &rack.groups()[0];
+            let truth = xeon.server().truth();
+            let model = db
+                .model(xeon.platform.id(), xeon.workload.id())
+                .expect("trained");
+            let projected = model.eval(truth.envelope().peak()).value();
+            let actual = truth.t_max().value();
+            fit_errs.push(100.0 * (projected - actual).abs() / actual);
+
+            // Allocation loss: solve on the fitted models, measure on truth.
+            let groups: Vec<ServerGroup> = rack
+                .groups()
+                .iter()
+                .map(|g| {
+                    ServerGroup::new(
+                        g.platform.id(),
+                        g.count,
+                        *db.model(g.platform.id(), g.workload.id()).expect("trained"),
+                    )
+                    .expect("valid group")
+                })
+                .collect();
+            let problem = AllocationProblem::new(groups, budget).expect("valid problem");
+            let alloc = solve(&problem).expect("solvable");
+            let measured = rack.measured_throughput(&alloc.per_server, Ratio::ONE);
+            losses.push(100.0 * (true_best.value() - measured.value()) / true_best.value());
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        table_row(&[
+            format!("{noise:.1}"),
+            format!("{:.2}", mean(&fit_errs)),
+            format!("{:.2}", mean(&losses)),
+        ]);
+    }
+
+    println!();
+    println!("takeaway: the quadratic fit averages noise out well; allocation quality stays");
+    println!("within a few percent of optimal until meter noise reaches several watts");
+}

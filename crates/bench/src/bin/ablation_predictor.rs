@@ -1,0 +1,79 @@
+//! Ablation — prediction method: Holt double exponential smoothing (the
+//! paper's choice) vs the last-value (persistence) and moving-average
+//! baselines, on synthetic High/Low solar traces and the rack demand
+//! pattern.
+//!
+//! The paper notes "any other proven prediction approaches can be
+//! integrated"; this quantifies what Holt buys on the series the scheduler
+//! actually predicts.
+
+use greenhetero_bench::{banner, table_header, table_row};
+use greenhetero_core::predictor::{
+    sum_squared_error, HoltPredictor, LastValue, MovingAverage, Predictor, SeasonalNaive,
+};
+use greenhetero_core::predictor::train_holt;
+use greenhetero_core::types::{SimDuration, Watts};
+use greenhetero_power::solar::{synthesize, SolarConfig};
+use greenhetero_power::trace::demand_pattern;
+
+fn rmse<P: Predictor>(p: P, series: &[f64]) -> f64 {
+    let n = series.len().saturating_sub(1).max(1);
+    (sum_squared_error(p, series) / n as f64).sqrt()
+}
+
+fn main() {
+    banner(
+        "Ablation: predictor",
+        "One-step-ahead RMSE (watts) of Holt vs baselines on power series",
+    );
+
+    let high = synthesize(&SolarConfig::high(Watts::new(1800.0), 7)).expect("valid");
+    let low = synthesize(&SolarConfig::low(Watts::new(1800.0), 7)).expect("valid");
+    let demand = demand_pattern(
+        Watts::new(650.0),
+        Watts::new(1150.0),
+        SimDuration::from_minutes(15),
+        7,
+    );
+
+    let series: Vec<(&str, Vec<f64>)> = vec![
+        ("High solar", high.values().iter().map(|w| w.value()).collect()),
+        ("Low solar", low.values().iter().map(|w| w.value()).collect()),
+        ("Rack demand", demand.values().iter().map(|w| w.value()).collect()),
+    ];
+
+    table_header(&[
+        "Series",
+        "Holt (trained)",
+        "Holt (default 0.8/0.2)",
+        "Last value",
+        "Moving avg (4)",
+        "Seasonal (24 h)",
+    ]);
+    for (name, values) in &series {
+        // Train on the first half, score on the second.
+        let split = values.len() / 2;
+        let trained = train_holt(&values[..split], 0.05).expect("trainable");
+        table_row(&[
+            (*name).to_string(),
+            format!("{:.1}", rmse(trained.params.predictor(), &values[split..])),
+            format!(
+                "{:.1}",
+                rmse(HoltPredictor::new(0.8, 0.2).expect("valid"), &values[split..])
+            ),
+            format!("{:.1}", rmse(LastValue::new(), &values[split..])),
+            format!(
+                "{:.1}",
+                rmse(MovingAverage::new(4).expect("valid"), &values[split..])
+            ),
+            format!(
+                "{:.1}",
+                rmse(SeasonalNaive::new(96).expect("valid"), &values[split..])
+            ),
+        ]);
+    }
+
+    println!();
+    println!("takeaway: trend-aware Holt beats the moving average on ramping solar series;");
+    println!("training (α, β) on history (Eq. 5) further reduces error on the smoother series");
+}

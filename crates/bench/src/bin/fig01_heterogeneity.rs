@@ -1,0 +1,26 @@
+//! Figure 1 — numbers of server configurations in ten Google datacenters
+//! (the paper's motivation data, after Mars et al., ISCA'13).
+
+use greenhetero_bench::{banner, bar, table_header, table_row};
+use greenhetero_server::fleet::{fraction_with_at_most, histogram, GOOGLE_DC_CONFIG_COUNTS};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "Numbers of server configurations in ten different Google datacenters",
+    );
+    table_header(&["Datacenter", "Configurations", ""]);
+    for (i, &n) in GOOGLE_DC_CONFIG_COUNTS.iter().enumerate() {
+        table_row(&[
+            format!("DC{}", i + 1),
+            n.to_string(),
+            bar(f64::from(n), 5.0, 20),
+        ]);
+    }
+    println!();
+    println!("histogram: {:?}", histogram());
+    println!(
+        "datacenters with 2–3 configurations: {:.0}% (the paper: ≈80%)",
+        fraction_with_at_most(3) * 100.0
+    );
+}

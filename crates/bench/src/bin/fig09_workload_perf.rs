@@ -1,0 +1,62 @@
+//! Figure 9 — performance of the five power-allocation policies across
+//! the datacenter workloads, normalized to the Uniform baseline, when the
+//! renewable supply is insufficient (Low solar trace, saturating load).
+//!
+//! Paper shape: GreenHetero best everywhere (mean ≈ 1.6×), Streamcluster
+//! the biggest winner (≈ 2.2×), Memcached the smallest (≈ 1.2×), Mcf
+//! ≈ 1.3×, and GreenHetero ≥ GreenHetero-a ≥ {GreenHetero-p, Manual}
+//! ≥ Uniform.
+
+use greenhetero_bench::{banner, policy_order, run_workload_study, table_header, table_row};
+use greenhetero_core::metrics::geometric_mean;
+use greenhetero_core::policies::PolicyKind;
+
+fn main() {
+    banner(
+        "Figure 9",
+        "Normalized performance of five power allocation policies for different workloads",
+    );
+
+    let study = run_workload_study();
+    let policies = policy_order();
+
+    let mut header: Vec<&str> = vec!["Workload"];
+    let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
+    header.extend(&names);
+    table_header(&header);
+
+    let mut per_policy_gains: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for (workload, outcomes) in &study {
+        let baseline = outcomes
+            .iter()
+            .find(|(p, _)| *p == PolicyKind::Uniform)
+            .expect("uniform always runs")
+            .1
+            .mean_scarce_throughput();
+        let mut cells = vec![workload.to_string()];
+        for (i, (_, report)) in outcomes.iter().enumerate() {
+            let speedup = report.mean_scarce_throughput().value() / baseline.value();
+            per_policy_gains[i].push(speedup);
+            cells.push(format!("{speedup:.2}x"));
+        }
+        table_row(&cells);
+    }
+
+    let mut mean_cells = vec!["**geo-mean**".to_string()];
+    for gains in &per_policy_gains {
+        mean_cells.push(format!("{:.2}x", geometric_mean(gains).unwrap_or(1.0)));
+    }
+    table_row(&mean_cells);
+
+    let gh = &per_policy_gains[policies.len() - 1];
+    let best = gh.iter().cloned().fold(f64::MIN, f64::max);
+    let worst = gh.iter().cloned().fold(f64::MAX, f64::min);
+    println!();
+    println!(
+        "GreenHetero vs Uniform: geo-mean {:.2}x, best {:.2}x, worst {:.2}x",
+        geometric_mean(gh).unwrap_or(1.0),
+        best,
+        worst
+    );
+    println!("paper reports: average ≈1.6x, best 2.2x (Streamcluster), worst 1.2x (Memcached), Mcf ≈1.3x");
+}

@@ -1,0 +1,54 @@
+//! Figure 14 — performance of Comb6 (Xeon E5-2620 + Titan Xp GPU) for the
+//! Rodinia workloads, five policies, normalized to Uniform.
+//!
+//! Paper shape: GreenHetero best everywhere; Srad_v1 gains up to 4.6×
+//! (the GPU dwarfs the CPU on it, and Uniform starves the 149 W-idle GPU);
+//! Cfd gains least (CPU and GPU perform similarly); mean ≈ 2.5×.
+
+use greenhetero_bench::{banner, policy_order, table_header, table_row};
+use greenhetero_core::metrics::geometric_mean;
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_server::rack::Combination;
+use greenhetero_server::workload::WorkloadKind;
+use greenhetero_sim::runner::compare_policies;
+use greenhetero_sim::scenario::Scenario;
+
+fn main() {
+    banner(
+        "Figure 14",
+        "Performance of Comb6 (E5-2620 + Titan Xp) for the Rodinia workloads (normalized to Uniform)",
+    );
+
+    let policies = policy_order();
+    let mut header: Vec<&str> = vec!["Workload"];
+    let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
+    header.extend(&names);
+    table_header(&header);
+
+    let mut gh_gains = Vec::new();
+    for workload in WorkloadKind::COMB6_SET {
+        let base = Scenario {
+            combination: Combination::Comb6,
+            ..Scenario::workload_study(workload, PolicyKind::Uniform)
+        };
+        let outcomes = compare_policies(&base, &policies).expect("simulations run");
+        let baseline = outcomes[0].report.mean_scarce_throughput().value();
+        let mut cells = vec![workload.to_string()];
+        for o in &outcomes {
+            let gain = o.report.mean_scarce_throughput().value() / baseline;
+            cells.push(format!("{gain:.2}x"));
+            if o.policy == PolicyKind::GreenHetero {
+                gh_gains.push(gain);
+            }
+        }
+        table_row(&cells);
+    }
+
+    println!();
+    println!(
+        "GreenHetero vs Uniform on the GPU rack: geo-mean {:.2}x, best {:.2}x",
+        geometric_mean(&gh_gains).unwrap_or(1.0),
+        gh_gains.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    println!("paper reports: mean ≈2.5x, Srad_v1 up to 4.6x, Cfd smallest (CPU ≈ GPU)");
+}

@@ -1,0 +1,39 @@
+//! Table I — the evaluation workload catalog.
+
+use greenhetero_bench::{banner, table_header, table_row};
+use greenhetero_server::workload::WorkloadKind;
+
+fn main() {
+    banner("Table I", "Workload description");
+    table_header(&["Workload", "Suite", "Performance metric", "Interactive"]);
+    for w in WorkloadKind::ALL {
+        let s = w.spec();
+        table_row(&[
+            w.to_string(),
+            s.suite.name().to_string(),
+            s.metric.to_string(),
+            if s.interactive { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!();
+    println!("behavioural calibration (reproduction-specific):");
+    table_header(&[
+        "Workload",
+        "power factor",
+        "kappa",
+        "parallel scaling",
+        "memory scaling",
+        "GPU affinity",
+    ]);
+    for w in WorkloadKind::ALL {
+        let s = w.spec();
+        table_row(&[
+            w.to_string(),
+            format!("{:.2}", s.power_factor),
+            format!("{:.2}", s.kappa),
+            format!("{:.2}", s.parallel_scaling),
+            format!("{:.2}", s.memory_scaling),
+            format!("{:.1}", s.gpu_affinity),
+        ]);
+    }
+}

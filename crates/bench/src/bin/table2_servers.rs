@@ -1,0 +1,27 @@
+//! Table II — the server platform catalog.
+
+use greenhetero_bench::{banner, table_header, table_row};
+use greenhetero_server::platform::PlatformKind;
+
+fn main() {
+    banner("Table II", "Server description");
+    table_header(&[
+        "Server type",
+        "Frequency",
+        "Socket",
+        "Cores",
+        "Peak Power",
+        "Idle Power",
+    ]);
+    for p in PlatformKind::ALL {
+        let s = p.spec();
+        table_row(&[
+            s.name.to_string(),
+            format!("{}", s.frequency),
+            format!("{}", s.sockets),
+            format!("{}", s.cores),
+            format!("{:.0}W", s.peak.value()),
+            format!("{:.0}W", s.idle.value()),
+        ]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Table III — the five power-allocation policies.
+
+use greenhetero_bench::{banner, table_header, table_row};
+use greenhetero_core::policies::PolicyKind;
+
+fn main() {
+    banner("Table III", "Power allocation policies");
+    table_header(&["Policy", "Description", "Updates database"]);
+    for p in PolicyKind::ALL {
+        table_row(&[
+            p.name().to_string(),
+            p.description().to_string(),
+            if p.build().updates_database() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Table IV — the server combinations of the heterogeneity study.
+
+use greenhetero_bench::{banner, table_header, table_row};
+use greenhetero_server::rack::Combination;
+use greenhetero_server::workload::WorkloadKind;
+
+fn main() {
+    banner("Table IV", "Server combinations");
+    table_header(&["Combination", "Server types", "Workloads"]);
+    for c in Combination::ALL {
+        let platforms = c
+            .platforms()
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let workloads = if c == Combination::Comb6 {
+            WorkloadKind::COMB6_SET
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        } else {
+            "SPECjbb".to_string()
+        };
+        table_row(&[c.to_string(), platforms, workloads]);
+    }
+}

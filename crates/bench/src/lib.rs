@@ -1,0 +1,97 @@
+//! Shared plumbing for the GreenHetero reproduction harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! and prints the corresponding rows/series; this library holds the
+//! formatting helpers and the experiment presets they share.
+
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_sim::report::RunReport;
+use greenhetero_sim::runner::compare_policies;
+use greenhetero_sim::scenario::Scenario;
+use greenhetero_server::workload::WorkloadKind;
+
+/// Runs the Figs. 9/10 workload study: every Fig. 9 workload under every
+/// policy, with the scarce-renewable setting. Returns, per workload, the
+/// five policy reports in [`policy_order`].
+///
+/// # Panics
+///
+/// Panics if a simulation fails (indicates a bug, not a runtime state).
+#[must_use]
+pub fn run_workload_study() -> Vec<(WorkloadKind, Vec<(PolicyKind, RunReport)>)> {
+    WorkloadKind::FIG9_SET
+        .iter()
+        .map(|&workload| {
+            let base = Scenario::workload_study(workload, PolicyKind::Uniform);
+            let outcomes = compare_policies(&base, &policy_order())
+                .unwrap_or_else(|e| panic!("workload study failed for {workload}: {e}"));
+            (
+                workload,
+                outcomes.into_iter().map(|o| (o.policy, o.report)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+/// Prints a markdown-style table header and separator row.
+pub fn table_header(columns: &[&str]) {
+    println!("| {} |", columns.join(" | "));
+    println!(
+        "|{}|",
+        columns
+            .iter()
+            .map(|c| "-".repeat(c.len() + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+}
+
+/// Formats one markdown table row.
+pub fn table_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// The five policies in the paper's presentation order, with Uniform first
+/// (it is the normalization baseline).
+#[must_use]
+pub fn policy_order() -> [PolicyKind; 5] {
+    [
+        PolicyKind::Uniform,
+        PolicyKind::Manual,
+        PolicyKind::GreenHeteroP,
+        PolicyKind::GreenHeteroA,
+        PolicyKind::GreenHetero,
+    ]
+}
+
+/// Renders a compact horizontal bar for terminal "plots".
+#[must_use]
+pub fn bar(value: f64, scale: f64, width: usize) -> String {
+    let filled = ((value / scale) * width as f64).round().max(0.0) as usize;
+    "█".repeat(filled.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+    }
+
+    #[test]
+    fn policy_order_starts_with_uniform() {
+        assert_eq!(policy_order()[0], PolicyKind::Uniform);
+        assert_eq!(policy_order().len(), 5);
+    }
+}

@@ -1,0 +1,573 @@
+//! The GreenHetero controller: Monitor feedback → Scheduler → Enforcer,
+//! epoch by epoch (Figs. 4–5, Algorithm 1).
+//!
+//! The controller is **plant-agnostic**: it never touches a physical (or
+//! simulated) server, battery or PV array directly. Each epoch the caller
+//! feeds it the rack composition and the monitor's view of the battery,
+//! receives an [`EpochDecision`], applies it to the plant, and reports the
+//! observations back via [`Controller::end_epoch`]. The `greenhetero-sim`
+//! crate drives exactly this loop against the simulation substrates.
+
+use std::fmt;
+
+use crate::config::ControllerConfig;
+use crate::database::{PerfDatabase, PerfModel, ProfileSample};
+use crate::error::CoreError;
+use crate::policies::{AllocationOracle, AllocationPolicy, PolicyKind};
+use crate::predictor::{train_or_default, HoltParams, Predictor};
+use crate::solver::{Allocation, AllocationProblem, ServerGroup};
+use crate::sources::{select_sources, BatteryView, SourceInputs, SourcePlan};
+use crate::types::{ConfigId, EpochId, PowerRange, SimTime, Throughput, Watts, WorkloadId};
+
+/// One homogeneous slice of the rack: `count` servers of one configuration
+/// all running one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupSpec {
+    /// The server configuration.
+    pub config: ConfigId,
+    /// The workload currently running on this group.
+    pub workload: WorkloadId,
+    /// Number of servers.
+    pub count: u32,
+    /// Productive power envelope of one server under this workload
+    /// (idle power .. workload peak draw), as known to the Monitor.
+    pub envelope: PowerRange,
+}
+
+/// The rack composition for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackSpec {
+    /// The homogeneous groups making up the rack.
+    pub groups: Vec<GroupSpec>,
+}
+
+impl RackSpec {
+    /// Creates a rack spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyProblem`] for an empty rack.
+    pub fn new(groups: Vec<GroupSpec>) -> Result<Self, CoreError> {
+        if groups.is_empty() {
+            return Err(CoreError::EmptyProblem);
+        }
+        Ok(RackSpec { groups })
+    }
+
+    /// Power needed to run every server at its workload peak — the upper
+    /// bound on rack demand.
+    #[must_use]
+    pub fn peak_demand(&self) -> Watts {
+        self.groups
+            .iter()
+            .map(|g| g.envelope.peak() * f64::from(g.count))
+            .sum()
+    }
+
+    /// Power needed to merely keep every server powered on.
+    #[must_use]
+    pub fn idle_demand(&self) -> Watts {
+        self.groups
+            .iter()
+            .map(|g| g.envelope.idle() * f64::from(g.count))
+            .sum()
+    }
+}
+
+/// What the controller wants done this epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpochDecision {
+    /// One or more (configuration, workload) pairs have no database entry:
+    /// run a **training run** for them with ample power (Algorithm 1,
+    /// lines 3–5). The plan still selects power sources; the paper keeps
+    /// battery and grid ready "to support the power demand during the
+    /// training run".
+    Train {
+        /// The pairs to profile.
+        pairs: Vec<(ConfigId, WorkloadId)>,
+        /// Power-source selection for the epoch.
+        plan: SourcePlan,
+    },
+    /// Normal epoch: enforce this allocation (Algorithm 1, lines 7–8).
+    Run {
+        /// Power-source selection for the epoch.
+        plan: SourcePlan,
+        /// The PAR decision to enforce.
+        allocation: Allocation,
+    },
+}
+
+/// Monitor feedback for one group after an epoch ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupFeedback {
+    /// The server configuration observed.
+    pub config: ConfigId,
+    /// The workload observed.
+    pub workload: WorkloadId,
+    /// Measured per-server power draw.
+    pub per_server_power: Watts,
+    /// Measured per-server throughput.
+    pub per_server_perf: Throughput,
+    /// Timestamp of the measurement.
+    pub at: SimTime,
+}
+
+/// The GreenHetero controller (one per rack, matching the paper's
+/// distributed rack-level deployment).
+pub struct Controller {
+    config: ControllerConfig,
+    policy: Box<dyn AllocationPolicy>,
+    db: PerfDatabase,
+    renewable: PredictorLane,
+    demand: PredictorLane,
+    epoch: EpochId,
+}
+
+impl fmt::Debug for Controller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Controller")
+            .field("policy", &self.policy.kind())
+            .field("epoch", &self.epoch)
+            .field("db_entries", &self.db.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A predictor plus the history needed to periodically retrain it.
+#[derive(Debug)]
+struct PredictorLane {
+    history: Vec<f64>,
+    params: HoltParams,
+    predictor: crate::predictor::HoltPredictor,
+    epochs_since_train: u64,
+}
+
+impl PredictorLane {
+    fn new() -> Self {
+        let params = HoltParams::default();
+        PredictorLane {
+            history: Vec::new(),
+            params,
+            predictor: params.predictor(),
+            epochs_since_train: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64, cfg: &ControllerConfig) {
+        self.history.push(value);
+        if self.history.len() > cfg.holt_history {
+            let excess = self.history.len() - cfg.holt_history;
+            self.history.drain(..excess);
+        }
+        self.predictor.observe(value);
+        self.epochs_since_train += 1;
+        if self.epochs_since_train >= cfg.holt_retrain_epochs {
+            self.retrain(cfg);
+        }
+    }
+
+    fn retrain(&mut self, cfg: &ControllerConfig) {
+        self.params = train_or_default(&self.history, cfg.holt_grid_step);
+        let mut fresh = self.params.predictor();
+        for &v in &self.history {
+            fresh.observe(v);
+        }
+        self.predictor = fresh;
+        self.epochs_since_train = 0;
+    }
+
+    fn predict_or(&self, fallback: f64) -> f64 {
+        self.predictor.predict().unwrap_or(fallback)
+    }
+}
+
+impl Controller {
+    /// Creates a controller running the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ControllerConfig::validate`] failures.
+    pub fn new(config: ControllerConfig, policy: PolicyKind) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(Controller {
+            config,
+            policy: policy.build(),
+            db: PerfDatabase::new(),
+            renewable: PredictorLane::new(),
+            demand: PredictorLane::new(),
+            epoch: EpochId::FIRST,
+        })
+    }
+
+    /// The policy being run.
+    #[must_use]
+    pub fn policy(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// The performance-power database (read access for diagnostics).
+    #[must_use]
+    pub fn database(&self) -> &PerfDatabase {
+        &self.db
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The epoch about to run (incremented by [`end_epoch`]).
+    ///
+    /// [`end_epoch`]: Controller::end_epoch
+    #[must_use]
+    pub fn epoch(&self) -> EpochId {
+        self.epoch
+    }
+
+    /// The currently trained Holt parameters for (renewable, demand).
+    #[must_use]
+    pub fn predictor_params(&self) -> (HoltParams, HoltParams) {
+        (self.renewable.params, self.demand.params)
+    }
+
+    /// Algorithm 1, top of the scheduling epoch: predict, select power
+    /// sources, and either request training runs or produce an allocation.
+    ///
+    /// `oracle` is forwarded to measurement-driven policies (Manual).
+    ///
+    /// # Errors
+    ///
+    /// Propagates database and solver failures.
+    pub fn begin_epoch(
+        &mut self,
+        rack: &RackSpec,
+        battery: &BatteryView,
+        grid_budget: Watts,
+        oracle: Option<&dyn AllocationOracle>,
+    ) -> Result<EpochDecision, CoreError> {
+        // Prediction (Eqs. 2–4). Before any observation: assume no
+        // renewable (conservative) and peak demand (ample).
+        let predicted_renewable =
+            Watts::new(self.renewable.predict_or(0.0).max(0.0));
+        let peak_demand = rack.peak_demand();
+        let predicted_demand = Watts::new(
+            self.demand
+                .predict_or(peak_demand.value())
+                .clamp(0.0, peak_demand.value()),
+        );
+
+        let plan = select_sources(&SourceInputs {
+            predicted_renewable,
+            predicted_demand,
+            battery: *battery,
+            grid_budget,
+            renewable_negligible: self.config.renewable_negligible,
+        });
+
+        // Algorithm 1 line 3: any pair missing from the database?
+        let missing: Vec<(ConfigId, WorkloadId)> = rack
+            .groups
+            .iter()
+            .filter(|g| !self.db.contains(g.config, g.workload))
+            .map(|g| (g.config, g.workload))
+            .collect();
+        if !missing.is_empty() {
+            return Ok(EpochDecision::Train {
+                pairs: missing,
+                plan,
+            });
+        }
+
+        // Lines 7–8: build the problem from database projections and solve.
+        let groups: Vec<ServerGroup> = rack
+            .groups
+            .iter()
+            .map(|g| {
+                let model = self.db.model(g.config, g.workload)?;
+                ServerGroup::new(g.config, g.count, *model)
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let problem = AllocationProblem::new(groups, plan.budget())?;
+        let allocation = self.policy.allocate(&problem, oracle)?;
+        Ok(EpochDecision::Run { plan, allocation })
+    }
+
+    /// Stores the samples of a completed training run (Algorithm 1,
+    /// lines 4–5) for one (configuration, workload) pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates curve-fit failures (too few / degenerate samples).
+    pub fn complete_training(
+        &mut self,
+        config: ConfigId,
+        workload: WorkloadId,
+        envelope: PowerRange,
+        samples: &[ProfileSample],
+    ) -> Result<(), CoreError> {
+        self.db
+            .insert_training(config, workload, envelope, samples)?;
+        Ok(())
+    }
+
+    /// End of epoch: feed the monitor's observations back (Algorithm 1,
+    /// lines 8–10) and advance the epoch counter.
+    ///
+    /// `feedback` entries for pairs without a database entry are ignored
+    /// (they belong to a training run that reports via
+    /// [`complete_training`]); database updates only happen under policies
+    /// whose [`AllocationPolicy::updates_database`] is `true`.
+    ///
+    /// [`complete_training`]: Controller::complete_training
+    pub fn end_epoch(
+        &mut self,
+        observed_renewable: Watts,
+        observed_demand: Watts,
+        feedback: &[GroupFeedback],
+    ) {
+        self.renewable
+            .observe(observed_renewable.value(), &self.config);
+        self.demand.observe(observed_demand.value(), &self.config);
+
+        if self.policy.updates_database() {
+            for fb in feedback {
+                if self.db.contains(fb.config, fb.workload) {
+                    let sample = ProfileSample::new(fb.per_server_power, fb.per_server_perf, fb.at);
+                    // A failed refit keeps the previous model; nothing to do.
+                    let _ = self.db.record_feedback(fb.config, fb.workload, sample);
+                }
+            }
+        }
+        self.epoch = self.epoch.next();
+    }
+
+    /// Direct read access to a projection (useful for reporting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProfileMissing`] when the pair is untrained.
+    pub fn model(&self, config: ConfigId, workload: WorkloadId) -> Result<&PerfModel, CoreError> {
+        self.db.model(config, workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::SupplyCase;
+
+    fn envelope(idle: f64, peak: f64) -> PowerRange {
+        PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap()
+    }
+
+    fn rack() -> RackSpec {
+        RackSpec::new(vec![
+            GroupSpec {
+                config: ConfigId::new(0),
+                workload: WorkloadId::new(0),
+                count: 1,
+                envelope: envelope(88.0, 147.0),
+            },
+            GroupSpec {
+                config: ConfigId::new(1),
+                workload: WorkloadId::new(0),
+                count: 1,
+                envelope: envelope(47.0, 81.0),
+            },
+        ])
+        .unwrap()
+    }
+
+    fn battery() -> BatteryView {
+        BatteryView {
+            max_discharge: Watts::new(500.0),
+            max_charge: Watts::new(300.0),
+            needs_recharge: false,
+        }
+    }
+
+    fn training_samples(truth: impl Fn(f64) -> f64, powers: &[f64]) -> Vec<ProfileSample> {
+        powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                ProfileSample::new(
+                    Watts::new(p),
+                    Throughput::new(truth(p)),
+                    SimTime::from_secs(i as u64 * 120),
+                )
+            })
+            .collect()
+    }
+
+    fn trained_controller(policy: PolicyKind) -> Controller {
+        let mut c = Controller::new(ControllerConfig::default(), policy).unwrap();
+        c.complete_training(
+            ConfigId::new(0),
+            WorkloadId::new(0),
+            envelope(88.0, 147.0),
+            &training_samples(|p| 60.0 * p - 0.12 * p * p - 3000.0, &[95.0, 108.0, 121.0, 134.0, 147.0]),
+        )
+        .unwrap();
+        c.complete_training(
+            ConfigId::new(1),
+            WorkloadId::new(0),
+            envelope(47.0, 81.0),
+            &training_samples(|p| 50.0 * p - 0.18 * p * p - 1200.0, &[52.0, 59.0, 66.0, 74.0, 81.0]),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn first_epoch_requests_training_for_unknown_pairs() {
+        let mut c = Controller::new(ControllerConfig::default(), PolicyKind::GreenHetero).unwrap();
+        let decision = c
+            .begin_epoch(&rack(), &battery(), Watts::new(1000.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Train { pairs, .. } => {
+                assert_eq!(pairs.len(), 2);
+            }
+            other => panic!("expected Train, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trained_controller_produces_allocation() {
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        // Prime predictors with a known renewable level.
+        for _ in 0..4 {
+            c.end_epoch(Watts::new(220.0), Watts::new(228.0), &[]);
+        }
+        let decision = c
+            .begin_epoch(&rack(), &battery(), Watts::ZERO, None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run { plan, allocation } => {
+                assert_eq!(plan.case, SupplyCase::B); // 220 predicted < 228 demand
+                assert!(allocation.projected.value() > 0.0);
+                // PAR near the case-study optimum (Xeon share ≈ 65 %).
+                let par = allocation.shares[0].value();
+                assert!((0.5..0.8).contains(&par), "par = {par}");
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_counter_advances_on_end_epoch() {
+        let mut c = trained_controller(PolicyKind::Uniform);
+        assert_eq!(c.epoch(), EpochId::FIRST);
+        c.end_epoch(Watts::new(100.0), Watts::new(200.0), &[]);
+        assert_eq!(c.epoch(), EpochId::new(1));
+    }
+
+    #[test]
+    fn feedback_updates_database_only_for_full_greenhetero() {
+        for (policy, expect_refit) in [
+            (PolicyKind::GreenHetero, true),
+            (PolicyKind::GreenHeteroA, false),
+            (PolicyKind::Uniform, false),
+        ] {
+            let mut c = trained_controller(policy);
+            let fb = GroupFeedback {
+                config: ConfigId::new(0),
+                workload: WorkloadId::new(0),
+                per_server_power: Watts::new(120.0),
+                per_server_perf: Throughput::new(2470.0),
+                at: SimTime::from_secs(900),
+            };
+            c.end_epoch(Watts::new(200.0), Watts::new(228.0), &[fb]);
+            let refits = c
+                .database()
+                .entry(ConfigId::new(0), WorkloadId::new(0))
+                .unwrap()
+                .refit_count();
+            assert_eq!(refits > 0, expect_refit, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn feedback_for_untrained_pair_is_ignored() {
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        let fb = GroupFeedback {
+            config: ConfigId::new(99),
+            workload: WorkloadId::new(99),
+            per_server_power: Watts::new(100.0),
+            per_server_perf: Throughput::new(1.0),
+            at: SimTime::ZERO,
+        };
+        c.end_epoch(Watts::new(200.0), Watts::new(228.0), &[fb]);
+        assert_eq!(c.database().len(), 2);
+    }
+
+    #[test]
+    fn predictors_retrain_after_interval() {
+        let cfg = ControllerConfig {
+            holt_retrain_epochs: 8,
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(cfg, PolicyKind::GreenHetero).unwrap();
+        let before = c.predictor_params().0;
+        // Feed a strongly trending renewable series.
+        for i in 0..10 {
+            c.end_epoch(
+                Watts::new(100.0 + 40.0 * f64::from(i)),
+                Watts::new(500.0),
+                &[],
+            );
+        }
+        let after = c.predictor_params().0;
+        // Retraining happened; the trend series wants a high alpha.
+        assert!(after.alpha >= before.alpha || after.beta != before.beta);
+    }
+
+    #[test]
+    fn abundant_renewable_gives_case_a_and_full_demand_budget() {
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        for _ in 0..4 {
+            c.end_epoch(Watts::new(2000.0), Watts::new(228.0), &[]);
+        }
+        let decision = c
+            .begin_epoch(&rack(), &battery(), Watts::new(1000.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run { plan, allocation } => {
+                assert_eq!(plan.case, SupplyCase::A);
+                // Case A puts the full renewable supply on the bus.
+                assert!(plan.budget() >= Watts::new(228.0));
+                // With an ample budget everyone approaches peak power.
+                assert!(allocation.per_server[0] >= Watts::new(88.0));
+                assert!(allocation.per_server[1] >= Watts::new(47.0));
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rack_spec_validation_and_demand() {
+        assert!(RackSpec::new(vec![]).is_err());
+        let r = rack();
+        assert_eq!(r.peak_demand(), Watts::new(228.0));
+        assert_eq!(r.idle_demand(), Watts::new(135.0));
+    }
+
+    #[test]
+    fn controller_debug_is_informative() {
+        let c = trained_controller(PolicyKind::GreenHetero);
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("Controller"));
+        assert!(dbg.contains("GreenHetero"));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let cfg = ControllerConfig {
+            epoch_len: crate::types::SimDuration::ZERO,
+            ..ControllerConfig::default()
+        };
+        assert!(Controller::new(cfg, PolicyKind::Uniform).is_err());
+    }
+}

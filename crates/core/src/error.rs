@@ -1,0 +1,133 @@
+//! Error types for the GreenHetero core crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{ConfigId, WorkloadId};
+
+/// Errors produced by the GreenHetero controller components.
+///
+/// All variants are `Send + Sync + 'static` so they compose with standard
+/// error-handling machinery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A physical quantity was out of its valid domain (NaN, infinite,
+    /// negative where a non-negative value is required, or outside `[0,1]`
+    /// for ratios).
+    InvalidQuantity {
+        /// Which quantity was being constructed.
+        quantity: &'static str,
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A power range had `peak < idle` or a negative idle power.
+    InvalidPowerRange {
+        /// Idle watts supplied.
+        idle: f64,
+        /// Peak watts supplied.
+        peak: f64,
+    },
+    /// The database has no profile for this (configuration, workload) pair;
+    /// the caller should run a training run first (Algorithm 1, line 4).
+    ProfileMissing {
+        /// The server configuration looked up.
+        config: ConfigId,
+        /// The workload looked up.
+        workload: WorkloadId,
+    },
+    /// Curve fitting was attempted with fewer samples than unknowns.
+    InsufficientSamples {
+        /// Samples available.
+        got: usize,
+        /// Samples required.
+        need: usize,
+    },
+    /// Curve fitting failed because the normal equations were singular
+    /// (e.g. all samples at the same power level).
+    DegenerateFit,
+    /// The solver was invoked with an empty set of server groups.
+    EmptyProblem,
+    /// The predictor was asked to forecast before observing any data.
+    NoObservations,
+    /// A configuration parameter failed validation.
+    InvalidConfig {
+        /// Human-readable description of what is wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidQuantity { quantity, value } => {
+                write!(f, "invalid {quantity} value {value}")
+            }
+            CoreError::InvalidPowerRange { idle, peak } => {
+                write!(f, "invalid power range: idle {idle} W, peak {peak} W")
+            }
+            CoreError::ProfileMissing { config, workload } => {
+                write!(f, "no profile in database for {config} running {workload}")
+            }
+            CoreError::InsufficientSamples { got, need } => {
+                write!(f, "curve fit needs at least {need} samples, got {got}")
+            }
+            CoreError::DegenerateFit => {
+                write!(f, "curve fit is degenerate (samples are not distinct)")
+            }
+            CoreError::EmptyProblem => write!(f, "solver invoked with no server groups"),
+            CoreError::NoObservations => {
+                write!(f, "predictor has no observations to forecast from")
+            }
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<CoreError> = vec![
+            CoreError::InvalidQuantity {
+                quantity: "ratio",
+                value: 1.5,
+            },
+            CoreError::InvalidPowerRange {
+                idle: 10.0,
+                peak: 5.0,
+            },
+            CoreError::ProfileMissing {
+                config: ConfigId::new(1),
+                workload: WorkloadId::new(2),
+            },
+            CoreError::InsufficientSamples { got: 1, need: 3 },
+            CoreError::DegenerateFit,
+            CoreError::EmptyProblem,
+            CoreError::NoObservations,
+            CoreError::InvalidConfig {
+                reason: "epoch length is zero".to_string(),
+            },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "message should start lowercase: {msg}"
+            );
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # greenhetero-core
+//!
+//! The GreenHetero controller (ICDCS 2021): adaptive power allocation for
+//! heterogeneous green datacenters.
+//!
+//! This crate implements the paper's contribution — everything inside the
+//! "GreenHetero Controller" box of its Figure 4:
+//!
+//! * [`metrics`] — the Effective Power Utilization (EPU) metric, Eq. 1;
+//! * [`predictor`] — Holt double exponential smoothing of renewable supply
+//!   and rack demand (Eqs. 2–5) plus baseline predictors;
+//! * [`database`] — the performance-power database: profiling samples,
+//!   quadratic curve fitting, and per-(configuration, workload)
+//!   projections (§IV-B2);
+//! * [`solver`] — the PAR optimizer maximizing total projected throughput
+//!   under a power budget (Eq. 8);
+//! * [`sources`] — power-source selection across renewable, battery and
+//!   grid (Cases A/B/C of Fig. 6);
+//! * [`enforcer`] — the Power Source Controller and Server Power
+//!   Controller that turn decisions into source switches and DVFS states;
+//! * [`policies`] — the five allocation policies of Table III;
+//! * [`controller`] — the epoch loop tying Monitor → Scheduler → Enforcer
+//!   together (Algorithm 1).
+//!
+//! The physical substrates (servers, workloads, solar, batteries, grid)
+//! live in the sibling crates `greenhetero-server` and `greenhetero-power`;
+//! the `greenhetero-sim` crate runs full scenarios.
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use greenhetero_core::database::{PerfModel, Quadratic};
+//! use greenhetero_core::solver::{solve, AllocationProblem, ServerGroup};
+//! use greenhetero_core::types::{ConfigId, PowerRange, Watts};
+//!
+//! // Two heterogeneous servers share a 220 W green budget.
+//! let xeon = ServerGroup::new(
+//!     ConfigId::new(0),
+//!     1,
+//!     PerfModel::new(
+//!         Quadratic { l: -3000.0, m: 60.0, n: -0.12 },
+//!         PowerRange::new(Watts::new(88.0), Watts::new(147.0))?,
+//!     ),
+//! )?;
+//! let i5 = ServerGroup::new(
+//!     ConfigId::new(1),
+//!     1,
+//!     PerfModel::new(
+//!         Quadratic { l: -1200.0, m: 50.0, n: -0.18 },
+//!         PowerRange::new(Watts::new(47.0), Watts::new(81.0))?,
+//!     ),
+//! )?;
+//! let alloc = solve(&AllocationProblem::new(vec![xeon, i5], Watts::new(220.0))?)?;
+//! println!("PAR for the Xeon: {}", alloc.shares[0]);
+//! # Ok::<(), greenhetero_core::error::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod controller;
+pub mod database;
+pub mod enforcer;
+pub mod error;
+pub mod metrics;
+pub mod policies;
+pub mod predictor;
+pub mod solver;
+pub mod sources;
+pub mod types;

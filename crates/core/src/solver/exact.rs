@@ -1,0 +1,486 @@
+//! Exact allocation for piecewise-quadratic projections.
+//!
+//! The objective (Eq. 8) is separable but **not** concave globally: each
+//! group contributes zero below its idle power (a fixed "power-on" cost),
+//! a fitted quadratic between idle and peak, and a constant above peak.
+//! The algorithm therefore:
+//!
+//! 1. enumerates which groups are powered **on** (2^G subsets — the paper
+//!    bounds G at 3 per rack, we support up to [`MAX_EXACT_GROUPS`]);
+//! 2. inside a subset, reserves every on-group's idle power and
+//!    distributes the remainder by **water-filling** on the concave
+//!    quadratic pieces (KKT: equal marginal throughput per watt, found by
+//!    bisection on the Lagrange multiplier λ);
+//! 3. non-concave fits (convex `n > 0`, possible under noisy profiling)
+//!    are handled by enumerating their endpoint assignments;
+//! 4. a final greedy fill donates any round-off remainder to the group
+//!    with the best marginal gain.
+//!
+//! For concave fits the result is exact up to bisection tolerance; the
+//! grid solver ([`crate::solver::solve_grid`]) cross-checks this in tests.
+
+use crate::error::CoreError;
+use crate::solver::problem::{Allocation, AllocationProblem, ServerGroup};
+use crate::types::Watts;
+
+/// Largest group count the exact subset enumeration accepts; beyond this
+/// the caller should use [`crate::solver::solve_grid`]. 2^12 subsets with a
+/// bisection each is still well under a millisecond.
+pub const MAX_EXACT_GROUPS: usize = 12;
+
+/// Bisection iterations for the water-filling multiplier: 60 halvings of
+/// the marginal range push the budget residual far below a milliwatt.
+const BISECT_ITERS: u32 = 60;
+
+/// Solves the allocation problem exactly (for concave fitted curves).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if the problem has more than
+/// [`MAX_EXACT_GROUPS`] groups.
+///
+/// # Examples
+///
+/// ```
+/// use greenhetero_core::database::{PerfModel, Quadratic};
+/// use greenhetero_core::solver::{solve_exact, AllocationProblem, ServerGroup};
+/// use greenhetero_core::types::{ConfigId, PowerRange, Watts};
+///
+/// // The §III-B case study: optimal PAR should land near 65 % for the
+/// // Xeon group when 220 W is split across a Xeon and an i5.
+/// let xeon = ServerGroup::new(
+///     ConfigId::new(0),
+///     1,
+///     PerfModel::new(
+///         Quadratic { l: -3000.0, m: 60.0, n: -0.12 },
+///         PowerRange::new(Watts::new(88.0), Watts::new(147.0))?,
+///     ),
+/// )?;
+/// let i5 = ServerGroup::new(
+///     ConfigId::new(1),
+///     1,
+///     PerfModel::new(
+///         Quadratic { l: -1200.0, m: 50.0, n: -0.18 },
+///         PowerRange::new(Watts::new(47.0), Watts::new(81.0))?,
+///     ),
+/// )?;
+/// let problem = AllocationProblem::new(vec![xeon, i5], Watts::new(220.0))?;
+/// let alloc = solve_exact(&problem)?;
+/// assert!(alloc.shares[0].value() > 0.5); // the Xeon earns the bigger share
+/// # Ok::<(), greenhetero_core::error::CoreError>(())
+/// ```
+pub fn solve_exact(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
+    let groups = problem.groups();
+    if groups.len() > MAX_EXACT_GROUPS {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "exact solver supports at most {MAX_EXACT_GROUPS} groups, got {}",
+                groups.len()
+            ),
+        });
+    }
+
+    let budget = problem.budget();
+    let mut best_assignment = vec![Watts::ZERO; groups.len()];
+    let mut best_value = problem.objective(&best_assignment);
+
+    // Fast path: the budget covers everyone at peak.
+    if budget >= problem.total_peak() {
+        let assignment: Vec<Watts> = groups.iter().map(best_power_cap).collect();
+        let value = problem.objective(&assignment);
+        if value > best_value {
+            return Ok(Allocation::from_assignment(problem, assignment));
+        }
+        return Ok(Allocation::from_assignment(problem, best_assignment));
+    }
+
+    let convex: Vec<usize> = (0..groups.len())
+        .filter(|&i| !groups[i].model.curve().is_concave())
+        .collect();
+
+    for subset in 1u32..(1u32 << groups.len()) {
+        let on: Vec<usize> = (0..groups.len())
+            .filter(|&i| subset & (1 << i) != 0)
+            .collect();
+        let base: Watts = on.iter().map(|&i| groups[i].group_idle()).sum();
+        if base.value() > budget.value() + 1e-9 {
+            continue;
+        }
+
+        // Enumerate endpoint choices for convex groups inside this subset.
+        let convex_on: Vec<usize> = convex.iter().copied().filter(|i| on.contains(i)).collect();
+        for convex_mask in 0u32..(1u32 << convex_on.len()) {
+            let mut assignment = vec![Watts::ZERO; groups.len()];
+            let mut spent = Watts::ZERO;
+            let mut concave_on: Vec<usize> = Vec::with_capacity(on.len());
+            let mut feasible = true;
+            for &i in &on {
+                if let Some(pos) = convex_on.iter().position(|&c| c == i) {
+                    // Convex group pinned to idle or its best cap.
+                    let p = if convex_mask & (1 << pos) != 0 {
+                        best_power_cap(&groups[i])
+                    } else {
+                        groups[i].model.range().idle()
+                    };
+                    assignment[i] = p;
+                    spent += p * f64::from(groups[i].count);
+                    if spent.value() > budget.value() + 1e-9 {
+                        feasible = false;
+                        break;
+                    }
+                } else {
+                    assignment[i] = groups[i].model.range().idle();
+                    spent += groups[i].group_idle();
+                    concave_on.push(i);
+                }
+            }
+            if !feasible || spent.value() > budget.value() + 1e-9 {
+                continue;
+            }
+
+            water_fill(groups, &concave_on, budget - spent, &mut assignment);
+            greedy_fill(groups, &on, budget, &mut assignment);
+
+            debug_assert!(problem.is_feasible(&assignment));
+            let value = problem.objective(&assignment);
+            if value > best_value {
+                best_value = value;
+                best_assignment = assignment;
+            }
+        }
+    }
+
+    Ok(Allocation::from_assignment(problem, best_assignment))
+}
+
+/// The per-server power where a group's projection is maximal: peak power,
+/// or the quadratic's vertex when that lies inside the envelope (pushing
+/// past the vertex of a concave fit would *reduce* projected throughput).
+fn best_power_cap(group: &ServerGroup) -> Watts {
+    let range = group.model.range();
+    let curve = group.model.curve();
+    match curve.vertex() {
+        Some(v) if curve.n < 0.0 => range.clamp(Watts::new(v.clamp(
+            range.idle().value(),
+            range.peak().value(),
+        ))),
+        _ => range.peak(),
+    }
+}
+
+/// Water-fills `remaining` watts over the concave groups in `active`,
+/// starting from their idle assignment already present in `assignment`.
+fn water_fill(
+    groups: &[ServerGroup],
+    active: &[usize],
+    remaining: Watts,
+    assignment: &mut [Watts],
+) {
+    if active.is_empty() || remaining.value() <= 0.0 {
+        return;
+    }
+
+    // Per-group upper cap and marginal at a given per-server power.
+    let cap = |i: usize| best_power_cap(&groups[i]);
+    let marginal_at = |i: usize, p: f64| groups[i].model.curve().derivative(p);
+
+    // If the remainder covers everyone's cap, no multiplier is needed.
+    let full_extra: f64 = active
+        .iter()
+        .map(|&i| (cap(i).value() - assignment[i].value()).max(0.0) * f64::from(groups[i].count))
+        .sum();
+    if full_extra <= remaining.value() {
+        for &i in active {
+            assignment[i] = cap(i);
+        }
+        return;
+    }
+
+    // Bisection on λ: every group sets its power so that its marginal
+    // equals λ, clamped into [idle, cap]. Higher λ → less power used.
+    let lambda_hi = active
+        .iter()
+        .map(|&i| marginal_at(i, assignment[i].value()))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut lo = 0.0f64;
+    let mut hi = lambda_hi;
+
+    // Snapshot the idle (starting) per-server powers so the closure does
+    // not borrow `assignment` while we later write into it.
+    let floors: Vec<f64> = assignment.iter().map(|w| w.value()).collect();
+    let power_at_lambda = |i: usize, lambda: f64| -> f64 {
+        let curve = groups[i].model.curve();
+        let idle = floors[i];
+        let upper = cap(i).value();
+        if curve.n < 0.0 {
+            // derivative m + 2np = λ  →  p = (λ − m) / (2n)
+            ((lambda - curve.m) / (2.0 * curve.n)).clamp(idle, upper)
+        } else {
+            // Linear piece (n == 0): step function on the slope.
+            if curve.m > lambda {
+                upper
+            } else {
+                idle
+            }
+        }
+    };
+
+    for _ in 0..BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        let used: f64 = active
+            .iter()
+            .map(|&i| {
+                (power_at_lambda(i, mid) - assignment[i].value()) * f64::from(groups[i].count)
+            })
+            .sum();
+        if used > remaining.value() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    // Apply the feasible multiplier (hi side under-uses the budget).
+    for &i in active {
+        assignment[i] = Watts::new(power_at_lambda(i, hi));
+    }
+}
+
+/// Donates any leftover budget to the on-groups in order of marginal gain.
+/// Fixes the step-discontinuity of linear pieces and bisection round-off.
+fn greedy_fill(
+    groups: &[ServerGroup],
+    on: &[usize],
+    budget: Watts,
+    assignment: &mut [Watts],
+) {
+    let mut spent: f64 = on
+        .iter()
+        .map(|&i| assignment[i].value() * f64::from(groups[i].count))
+        .sum();
+    let mut leftover = budget.value() - spent;
+    if leftover <= 1e-9 {
+        return;
+    }
+
+    // Order candidates by their current marginal, descending.
+    let mut order: Vec<usize> = on.to_vec();
+    order.sort_by(|&a, &b| {
+        let ma = groups[a].model.curve().derivative(assignment[a].value());
+        let mb = groups[b].model.curve().derivative(assignment[b].value());
+        mb.partial_cmp(&ma).expect("marginals are finite")
+    });
+
+    for &i in &order {
+        if leftover <= 1e-9 {
+            break;
+        }
+        let upper = best_power_cap(&groups[i]).value();
+        let headroom_per_server = (upper - assignment[i].value()).max(0.0);
+        if headroom_per_server <= 0.0 {
+            continue;
+        }
+        if groups[i].model.curve().derivative(assignment[i].value()) <= 0.0 {
+            continue;
+        }
+        let count = f64::from(groups[i].count);
+        let grant_per_server = (leftover / count).min(headroom_per_server);
+        assignment[i] = Watts::new(assignment[i].value() + grant_per_server);
+        leftover -= grant_per_server * count;
+    }
+
+    spent = on
+        .iter()
+        .map(|&i| assignment[i].value() * f64::from(groups[i].count))
+        .sum();
+    debug_assert!(spent <= budget.value() + 1e-6);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{PerfModel, Quadratic};
+    use crate::types::{ConfigId, PowerRange, Throughput};
+
+    fn group(id: u32, count: u32, idle: f64, peak: f64, q: Quadratic) -> ServerGroup {
+        ServerGroup::new(
+            ConfigId::new(id),
+            count,
+            PerfModel::new(q, PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap()),
+        )
+        .unwrap()
+    }
+
+    fn concave(m: f64, n: f64) -> Quadratic {
+        assert!(n < 0.0);
+        Quadratic { l: 0.0, m, n }
+    }
+
+    #[test]
+    fn single_group_gets_everything_up_to_cap() {
+        let g = group(0, 1, 50.0, 100.0, concave(10.0, -0.02));
+        let p = AllocationProblem::new(vec![g], Watts::new(80.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        assert!((alloc.per_server[0].value() - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_below_idle_powers_nothing() {
+        let g = group(0, 1, 50.0, 100.0, concave(10.0, -0.02));
+        let p = AllocationProblem::new(vec![g], Watts::new(40.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        assert_eq!(alloc.per_server[0], Watts::ZERO);
+        assert_eq!(alloc.projected, Throughput::ZERO);
+    }
+
+    #[test]
+    fn abundant_budget_caps_everyone_at_peak() {
+        let a = group(0, 2, 50.0, 100.0, concave(10.0, -0.02));
+        let b = group(1, 3, 40.0, 90.0, concave(8.0, -0.01));
+        let p = AllocationProblem::new(vec![a, b], Watts::new(10_000.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        assert!((alloc.per_server[0].value() - 100.0).abs() < 1e-9);
+        assert!((alloc.per_server[1].value() - 90.0).abs() < 1e-9);
+        // Surplus share is what remains for battery charging.
+        assert!(alloc.surplus_share().value() > 0.9);
+    }
+
+    #[test]
+    fn equal_groups_split_equally() {
+        let q = concave(20.0, -0.05);
+        let a = group(0, 1, 50.0, 150.0, q);
+        let b = group(1, 1, 50.0, 150.0, q);
+        let p = AllocationProblem::new(vec![a, b], Watts::new(200.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        assert!(
+            (alloc.per_server[0].value() - alloc.per_server[1].value()).abs() < 1e-6,
+            "identical groups must get identical power: {:?}",
+            alloc.per_server
+        );
+        assert!((alloc.per_server[0].value() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn water_filling_equalizes_marginals() {
+        // Two concave groups with different slopes; at the optimum the
+        // marginal throughput per watt must match (both interior).
+        let a = group(0, 1, 20.0, 300.0, concave(30.0, -0.05));
+        let b = group(1, 1, 20.0, 300.0, concave(20.0, -0.04));
+        let p = AllocationProblem::new(vec![a, b], Watts::new(300.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        let ma = p.groups()[0]
+            .model
+            .curve()
+            .derivative(alloc.per_server[0].value());
+        let mb = p.groups()[1]
+            .model
+            .curve()
+            .derivative(alloc.per_server[1].value());
+        assert!(
+            (ma - mb).abs() < 1e-3,
+            "marginals should equalize: {ma} vs {mb}"
+        );
+        // And the whole budget is used (both curves still rising).
+        assert!((p.total_power(&alloc.per_server).value() - 300.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn turning_a_server_off_can_be_optimal() {
+        // Budget 130: powering both (idle 60 + 60) leaves only 10 W of
+        // dynamic power. With a curve that delivers ~nothing at idle
+        // (f(60) = 0), giving everything to one server wins.
+        let q = Quadratic {
+            l: -2640.0,
+            m: 50.0,
+            n: -0.1,
+        };
+        let a = group(0, 1, 60.0, 120.0, q);
+        let b = group(1, 1, 60.0, 120.0, q);
+        let p = AllocationProblem::new(vec![a, b], Watts::new(130.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        let on_count = alloc
+            .per_server
+            .iter()
+            .filter(|w| w.value() > 0.0)
+            .count();
+        assert_eq!(on_count, 1, "only one server should be powered");
+        let winner: f64 = alloc.per_server.iter().map(|w| w.value()).sum();
+        assert!((winner - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn never_allocates_past_the_vertex() {
+        // Vertex at 80 W, inside [50, 120]: extra watts past 80 hurt the
+        // projection, so they go unallocated (→ battery).
+        let g = group(0, 1, 50.0, 120.0, Quadratic { l: 0.0, m: 16.0, n: -0.1 });
+        let p = AllocationProblem::new(vec![g], Watts::new(500.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        assert!((alloc.per_server[0].value() - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_fit_groups_fill_by_slope_order() {
+        let a = group(0, 1, 10.0, 100.0, Quadratic { l: 0.0, m: 5.0, n: 0.0 });
+        let b = group(1, 1, 10.0, 100.0, Quadratic { l: 0.0, m: 9.0, n: 0.0 });
+        let p = AllocationProblem::new(vec![a, b], Watts::new(130.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        // Steeper group (b) saturates first; the rest goes to a.
+        assert!((alloc.per_server[1].value() - 100.0).abs() < 1e-6);
+        assert!((alloc.per_server[0].value() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convex_fit_does_not_crash_and_respects_budget() {
+        let a = group(0, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 1.0, n: 0.05 });
+        let b = group(1, 1, 40.0, 120.0, concave(10.0, -0.02));
+        let p = AllocationProblem::new(vec![a, b], Watts::new(180.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        assert!(p.is_feasible(&alloc.per_server));
+        assert!(alloc.projected.value() > 0.0);
+    }
+
+    #[test]
+    fn multi_server_groups_share_per_type_power() {
+        // 5 + 5 servers, as in the paper's runtime experiments.
+        let a = group(0, 5, 88.0, 147.0, concave(40.0, -0.08));
+        let b = group(1, 5, 47.0, 81.0, concave(55.0, -0.2));
+        let p = AllocationProblem::new(vec![a, b], Watts::new(1000.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        assert!(p.is_feasible(&alloc.per_server));
+        // Both types powered at this budget.
+        assert!(alloc.per_server[0].value() >= 88.0);
+        assert!(alloc.per_server[1].value() >= 47.0);
+    }
+
+    #[test]
+    fn too_many_groups_rejected() {
+        let q = concave(10.0, -0.01);
+        let groups: Vec<ServerGroup> = (0..(MAX_EXACT_GROUPS as u32 + 1))
+            .map(|i| group(i, 1, 10.0, 50.0, q))
+            .collect();
+        let p = AllocationProblem::new(groups, Watts::new(100.0)).unwrap();
+        assert!(matches!(
+            solve_exact(&p),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn case_study_optimum_lands_near_sixty_five_percent() {
+        // Calibrated to the paper's §III-B case study. Curves chosen so
+        // each server's projection rises through its whole envelope.
+        let xeon = group(0, 1, 88.0, 147.0, Quadratic { l: -3000.0, m: 60.0, n: -0.12 });
+        let i5 = group(1, 1, 47.0, 81.0, Quadratic { l: -1200.0, m: 50.0, n: -0.18 });
+        let p = AllocationProblem::new(vec![xeon, i5], Watts::new(220.0)).unwrap();
+        let alloc = solve_exact(&p).unwrap();
+        let par = alloc.shares[0].value();
+        assert!(
+            (0.55..=0.75).contains(&par),
+            "PAR for the Xeon should be near 65%, got {par}"
+        );
+        // The optimum beats the uniform split.
+        let uniform = p.objective(&[Watts::new(110.0), Watts::new(81.0)]);
+        assert!(alloc.projected > uniform);
+    }
+}

@@ -1,0 +1,456 @@
+//! Grid-search allocation: a derivative-free fallback and cross-check.
+//!
+//! Enumerates per-server power levels for every group over a lattice of
+//! `{off} ∪ [idle, peak]` points, keeps the best feasible combination, and
+//! refines the lattice around it. Works for any projection shape (including
+//! convex mis-fits) and any group count, at the cost of resolution.
+//!
+//! This is also the machinery behind the **Manual** policy of Table III,
+//! which "statically tries all possible power allocations at a granularity
+//! of 10 %": [`enumerate_shares`] walks exactly that simplex.
+
+use crate::solver::problem::{Allocation, AllocationProblem};
+use crate::types::{Ratio, Throughput, Watts};
+
+/// Number of lattice points per group per refinement level.
+const POINTS_PER_LEVEL: usize = 16;
+
+/// Refinement levels; each shrinks the search window around the incumbent.
+const LEVELS: usize = 4;
+
+/// Above this many groups the exhaustive lattice product (exponential in
+/// the group count) is replaced by coordinate ascent.
+const EXHAUSTIVE_MAX_GROUPS: usize = 5;
+
+/// Coordinate-ascent passes for large problems.
+const ASCENT_PASSES: usize = 24;
+
+/// Solves the allocation problem by hierarchical grid search.
+///
+/// Always succeeds (the all-off assignment is feasible for any budget).
+/// Resolution after refinement is roughly
+/// `(peak − idle) / POINTS_PER_LEVEL^LEVELS` watts per group.
+///
+/// # Examples
+///
+/// ```
+/// use greenhetero_core::database::{PerfModel, Quadratic};
+/// use greenhetero_core::solver::{solve_grid, AllocationProblem, ServerGroup};
+/// use greenhetero_core::types::{ConfigId, PowerRange, Watts};
+///
+/// let g = ServerGroup::new(
+///     ConfigId::new(0),
+///     1,
+///     PerfModel::new(
+///         Quadratic { l: 0.0, m: 10.0, n: -0.02 },
+///         PowerRange::new(Watts::new(50.0), Watts::new(100.0))?,
+///     ),
+/// )?;
+/// let problem = AllocationProblem::new(vec![g], Watts::new(80.0))?;
+/// let alloc = solve_grid(&problem);
+/// assert!((alloc.per_server[0].value() - 80.0).abs() < 0.5);
+/// # Ok::<(), greenhetero_core::error::CoreError>(())
+/// ```
+#[must_use]
+pub fn solve_grid(problem: &AllocationProblem) -> Allocation {
+    let n = problem.groups().len();
+    if n > EXHAUSTIVE_MAX_GROUPS {
+        return solve_coordinate_ascent(problem);
+    }
+
+    // Initial windows: the full productive envelope of each group.
+    let mut windows: Vec<(f64, f64)> = problem
+        .groups()
+        .iter()
+        .map(|g| (g.model.range().idle().value(), g.model.range().peak().value()))
+        .collect();
+
+    let mut best_assignment = vec![Watts::ZERO; n];
+    let mut best_value = problem.objective(&best_assignment);
+
+    for level in 0..LEVELS {
+        let candidates: Vec<Vec<f64>> = problem
+            .groups()
+            .iter()
+            .zip(&windows)
+            .map(|(g, &(lo, hi))| {
+                let mut pts = Vec::with_capacity(POINTS_PER_LEVEL + 1);
+                // "Off" is only a candidate on the first level; later
+                // levels refine around an incumbent that already decided
+                // on/off per group.
+                if level == 0 {
+                    pts.push(0.0);
+                }
+                let idle = g.model.range().idle().value();
+                let peak = g.model.range().peak().value();
+                let lo = lo.clamp(idle, peak);
+                let hi = hi.clamp(idle, peak);
+                if hi <= lo {
+                    pts.push(lo);
+                } else {
+                    for k in 0..POINTS_PER_LEVEL {
+                        let t = k as f64 / (POINTS_PER_LEVEL - 1) as f64;
+                        pts.push(lo + t * (hi - lo));
+                    }
+                }
+                // A concave fit's vertex can sit between lattice points and
+                // hold the only positive objective value — always include it.
+                if let Some(v) = g.model.curve().vertex() {
+                    if g.model.curve().is_concave() && (idle..=peak).contains(&v) {
+                        pts.push(v);
+                    }
+                }
+                // The budget-bounded per-server maximum: the feasible band
+                // [idle, budget/count] can be narrower than a lattice step.
+                let bound = problem.budget().value() / f64::from(g.count);
+                if (idle..=peak).contains(&bound) {
+                    pts.push(bound);
+                }
+                pts
+            })
+            .collect();
+
+        let mut assignment = vec![0.0f64; n];
+        search(
+            problem,
+            &candidates,
+            0,
+            problem.budget().value(),
+            &mut assignment,
+            &mut best_value,
+            &mut best_assignment,
+        );
+
+        // Shrink each window around the incumbent for the next level.
+        let shrink = |lo: f64, hi: f64, center: f64| {
+            let half = (hi - lo) / (POINTS_PER_LEVEL - 1) as f64;
+            (center - half, center + half)
+        };
+        let spent = problem.total_power(&best_assignment).value();
+        windows = problem
+            .groups()
+            .iter()
+            .zip(&windows)
+            .enumerate()
+            .map(|(i, (g, &(lo, hi)))| {
+                let center = best_assignment[i].value();
+                let idle = g.model.range().idle().value();
+                let peak = g.model.range().peak().value();
+                if center == 0.0 {
+                    // Group is off in the incumbent. Concentrate its next
+                    // window on what the residual budget could actually
+                    // afford — the feasible band is often narrower than a
+                    // full-envelope lattice step.
+                    let residual = (problem.budget().value() - spent) / f64::from(g.count);
+                    if residual >= idle {
+                        (idle, residual.min(peak))
+                    } else {
+                        (idle, peak)
+                    }
+                } else {
+                    shrink(lo, hi, center)
+                }
+            })
+            .collect();
+    }
+
+    Allocation::from_assignment(problem, best_assignment)
+}
+
+/// Round-robin single-group improvement for problems too large for the
+/// exhaustive lattice: repeatedly re-optimizes one group's per-server power
+/// over a lattice of `{off} ∪ [idle, peak]` points while the others stay
+/// fixed, until a pass yields no improvement.
+fn solve_coordinate_ascent(problem: &AllocationProblem) -> Allocation {
+    let n = problem.groups().len();
+    let mut assignment = vec![Watts::ZERO; n];
+    let mut best_value = problem.objective(&assignment);
+
+    // Visit groups in descending peak-efficiency order so the most
+    // productive groups claim budget first (coordinate ascent cannot move
+    // budget between groups in a single step).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ea = problem.groups()[a].model.peak_efficiency();
+        let eb = problem.groups()[b].model.peak_efficiency();
+        eb.partial_cmp(&ea).expect("efficiencies are finite")
+    });
+
+    for _ in 0..ASCENT_PASSES {
+        let mut improved = false;
+        for &g in &order {
+            let group = &problem.groups()[g];
+            let count = f64::from(group.count);
+            let spent_elsewhere: f64 = assignment
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != g)
+                .map(|(i, w)| w.value() * f64::from(problem.groups()[i].count))
+                .sum();
+            let available = (problem.budget().value() - spent_elsewhere) / count;
+            if available <= 0.0 {
+                continue;
+            }
+            let idle = group.model.range().idle().value();
+            let peak = group.model.range().peak().value().min(available);
+            let mut candidates = vec![0.0];
+            if peak >= idle {
+                for k in 0..(POINTS_PER_LEVEL * 4) {
+                    let t = k as f64 / (POINTS_PER_LEVEL * 4 - 1) as f64;
+                    candidates.push(idle + t * (peak - idle));
+                }
+                if let Some(v) = group.model.curve().vertex() {
+                    if group.model.curve().is_concave() && (idle..=peak).contains(&v) {
+                        candidates.push(v);
+                    }
+                }
+            }
+            for &p in &candidates {
+                let old = assignment[g];
+                assignment[g] = Watts::new(p);
+                let value = problem.objective(&assignment);
+                if value > best_value {
+                    best_value = value;
+                    improved = true;
+                } else {
+                    assignment[g] = old;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Allocation::from_assignment(problem, assignment)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    problem: &AllocationProblem,
+    candidates: &[Vec<f64>],
+    depth: usize,
+    budget_left: f64,
+    assignment: &mut [f64],
+    best_value: &mut Throughput,
+    best_assignment: &mut [Watts],
+) {
+    if depth == candidates.len() {
+        let watts: Vec<Watts> = assignment.iter().map(|&p| Watts::new(p)).collect();
+        let value = problem.objective(&watts);
+        if value > *best_value {
+            *best_value = value;
+            best_assignment.copy_from_slice(&watts);
+        }
+        return;
+    }
+    let count = f64::from(problem.groups()[depth].count);
+    for &p in &candidates[depth] {
+        let cost = p * count;
+        if cost > budget_left + 1e-9 {
+            continue;
+        }
+        assignment[depth] = p;
+        search(
+            problem,
+            candidates,
+            depth + 1,
+            budget_left - cost,
+            assignment,
+            best_value,
+            best_assignment,
+        );
+    }
+    assignment[depth] = 0.0;
+}
+
+/// Enumerates all share vectors on the `granularity`-step simplex, e.g.
+/// `granularity = 0.1` yields the Manual policy's 10 % lattice: every
+/// `(η, γ, …)` with entries in `{0, 0.1, …, 1}` summing to exactly 1.
+///
+/// # Panics
+///
+/// Panics if `granularity` is not in `(0, 1]`.
+#[must_use]
+pub fn enumerate_shares(groups: usize, granularity: f64) -> Vec<Vec<Ratio>> {
+    assert!(
+        granularity > 0.0 && granularity <= 1.0,
+        "granularity must be in (0, 1]"
+    );
+    let steps = (1.0 / granularity).round() as u32;
+    let mut out = Vec::new();
+    let mut current = vec![0u32; groups];
+    enumerate_rec(groups, steps, 0, steps, &mut current, &mut out);
+    out.iter()
+        .map(|ticks| {
+            ticks
+                .iter()
+                .map(|&t| Ratio::saturating(f64::from(t) / f64::from(steps)))
+                .collect()
+        })
+        .collect()
+}
+
+fn enumerate_rec(
+    groups: usize,
+    steps: u32,
+    depth: usize,
+    left: u32,
+    current: &mut Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if depth == groups - 1 {
+        current[depth] = left;
+        out.push(current.clone());
+        return;
+    }
+    for t in 0..=left {
+        current[depth] = t;
+        enumerate_rec(groups, steps, depth + 1, left - t, current, out);
+    }
+    let _ = steps;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{PerfModel, Quadratic};
+    use crate::solver::problem::ServerGroup;
+    use crate::solver::solve_exact;
+    use crate::types::{ConfigId, PowerRange};
+
+    fn group(id: u32, count: u32, idle: f64, peak: f64, q: Quadratic) -> ServerGroup {
+        ServerGroup::new(
+            ConfigId::new(id),
+            count,
+            PerfModel::new(q, PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_exact_on_concave_two_group_problem() {
+        let a = group(0, 1, 88.0, 147.0, Quadratic { l: -3000.0, m: 60.0, n: -0.12 });
+        let b = group(1, 1, 47.0, 81.0, Quadratic { l: -1200.0, m: 50.0, n: -0.18 });
+        let p = AllocationProblem::new(vec![a, b], Watts::new(220.0)).unwrap();
+        let exact = solve_exact(&p).unwrap();
+        let grid = solve_grid(&p);
+        let gap = (exact.projected.value() - grid.projected.value()).abs();
+        assert!(
+            gap <= exact.projected.value().abs() * 1e-3 + 1e-6,
+            "grid {:?} vs exact {:?}",
+            grid.projected,
+            exact.projected
+        );
+    }
+
+    #[test]
+    fn handles_convex_misfits() {
+        let a = group(0, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 1.0, n: 0.05 });
+        let b = group(1, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 10.0, n: -0.02 });
+        let p = AllocationProblem::new(vec![a, b], Watts::new(180.0)).unwrap();
+        let alloc = solve_grid(&p);
+        assert!(p.is_feasible(&alloc.per_server));
+        assert!(alloc.projected.value() > 0.0);
+    }
+
+    #[test]
+    fn respects_budget_with_many_groups() {
+        let groups: Vec<ServerGroup> = (0..5)
+            .map(|i| {
+                group(
+                    i,
+                    2,
+                    30.0 + f64::from(i) * 5.0,
+                    90.0 + f64::from(i) * 10.0,
+                    Quadratic {
+                        l: 0.0,
+                        m: 10.0 + f64::from(i),
+                        n: -0.03,
+                    },
+                )
+            })
+            .collect();
+        let p = AllocationProblem::new(groups, Watts::new(500.0)).unwrap();
+        let alloc = solve_grid(&p);
+        assert!(p.is_feasible(&alloc.per_server));
+    }
+
+    #[test]
+    fn coordinate_ascent_handles_many_groups_quickly() {
+        // 10 groups would be 13^10 lattice points exhaustively; the ascent
+        // path must solve it in milliseconds and respect the budget.
+        let groups: Vec<ServerGroup> = (0..10)
+            .map(|i| {
+                group(
+                    i,
+                    2,
+                    25.0 + f64::from(i) * 3.0,
+                    80.0 + f64::from(i) * 5.0,
+                    Quadratic {
+                        l: 0.0,
+                        m: 8.0 + f64::from(i),
+                        n: -0.02,
+                    },
+                )
+            })
+            .collect();
+        let p = AllocationProblem::new(groups, Watts::new(600.0)).unwrap();
+        let alloc = solve_grid(&p);
+        assert!(p.is_feasible(&alloc.per_server));
+        assert!(alloc.projected.value() > 0.0);
+        // The steepest group should be powered.
+        assert!(alloc.per_server[9].value() > 0.0);
+    }
+
+    #[test]
+    fn ascent_matches_exhaustive_on_small_problem() {
+        let a = group(0, 1, 50.0, 150.0, Quadratic { l: 0.0, m: 20.0, n: -0.05 });
+        let b = group(1, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 15.0, n: -0.04 });
+        let p = AllocationProblem::new(vec![a, b], Watts::new(200.0)).unwrap();
+        let exhaustive = solve_grid(&p);
+        let ascent = super::solve_coordinate_ascent(&p);
+        // Coordinate ascent is a heuristic (only used beyond the paper's
+        // ≤3-group scope); it must land within a few percent and never
+        // violate the budget.
+        let gap = (exhaustive.projected.value() - ascent.projected.value()).abs();
+        assert!(
+            gap < 0.06 * exhaustive.projected.value() + 1e-6,
+            "ascent {} vs exhaustive {}",
+            ascent.projected.value(),
+            exhaustive.projected.value()
+        );
+        assert!(p.is_feasible(&ascent.per_server));
+    }
+
+    #[test]
+    fn zero_budget_yields_all_off() {
+        let g = group(0, 1, 50.0, 100.0, Quadratic { l: 0.0, m: 10.0, n: -0.02 });
+        let p = AllocationProblem::new(vec![g], Watts::ZERO).unwrap();
+        let alloc = solve_grid(&p);
+        assert_eq!(alloc.per_server[0], Watts::ZERO);
+    }
+
+    #[test]
+    fn enumerate_shares_ten_percent_two_groups() {
+        let shares = enumerate_shares(2, 0.1);
+        // (0, 1), (0.1, 0.9), …, (1, 0): 11 lattice points.
+        assert_eq!(shares.len(), 11);
+        for s in &shares {
+            let sum: f64 = s.iter().map(|r| r.value()).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn enumerate_shares_three_groups_counts() {
+        let shares = enumerate_shares(3, 0.1);
+        // Compositions of 10 into 3 parts: C(12, 2) = 66.
+        assert_eq!(shares.len(), 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be in (0, 1]")]
+    fn enumerate_shares_rejects_zero_granularity() {
+        let _ = enumerate_shares(2, 0.0);
+    }
+}

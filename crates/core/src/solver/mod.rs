@@ -1,0 +1,134 @@
+//! The power-allocation Solver (§IV-B3 / Eq. 8).
+//!
+//! Given the predicted power supply `Power_t` and the database's
+//! performance projections for every server group, the solver finds the
+//! power allocation ratio (PAR) vector `(η, γ, δ, …)` with `Σ ≤ 1` that
+//! maximizes total projected throughput. Unallocated supply charges the
+//! battery.
+//!
+//! Two engines are provided:
+//!
+//! * [`solve_exact`] — subset enumeration plus KKT water-filling, exact for
+//!   concave quadratic fits (the normal case), for up to
+//!   [`MAX_EXACT_GROUPS`] groups;
+//! * [`solve_grid`] — hierarchical lattice search, shape-agnostic.
+//!
+//! [`solve`] picks the better answer of the two, which is what the
+//! scheduler uses: exactness when fits are well-behaved, robustness when
+//! profiling noise produced a pathological curve.
+
+mod exact;
+mod grid;
+mod problem;
+
+pub use exact::{solve_exact, MAX_EXACT_GROUPS};
+pub use grid::{enumerate_shares, solve_grid};
+pub use problem::{Allocation, AllocationProblem, ServerGroup};
+
+use crate::error::CoreError;
+
+/// Solves the allocation problem with the best available engine.
+///
+/// Runs the exact engine when the group count permits and cross-checks it
+/// against the grid engine, returning whichever projects higher throughput.
+///
+/// # Errors
+///
+/// Currently never fails for valid problems (problem validation happens at
+/// [`AllocationProblem::new`]); the `Result` is kept for future engines
+/// that may reject exotic projections.
+///
+/// # Examples
+///
+/// ```
+/// use greenhetero_core::database::{PerfModel, Quadratic};
+/// use greenhetero_core::solver::{solve, AllocationProblem, ServerGroup};
+/// use greenhetero_core::types::{ConfigId, PowerRange, Watts};
+///
+/// let fast = ServerGroup::new(
+///     ConfigId::new(0),
+///     1,
+///     PerfModel::new(
+///         Quadratic { l: 0.0, m: 50.0, n: -0.1 },
+///         PowerRange::new(Watts::new(47.0), Watts::new(81.0))?,
+///     ),
+/// )?;
+/// let slow = ServerGroup::new(
+///     ConfigId::new(1),
+///     1,
+///     PerfModel::new(
+///         Quadratic { l: 0.0, m: 20.0, n: -0.05 },
+///         PowerRange::new(Watts::new(88.0), Watts::new(147.0))?,
+///     ),
+/// )?;
+/// let alloc = solve(&AllocationProblem::new(vec![fast, slow], Watts::new(160.0))?)?;
+/// // The efficient server is powered; total stays within budget.
+/// assert!(alloc.per_server[0].value() >= 47.0);
+/// # Ok::<(), greenhetero_core::error::CoreError>(())
+/// ```
+pub fn solve(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
+    let grid = solve_grid(problem);
+    match solve_exact(problem) {
+        Ok(exact) if exact.projected >= grid.projected => Ok(exact),
+        Ok(_) => Ok(grid),
+        // Too many groups for the exact engine: grid stands alone.
+        Err(CoreError::InvalidConfig { .. }) => Ok(grid),
+        Err(other) => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{PerfModel, Quadratic};
+    use crate::types::{ConfigId, PowerRange, Watts};
+
+    fn group(id: u32, count: u32, idle: f64, peak: f64, q: Quadratic) -> ServerGroup {
+        ServerGroup::new(
+            ConfigId::new(id),
+            count,
+            PerfModel::new(
+                q,
+                PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap(),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solve_is_at_least_as_good_as_either_engine() {
+        let a = group(0, 2, 88.0, 147.0, Quadratic { l: -3000.0, m: 60.0, n: -0.12 });
+        let b = group(1, 3, 47.0, 81.0, Quadratic { l: -1200.0, m: 50.0, n: -0.18 });
+        let c = group(2, 1, 58.0, 79.0, Quadratic { l: -500.0, m: 30.0, n: -0.1 });
+        let p = AllocationProblem::new(vec![a, b, c], Watts::new(700.0)).unwrap();
+        let combined = solve(&p).unwrap();
+        let exact = solve_exact(&p).unwrap();
+        let grid = solve_grid(&p);
+        assert!(combined.projected >= exact.projected);
+        assert!(combined.projected >= grid.projected);
+        assert!(p.is_feasible(&combined.per_server));
+    }
+
+    #[test]
+    fn solve_falls_back_to_grid_for_many_groups() {
+        let groups: Vec<ServerGroup> = (0..(MAX_EXACT_GROUPS as u32 + 2))
+            .map(|i| {
+                group(
+                    i,
+                    1,
+                    20.0,
+                    60.0,
+                    Quadratic {
+                        l: 0.0,
+                        m: 10.0 + f64::from(i),
+                        n: -0.02,
+                    },
+                )
+            })
+            .collect();
+        let p = AllocationProblem::new(groups, Watts::new(300.0)).unwrap();
+        let alloc = solve(&p).unwrap();
+        assert!(p.is_feasible(&alloc.per_server));
+        assert!(alloc.projected.value() > 0.0);
+    }
+}

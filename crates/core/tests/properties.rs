@@ -1,0 +1,322 @@
+//! Property-based tests of the core algorithms' invariants.
+
+use greenhetero_core::database::{fit_quadratic, PerfModel, Quadratic};
+use greenhetero_core::enforcer::{PowerState, PowerStateSet, Spc};
+use greenhetero_core::metrics::{productive_power, EpuAccumulator};
+use greenhetero_core::predictor::{HoltPredictor, Predictor};
+use greenhetero_core::solver::{solve, solve_exact, solve_grid, AllocationProblem, ServerGroup};
+use greenhetero_core::sources::{select_sources, BatteryView, ChargeSource, SourceInputs};
+use greenhetero_core::types::{ConfigId, PowerRange, Ratio, Watts};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary concave performance model (possibly
+/// non-monotone over its envelope — adversarial for the engines).
+fn arb_group(id: u32) -> impl Strategy<Value = ServerGroup> {
+    (
+        20.0..150.0f64,  // idle
+        10.0..300.0f64,  // dynamic span
+        5.0..80.0f64,    // slope m
+        -0.2..-0.001f64, // curvature n (concave)
+        1u32..6,         // count
+    )
+        .prop_map(move |(idle, span, m, n, count)| {
+            let range = PowerRange::new(Watts::new(idle), Watts::new(idle + span)).unwrap();
+            // Anchor l so the curve is ~0 at idle (realistic fits).
+            let l = -(m * idle + n * idle * idle);
+            ServerGroup::new(
+                ConfigId::new(id),
+                count,
+                PerfModel::new(Quadratic { l, m, n }, range),
+            )
+            .unwrap()
+        })
+}
+
+/// Strategy: a *monotone-increasing* concave model — what the database
+/// actually produces, since training samples come from monotone ground
+/// truth (the quadratic's vertex lies at or beyond peak power).
+fn arb_monotone_group(id: u32) -> impl Strategy<Value = ServerGroup> {
+    (
+        20.0..150.0f64, // idle
+        10.0..300.0f64, // dynamic span
+        5.0..80.0f64,   // slope m
+        0.05..0.95f64,  // vertex position factor (≥ 1/peak keeps it past peak)
+        1u32..6,        // count
+    )
+        .prop_map(move |(idle, span, m, frac, count)| {
+            let peak = idle + span;
+            // n chosen so the vertex -m/(2n) sits beyond the peak:
+            // |n| < m / (2·peak). `frac` scales how far inside that bound.
+            let n = -(m / (2.0 * peak)) * frac;
+            let l = -(m * idle + n * idle * idle);
+            let range = PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap();
+            ServerGroup::new(
+                ConfigId::new(id),
+                count,
+                PerfModel::new(Quadratic { l, m, n }, range),
+            )
+            .unwrap()
+        })
+}
+
+fn arb_monotone_problem() -> impl Strategy<Value = AllocationProblem> {
+    (
+        proptest::collection::vec(any::<u32>(), 1..4),
+        0.0..3000.0f64,
+    )
+        .prop_flat_map(|(ids, budget)| {
+            let groups: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_monotone_group(i as u32))
+                .collect();
+            (groups, Just(budget))
+        })
+        .prop_map(|(groups, budget)| AllocationProblem::new(groups, Watts::new(budget)).unwrap())
+}
+
+fn arb_problem() -> impl Strategy<Value = AllocationProblem> {
+    (
+        proptest::collection::vec(any::<u32>(), 1..4),
+        0.0..3000.0f64,
+    )
+        .prop_flat_map(|(ids, budget)| {
+            let groups: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_group(i as u32))
+                .collect();
+            (groups, Just(budget))
+        })
+        .prop_map(|(groups, budget)| AllocationProblem::new(groups, Watts::new(budget)).unwrap())
+}
+
+proptest! {
+    /// The exact solver never exceeds the budget and never loses to the
+    /// all-off assignment.
+    #[test]
+    fn solver_exact_feasible_and_nonnegative(p in arb_problem()) {
+        let alloc = solve_exact(&p).unwrap();
+        prop_assert!(p.is_feasible(&alloc.per_server));
+        prop_assert!(alloc.projected.value() >= -1e-9);
+        // Shares are ratios and sum to at most 1 (plus rounding).
+        let total: f64 = alloc.shares.iter().map(|s| s.value()).sum();
+        prop_assert!(total <= 1.0 + 1e-6);
+    }
+
+    /// On the monotone concave fits the database actually produces, the
+    /// two engines agree closely and the KKT engine is never beaten.
+    #[test]
+    fn solver_engines_agree_on_monotone_fits(p in arb_monotone_problem()) {
+        let exact = solve_exact(&p).unwrap();
+        let grid = solve_grid(&p);
+        let best = exact.projected.value().max(grid.projected.value());
+        if best > 1.0 {
+            let gap = (exact.projected.value() - grid.projected.value()).abs();
+            prop_assert!(
+                gap <= 0.08 * best + 20.0,
+                "gap {gap} on best {best} (exact {:?} grid {:?})",
+                exact.per_server, grid.per_server
+            );
+            // Exactness claim: the KKT engine is optimal for monotone
+            // concave fits, so the lattice must never materially beat it.
+            prop_assert!(
+                grid.projected.value() <= exact.projected.value() + 0.001 * best + 1e-9,
+                "grid {:?} beat exact {:?}",
+                grid.projected, exact.projected
+            );
+        }
+    }
+
+    /// On arbitrary (possibly non-monotone) concave curves, both engines
+    /// stay feasible and the combined `solve` dominates each of them; no
+    /// agreement is promised there (local refinement may sit one on/off
+    /// basin away), which is why `solve` takes the better of the two.
+    #[test]
+    fn solver_engines_feasible_on_adversarial_curves(p in arb_problem()) {
+        let exact = solve_exact(&p).unwrap();
+        let grid = solve_grid(&p);
+        prop_assert!(p.is_feasible(&exact.per_server));
+        prop_assert!(p.is_feasible(&grid.per_server));
+        let combined = solve(&p).unwrap();
+        prop_assert!(combined.projected.value() >= exact.projected.value() - 1e-9);
+        prop_assert!(combined.projected.value() >= grid.projected.value() - 1e-9);
+    }
+
+    /// The combined solver dominates uniform allocation on projections.
+    #[test]
+    fn solver_beats_uniform_projection(p in arb_problem()) {
+        let alloc = solve(&p).unwrap();
+        let servers: u32 = p.groups().iter().map(|g| g.count).sum();
+        let uniform = vec![p.budget() / f64::from(servers); p.groups().len()];
+        prop_assert!(alloc.projected.value() >= p.objective(&uniform).value() - 1e-6);
+    }
+
+    /// Solver monotonicity: more budget never projects less throughput.
+    #[test]
+    fn solver_monotone_in_budget(p in arb_problem(), extra in 1.0..500.0f64) {
+        let base = solve(&p).unwrap();
+        let bigger = AllocationProblem::new(
+            p.groups().to_vec(),
+            p.budget() + Watts::new(extra),
+        ).unwrap();
+        let more = solve(&bigger).unwrap();
+        prop_assert!(
+            more.projected.value() >= base.projected.value() - 1e-6,
+            "budget {} → {}, throughput {} → {}",
+            p.budget(), bigger.budget(), base.projected.value(), more.projected.value()
+        );
+    }
+
+    /// Quadratic fitting reproduces the generating curve on clean samples.
+    #[test]
+    fn fit_recovers_generating_quadratic(
+        l in -2000.0..2000.0f64,
+        m in -50.0..50.0f64,
+        n in -0.2..0.2f64,
+        x0 in 10.0..200.0f64,
+        dx in 5.0..50.0f64,
+    ) {
+        let truth = Quadratic { l, m, n };
+        let pts: Vec<(f64, f64)> =
+            (0..6).map(|i| {
+                let x = x0 + dx * f64::from(i);
+                (x, truth.eval(x))
+            }).collect();
+        let fit = fit_quadratic(&pts).unwrap();
+        // Evaluate agreement on the sampled interval.
+        for i in 0..=10 {
+            let x = x0 + dx * 5.0 * f64::from(i) / 10.0;
+            let err = (fit.curve.eval(x) - truth.eval(x)).abs();
+            let scale = truth.eval(x).abs().max(1.0);
+            prop_assert!(err <= 1e-5 * scale, "at {x}: err {err}");
+        }
+    }
+
+    /// EPU is always within [0, 1] no matter the recorded sequence.
+    #[test]
+    fn epu_stays_in_unit_interval(
+        records in proptest::collection::vec((0.0..500.0f64, 0.0..500.0f64), 0..50)
+    ) {
+        let mut acc = EpuAccumulator::new();
+        for (a, b) in records {
+            let supplied = a.max(b);
+            let productive = a.min(b);
+            acc.record(Watts::new(productive), Watts::new(supplied));
+        }
+        let epu = acc.epu().value();
+        prop_assert!((0.0..=1.0).contains(&epu));
+    }
+
+    /// Productive power is idempotent under clamping and bounded by both
+    /// the allocation and the peak.
+    #[test]
+    fn productive_power_bounds(
+        alloc in 0.0..500.0f64,
+        idle in 1.0..200.0f64,
+        span in 1.0..200.0f64,
+    ) {
+        let range = PowerRange::new(Watts::new(idle), Watts::new(idle + span)).unwrap();
+        let p = productive_power(Watts::new(alloc), range);
+        prop_assert!(p.value() <= alloc + 1e-9);
+        prop_assert!(p.value() <= idle + span + 1e-9);
+        prop_assert!(p.value() == 0.0 || p.value() >= idle - 1e-9);
+    }
+
+    /// Holt predictions are finite for any finite observation sequence and
+    /// parameters.
+    #[test]
+    fn holt_is_numerically_stable(
+        alpha in 0.0..=1.0f64,
+        beta in 0.0..=1.0f64,
+        series in proptest::collection::vec(-1e6..1e6f64, 1..200)
+    ) {
+        let mut p = HoltPredictor::new(alpha, beta).unwrap();
+        for v in &series {
+            p.observe(*v);
+            prop_assert!(p.predict().unwrap().is_finite());
+        }
+    }
+
+    /// Source selection conserves power and respects every budget.
+    #[test]
+    fn source_selection_invariants(
+        renewable in 0.0..3000.0f64,
+        demand in 0.0..3000.0f64,
+        max_discharge in 0.0..3000.0f64,
+        max_charge in 0.0..3000.0f64,
+        needs in any::<bool>(),
+        grid in 0.0..2000.0f64,
+    ) {
+        let plan = select_sources(&SourceInputs {
+            predicted_renewable: Watts::new(renewable),
+            predicted_demand: Watts::new(demand),
+            battery: BatteryView {
+                max_discharge: Watts::new(max_discharge),
+                max_charge: Watts::new(max_charge),
+                needs_recharge: needs,
+            },
+            grid_budget: Watts::new(grid),
+            renewable_negligible: Watts::new(5.0),
+        });
+        // Battery constraints respected.
+        prop_assert!(plan.battery_to_load.value() <= max_discharge + 1e-9);
+        if let Some((_, w)) = plan.charge {
+            prop_assert!(w.value() <= max_charge + 1e-9);
+        }
+        // No charge while discharging.
+        if plan.battery_to_load > Watts::ZERO {
+            prop_assert!(plan.charge.is_none());
+        }
+        // Grid stays within budget, including charging.
+        prop_assert!(plan.grid_draw().value() <= grid + 1e-9);
+        // Renewable routed to load never exceeds what is predicted.
+        prop_assert!(plan.renewable_to_load.value() <= renewable + 1e-9);
+        // The load budget never exceeds the demand by more than the
+        // renewable surplus (Case A keeps the full feed on the bus).
+        if plan.battery_to_load > Watts::ZERO || plan.grid_to_load > Watts::ZERO {
+            prop_assert!(plan.budget().value() <= demand.max(0.0) + 1e-6);
+        }
+        // Renewable charging only draws from the surplus above demand
+        // (in Case A the full feed is switched onto the bus, so
+        // renewable_to_load itself equals the whole supply).
+        if let Some((ChargeSource::Renewable, w)) = plan.charge {
+            let surplus = (renewable - demand.max(0.0)).max(0.0);
+            prop_assert!(w.value() <= surplus + 1e-6);
+        }
+    }
+
+    /// The SPC never selects a state that draws more than the allocation.
+    #[test]
+    fn spc_respects_caps(
+        base in 5.0..100.0f64,
+        steps in 2usize..12,
+        stride in 1.0..40.0f64,
+        alloc in 0.0..600.0f64,
+    ) {
+        let states: Vec<PowerState> = (0..steps)
+            .map(|i| PowerState {
+                label: format!("s{i}"),
+                power: Watts::new(base + stride * i as f64),
+            })
+            .collect();
+        let set = PowerStateSet::new(states).unwrap();
+        let cmd = Spc::new().command(Watts::new(alloc), &set);
+        let chosen = set.states()[cmd.state_index].power;
+        // Either it fits under the cap, or nothing fits and we are in the
+        // lowest state.
+        prop_assert!(
+            chosen.value() <= alloc + 1e-9 || cmd.state_index == 0
+        );
+    }
+
+    /// Ratio::saturating is the identity on [0, 1] and clamps elsewhere.
+    #[test]
+    fn ratio_saturating_clamps(v in -10.0..10.0f64) {
+        let r = Ratio::saturating(v).value();
+        prop_assert!((0.0..=1.0).contains(&r));
+        if (0.0..=1.0).contains(&v) {
+            prop_assert!((r - v).abs() < 1e-12);
+        }
+    }
+}

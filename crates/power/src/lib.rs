@@ -1,0 +1,33 @@
+//! # greenhetero-power
+//!
+//! Power-infrastructure substrates for the GreenHetero reproduction: the
+//! physical pieces the paper's testbed provided with real hardware.
+//!
+//! * [`trace`] — fixed-interval power time series (15-minute NREL-style),
+//!   CSV I/O, and the diurnal rack demand pattern;
+//! * [`solar`] — PV arrays and seeded synthetic *High*/*Low* solar weeks;
+//! * [`battery`] — the 12 kWh lead-acid rack bank with a 40 % DoD limit,
+//!   80 % round-trip efficiency and cycle accounting;
+//! * [`grid`] — the budget-capped utility feed with peak-demand tariffs;
+//! * [`pdu`] — the dual-feed PDU/ATS that executes source plans against
+//!   actual conditions;
+//! * [`meter`] — noisy power metering for realistic profiling.
+//!
+//! ```
+//! use greenhetero_power::solar::{synthesize, SolarConfig};
+//! use greenhetero_core::types::{SimTime, Watts};
+//!
+//! let week = synthesize(&SolarConfig::high(Watts::new(2000.0), 1))?;
+//! println!("noon output: {}", week.at(SimTime::from_hours(12)));
+//! # Ok::<(), greenhetero_core::error::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod battery;
+pub mod grid;
+pub mod meter;
+pub mod pdu;
+pub mod solar;
+pub mod trace;

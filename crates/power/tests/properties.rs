@@ -1,0 +1,203 @@
+//! Property-based tests of the power-infrastructure substrates.
+
+use greenhetero_core::sources::{select_sources, SourceInputs};
+use greenhetero_core::types::{Ratio, SimDuration, SimTime, WattHours, Watts};
+use greenhetero_power::battery::{BatteryBank, BatterySpec};
+use greenhetero_power::grid::{GridFeed, GridTariff};
+use greenhetero_power::pdu::Pdu;
+use greenhetero_power::solar::{synthesize, SolarConfig};
+use greenhetero_power::trace::PowerTrace;
+use proptest::prelude::*;
+
+proptest! {
+    /// The battery's state of charge stays within [DoD floor, 1] under any
+    /// sequence of charge/discharge operations, and energy is conserved:
+    /// discharged energy never exceeds what was stored.
+    #[test]
+    fn battery_soc_bounds_and_energy_conservation(
+        ops in proptest::collection::vec((any::<bool>(), 0.0..5000.0f64, 1u64..120), 1..80)
+    ) {
+        let mut bank = BatteryBank::new(BatterySpec::paper_rack_bank()).unwrap();
+        let floor = 0.6;
+        let mut stored = WattHours::ZERO;   // energy put in (after losses)
+        let mut taken = WattHours::ZERO;    // energy drawn out
+        let initial = bank.energy();
+        for (charge, power, minutes) in ops {
+            let dur = SimDuration::from_minutes(minutes);
+            if charge {
+                let drawn = bank.charge(Watts::new(power), dur);
+                stored += drawn * dur * 0.8; // 80% round-trip efficiency
+            } else {
+                let delivered = bank.discharge(Watts::new(power), dur);
+                taken += delivered * dur;
+            }
+            let soc = bank.soc().value();
+            prop_assert!(soc >= floor - 1e-6, "SoC {soc} below floor");
+            prop_assert!(soc <= 1.0 + 1e-9, "SoC {soc} above full");
+        }
+        // Energy bookkeeping closes.
+        let expected = initial.value() + stored.value() - taken.value();
+        prop_assert!((bank.energy().value() - expected).abs() < 1e-6);
+    }
+
+    /// Cycle accounting is monotone and proportional to discharged energy.
+    #[test]
+    fn battery_cycles_monotone(
+        powers in proptest::collection::vec(0.0..4000.0f64, 1..40)
+    ) {
+        let mut bank = BatteryBank::new(BatterySpec::paper_rack_bank()).unwrap();
+        let mut last = 0.0;
+        for p in powers {
+            let _ = bank.discharge(Watts::new(p), SimDuration::from_minutes(15));
+            prop_assert!(bank.cycles() >= last - 1e-12);
+            last = bank.cycles();
+        }
+        prop_assert!(bank.cycles() <= 1.0 + 1e-9, "one pass can at most use one DoD cycle");
+    }
+
+    /// The grid clamps every draw to its budget and bills monotonically.
+    #[test]
+    fn grid_budget_and_billing(
+        budget in 0.0..3000.0f64,
+        draws in proptest::collection::vec(0.0..5000.0f64, 0..40)
+    ) {
+        let mut grid = GridFeed::new(Watts::new(budget), GridTariff::paper()).unwrap();
+        let mut last_cost = 0.0;
+        for d in draws {
+            let granted = grid.draw(Watts::new(d), SimDuration::from_minutes(15));
+            prop_assert!(granted.value() <= budget + 1e-9);
+            prop_assert!(granted.value() <= d + 1e-9);
+            let cost = grid.cost();
+            prop_assert!(cost >= last_cost - 1e-9);
+            last_cost = cost;
+        }
+        prop_assert!(grid.peak_draw().value() <= budget + 1e-9);
+    }
+
+    /// Synthetic solar traces are always within [0, peak], zero at night,
+    /// and deterministic per seed.
+    #[test]
+    fn solar_trace_invariants(
+        peak in 100.0..5000.0f64,
+        seed in any::<u64>(),
+        low in any::<bool>(),
+    ) {
+        let config = if low {
+            SolarConfig::low(Watts::new(peak), seed)
+        } else {
+            SolarConfig::high(Watts::new(peak), seed)
+        };
+        let trace = synthesize(&config).unwrap();
+        prop_assert_eq!(trace.len(), 7 * 96);
+        for w in trace.values() {
+            prop_assert!(w.value() >= 0.0);
+            prop_assert!(w.value() <= peak + 1e-9);
+        }
+        // Midnight of every day is dark.
+        for day in 0..7u64 {
+            prop_assert_eq!(trace.at(SimTime::from_hours(day * 24)), Watts::ZERO);
+        }
+        let again = synthesize(&config).unwrap();
+        prop_assert_eq!(trace, again);
+    }
+
+    /// Trace CSV round-trips preserve every sample (to the 3-decimal
+    /// precision of the format).
+    #[test]
+    fn trace_csv_round_trip(
+        interval in 60u64..3600,
+        values in proptest::collection::vec(0.0..10_000.0f64, 1..200)
+    ) {
+        let trace = PowerTrace::new(
+            SimDuration::from_secs(interval),
+            values.iter().map(|v| Watts::new((v * 1000.0).round() / 1000.0)).collect(),
+        ).unwrap();
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        let back = PowerTrace::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+        if trace.len() > 1 {
+            prop_assert_eq!(back.interval(), trace.interval());
+        }
+        for (a, b) in back.values().iter().zip(trace.values()) {
+            prop_assert!(a.abs_diff(*b).value() < 2e-3);
+        }
+    }
+
+    /// PDU dispatch conserves power: load is covered exactly by the three
+    /// sources, grid stays within budget, and the battery never charges
+    /// and discharges in the same epoch.
+    #[test]
+    fn pdu_dispatch_conserves_power(
+        renewable_pred in 0.0..2500.0f64,
+        solar_actual in 0.0..2500.0f64,
+        demand in 0.0..2500.0f64,
+        load in 0.0..2500.0f64,
+        grid_budget in 0.0..1500.0f64,
+        pre_drain_h in 0u64..3,
+    ) {
+        let mut bank = BatteryBank::new(BatterySpec::paper_rack_bank()).unwrap();
+        let _ = bank.discharge(Watts::new(1500.0), SimDuration::from_hours(pre_drain_h));
+        let mut grid = GridFeed::new(Watts::new(grid_budget), GridTariff::paper()).unwrap();
+        let epoch = SimDuration::from_minutes(15);
+
+        let plan = select_sources(&SourceInputs {
+            predicted_renewable: Watts::new(renewable_pred),
+            predicted_demand: Watts::new(demand),
+            battery: bank.view(epoch),
+            grid_budget: Watts::new(grid_budget),
+            renewable_negligible: Watts::new(5.0),
+        });
+        let flows = Pdu::new().dispatch(
+            &plan,
+            Watts::new(solar_actual),
+            Watts::new(load),
+            &mut bank,
+            &mut grid,
+            epoch,
+        );
+
+        // Conservation: delivered power equals the sum of source flows.
+        let sum = flows.from_renewable + flows.from_battery + flows.from_grid;
+        prop_assert!(flows.to_load.abs_diff(sum).value() < 1e-6);
+        // Never deliver more than the realized load or the plan's budget.
+        prop_assert!(flows.to_load.value() <= load.min(plan.budget().value()) + 1e-6);
+        // Grid within budget (load + charging).
+        prop_assert!(grid.peak_draw().value() <= grid_budget + 1e-9);
+        // No simultaneous charge/discharge.
+        prop_assert!(flows.charging.is_zero() || flows.from_battery.is_zero());
+        // Renewable used (load + charge) plus curtailment equals actual solar.
+        let charge_from_solar = match flows.charge_source {
+            Some(greenhetero_core::sources::ChargeSource::Renewable) => flows.charging,
+            _ => Watts::ZERO,
+        };
+        let accounted = flows.from_renewable + charge_from_solar + flows.curtailed;
+        prop_assert!(accounted.abs_diff(Watts::new(solar_actual)).value() < 1e-6);
+    }
+
+    /// A battery view is always internally consistent with the bank state.
+    #[test]
+    fn battery_view_consistency(
+        drain_minutes in 0u64..600,
+        epoch_minutes in 1u64..120,
+    ) {
+        let mut bank = BatteryBank::new(BatterySpec::paper_rack_bank()).unwrap();
+        let _ = bank.discharge(Watts::new(2000.0), SimDuration::from_minutes(drain_minutes));
+        let epoch = SimDuration::from_minutes(epoch_minutes);
+        let view = bank.view(epoch);
+        // Discharging at the advertised maximum must actually deliver it.
+        if view.max_discharge > Watts::ZERO {
+            let mut clone = bank.clone();
+            let got = clone.discharge(view.max_discharge, epoch);
+            prop_assert!(got.abs_diff(view.max_discharge).value() < 1e-6);
+        }
+        // Charging at the advertised maximum must be fully accepted.
+        if view.max_charge > Watts::ZERO {
+            let mut clone = bank.clone();
+            let got = clone.charge(view.max_charge, epoch);
+            prop_assert!(got.abs_diff(view.max_charge).value() < 1e-6);
+            prop_assert!(clone.soc().value() <= 1.0 + 1e-9);
+        }
+        let _ = Ratio::saturating(bank.soc().value());
+    }
+}

@@ -1,0 +1,66 @@
+//! Datacenter-fleet heterogeneity data (the paper's Fig. 1 motivation).
+//!
+//! Figure 1 reports the number of distinct server configurations in ten
+//! randomly selected Google datacenters (after Mars et al., "Whare-Map",
+//! ISCA'13): every datacenter runs 2–5 microarchitectural configurations,
+//! and ~80 % of them run two or three. The exact per-datacenter values are
+//! read off the figure, so treat them as approximate.
+
+/// Number of distinct server configurations in each of the ten Google
+/// datacenters of Fig. 1.
+pub const GOOGLE_DC_CONFIG_COUNTS: [u32; 10] = [3, 2, 3, 5, 2, 3, 4, 3, 2, 3];
+
+/// Fraction of the surveyed datacenters running at most `n` configurations.
+///
+/// # Examples
+///
+/// ```
+/// use greenhetero_server::fleet::fraction_with_at_most;
+///
+/// // The paper: "80% of datacenters consist of two and three types".
+/// assert_eq!(fraction_with_at_most(3), 0.8);
+/// assert_eq!(fraction_with_at_most(5), 1.0);
+/// ```
+#[must_use]
+pub fn fraction_with_at_most(n: u32) -> f64 {
+    let hits = GOOGLE_DC_CONFIG_COUNTS.iter().filter(|&&c| c <= n).count();
+    hits as f64 / GOOGLE_DC_CONFIG_COUNTS.len() as f64
+}
+
+/// Histogram of configuration counts: `(configurations, datacenters)`.
+#[must_use]
+pub fn histogram() -> Vec<(u32, usize)> {
+    let max = *GOOGLE_DC_CONFIG_COUNTS.iter().max().expect("non-empty");
+    (1..=max)
+        .map(|n| {
+            (
+                n,
+                GOOGLE_DC_CONFIG_COUNTS.iter().filter(|&&c| c == n).count(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_matches_paper() {
+        // "ranging from 2 to 5".
+        assert_eq!(*GOOGLE_DC_CONFIG_COUNTS.iter().min().unwrap(), 2);
+        assert_eq!(*GOOGLE_DC_CONFIG_COUNTS.iter().max().unwrap(), 5);
+    }
+
+    #[test]
+    fn eighty_percent_run_two_or_three() {
+        assert!((fraction_with_at_most(3) - 0.8).abs() < 1e-12);
+        assert_eq!(fraction_with_at_most(1), 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_ten() {
+        let total: usize = histogram().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 10);
+    }
+}

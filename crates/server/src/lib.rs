@@ -1,0 +1,41 @@
+//! # greenhetero-server
+//!
+//! Server and workload substrates for the GreenHetero reproduction — the
+//! heterogeneous machines and benchmarks of the paper's Tables I, II and
+//! IV, simulated.
+//!
+//! * [`platform`] — the six Table II platforms (five Intel CPUs, one
+//!   Titan Xp GPU) with nameplate power envelopes;
+//! * [`workload`] — the Table I workload catalog with calibrated
+//!   behavioural parameters;
+//! * [`ground_truth`] — the hidden performance-power behaviour of every
+//!   (platform, workload) pair, which the controller must learn by
+//!   profiling;
+//! * [`dvfs`] — frequency ladders, power-state sets and governors;
+//! * [`server`] — a simulated server that quantizes power caps onto its
+//!   DVFS ladder like real `cpufreq` hardware;
+//! * [`rack`] — heterogeneous racks and the Table IV combinations;
+//! * [`fleet`] — the Fig. 1 fleet-heterogeneity data.
+//!
+//! ```
+//! use greenhetero_server::rack::{Combination, Rack};
+//! use greenhetero_server::workload::WorkloadKind;
+//! use greenhetero_core::types::{Ratio, Watts};
+//!
+//! let rack = Rack::combination(Combination::Comb1, 5, WorkloadKind::SpecJbb)?;
+//! let best = rack.measured_throughput(&[Watts::new(143.0), Watts::new(77.0)], Ratio::ONE);
+//! let fair = rack.measured_throughput(&[Watts::new(110.0), Watts::new(110.0)], Ratio::ONE);
+//! assert!(best > fair); // heterogeneity-aware allocation wins
+//! # Ok::<(), greenhetero_core::error::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dvfs;
+pub mod fleet;
+pub mod ground_truth;
+pub mod platform;
+pub mod rack;
+pub mod server;
+pub mod workload;

@@ -1,0 +1,405 @@
+//! The discrete-time simulation engine: the paper's prototype, in silico.
+//!
+//! Each 15-minute epoch the engine (playing the roles of Monitor and
+//! plant) feeds the controller the battery view and rack composition,
+//! receives its decision, applies it to the simulated rack, dispatches the
+//! physical power flows through the PDU, and reports the observations
+//! back — exactly the loop of the paper's Fig. 4.
+
+use greenhetero_core::controller::{Controller, EpochDecision, GroupFeedback, RackSpec};
+use greenhetero_core::database::ProfileSample;
+use greenhetero_core::error::CoreError;
+use greenhetero_core::metrics::EpuAccumulator;
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::types::{SimTime, Throughput, Watts};
+use greenhetero_power::battery::BatteryBank;
+use greenhetero_power::grid::GridFeed;
+use greenhetero_power::meter::PowerMeter;
+use greenhetero_power::pdu::Pdu;
+use greenhetero_power::solar::synthesize;
+use greenhetero_power::trace::PowerTrace;
+use greenhetero_server::rack::Rack;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::report::{EpochRecord, RunReport};
+use crate::scenario::Scenario;
+
+/// A runnable simulation instance.
+#[derive(Debug)]
+pub struct Simulation {
+    scenario: Scenario,
+    controller: Controller,
+    rack: Rack,
+    rack_spec: RackSpec,
+    bank: BatteryBank,
+    grid: GridFeed,
+    pdu: Pdu,
+    solar: PowerTrace,
+    meter: PowerMeter,
+    perf_rng: StdRng,
+    time: SimTime,
+}
+
+impl Simulation {
+    /// Builds a simulation from a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scenario validation and construction failures.
+    pub fn new(scenario: Scenario) -> Result<Self, CoreError> {
+        scenario.validate()?;
+        let rack = scenario.build_rack()?;
+        let rack_spec = rack.controller_spec()?;
+        let controller = Controller::new(scenario.controller.clone(), scenario.policy)?;
+        let bank = BatteryBank::new(scenario.battery)?;
+        let grid = GridFeed::new(scenario.grid_budget, scenario.tariff)?;
+        let solar = synthesize(&scenario.solar_config()?)?;
+        let meter = PowerMeter::new(scenario.meter_noise, scenario.seed ^ 0x4d45_5445);
+        let perf_rng = StdRng::seed_from_u64(scenario.seed ^ 0x5045_5246);
+        Ok(Simulation {
+            scenario,
+            controller,
+            rack,
+            rack_spec,
+            bank,
+            grid,
+            pdu: Pdu::new(),
+            solar,
+            meter,
+            perf_rng,
+            time: SimTime::ZERO,
+        })
+    }
+
+    /// The scenario being simulated.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the full scenario and reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (these indicate bugs, not expected
+    /// run-time conditions).
+    pub fn run(mut self) -> Result<RunReport, CoreError> {
+        let epoch_len = self.controller.config().epoch_len;
+        let epochs_total = (self.scenario.days * 86_400) / epoch_len.as_secs();
+        let mut records = Vec::with_capacity(epochs_total as usize);
+        let mut epu = EpuAccumulator::new();
+
+        for _ in 0..epochs_total {
+            self.step_epoch(&mut records, &mut epu)?;
+        }
+
+        Ok(RunReport {
+            epochs: records,
+            epu,
+            grid_energy: self.grid.energy_drawn(),
+            grid_peak: self.grid.peak_draw(),
+            grid_cost: self.grid.cost(),
+            battery_cycles: self.bank.cycles(),
+        })
+    }
+
+    fn step_epoch(
+        &mut self,
+        records: &mut Vec<EpochRecord>,
+        epu: &mut EpuAccumulator,
+    ) -> Result<(), CoreError> {
+        let epoch_len = self.controller.config().epoch_len;
+        let intensity = self.scenario.intensity.at(self.time);
+        let actual_solar = self.solar.mean_over(self.time, epoch_len);
+        let view = self.bank.view(epoch_len);
+
+        // The Manual policy physically tries candidate allocations; other
+        // policies are model-driven and get no oracle.
+        let rack = &self.rack;
+        let oracle_fn = move |per_server: &[Watts]| rack.measured_throughput(per_server, intensity);
+        let oracle: Option<&dyn greenhetero_core::policies::AllocationOracle> =
+            if self.scenario.policy == PolicyKind::Manual {
+                Some(&oracle_fn)
+            } else {
+                None
+            };
+
+        let decision = self.controller.begin_epoch(
+            &self.rack_spec,
+            &view,
+            self.scenario.grid_budget,
+            oracle,
+        )?;
+
+        let epoch_id = self.controller.epoch();
+        let record = match decision {
+            EpochDecision::Train { pairs, plan } => {
+                // Training run: ondemand governor with ample power. Every
+                // group gets its full workload envelope.
+                let sample_count = self.controller.config().samples_per_training() as usize;
+                for (config, workload) in &pairs {
+                    let group_idx = self
+                        .rack
+                        .groups()
+                        .iter()
+                        .position(|g| {
+                            g.platform.id() == *config && g.workload.id() == *workload
+                        })
+                        .ok_or_else(|| CoreError::InvalidConfig {
+                            reason: format!("training requested for unknown pair {config}"),
+                        })?;
+                    let envelope = self.rack.groups()[group_idx].server().truth().envelope();
+                    let sweep = self.rack.training_sweep(group_idx, sample_count, intensity);
+                    let samples: Vec<ProfileSample> = sweep
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            ProfileSample::new(
+                                self.meter.read(s.power),
+                                self.noisy_perf(s.throughput),
+                                self.time + self.controller.config().sample_period * i as u64,
+                            )
+                        })
+                        .collect();
+                    self.controller
+                        .complete_training(*config, *workload, envelope, &samples)?;
+                }
+
+                // The rack itself runs unconstrained during training.
+                let full: Vec<Watts> = self
+                    .rack
+                    .groups()
+                    .iter()
+                    .map(|g| g.server().truth().envelope().peak())
+                    .collect();
+                let m = self.rack.measure(&full, intensity);
+                let flows = self.pdu.dispatch(
+                    &plan,
+                    actual_solar,
+                    m.total_power(),
+                    &mut self.bank,
+                    &mut self.grid,
+                    epoch_len,
+                );
+                let supplied = plan.budget().min(self.rack.demand_at(intensity));
+                epu.record(m.total_power().min(supplied), supplied);
+                self.controller
+                    .end_epoch(actual_solar, self.rack.demand_at(intensity), &[]);
+                EpochRecord {
+                    epoch: epoch_id,
+                    time: self.time,
+                    training: true,
+                    case: plan.case,
+                    budget: plan.budget(),
+                    demand: self.rack.demand_at(intensity),
+                    solar: actual_solar,
+                    load: m.total_power(),
+                    battery_discharge: flows.from_battery,
+                    battery_charge: flows.charging,
+                    grid_load: flows.from_grid,
+                    grid_charge: if flows.charge_source
+                        == Some(greenhetero_core::sources::ChargeSource::Grid)
+                    {
+                        flows.charging
+                    } else {
+                        Watts::ZERO
+                    },
+                    soc: self.bank.soc(),
+                    intensity,
+                    throughput: m.total_throughput(),
+                    par: None,
+                }
+            }
+            EpochDecision::Run { plan, allocation } => {
+                let m = self.rack.measure(&allocation.per_server, intensity);
+                let flows = self.pdu.dispatch(
+                    &plan,
+                    actual_solar,
+                    m.total_power(),
+                    &mut self.bank,
+                    &mut self.grid,
+                    epoch_len,
+                );
+                // EPU (Eq. 1): of the power genuinely offered for compute
+                // (never more than the rack could demand), how much was
+                // productively consumed.
+                let supplied = plan.budget().min(self.rack.demand_at(intensity));
+                epu.record(m.total_power().min(supplied), supplied);
+
+                // Monitor feedback: only on-curve observations (a stranded,
+                // powered-off server is not a point of Perf = f(Power)).
+                let raw: Vec<_> = self
+                    .rack
+                    .groups()
+                    .iter()
+                    .zip(&m.groups)
+                    .filter(|(g, gm)| {
+                        gm.sample.power >= g.server().truth().envelope().idle()
+                    })
+                    .map(|(g, gm)| {
+                        (g.platform.id(), g.workload.id(), gm.sample.power, gm.sample.throughput)
+                    })
+                    .collect();
+                let feedback: Vec<GroupFeedback> = raw
+                    .into_iter()
+                    .map(|(config, workload, power, perf)| GroupFeedback {
+                        config,
+                        workload,
+                        per_server_power: self.meter.read(power),
+                        per_server_perf: self.noisy_perf(perf),
+                        at: self.time,
+                    })
+                    .collect();
+                self.controller
+                    .end_epoch(actual_solar, self.rack.demand_at(intensity), &feedback);
+
+                EpochRecord {
+                    epoch: epoch_id,
+                    time: self.time,
+                    training: false,
+                    case: plan.case,
+                    budget: plan.budget(),
+                    demand: self.rack.demand_at(intensity),
+                    solar: actual_solar,
+                    load: m.total_power(),
+                    battery_discharge: flows.from_battery,
+                    battery_charge: flows.charging,
+                    grid_load: flows.from_grid,
+                    grid_charge: if flows.charge_source
+                        == Some(greenhetero_core::sources::ChargeSource::Grid)
+                    {
+                        flows.charging
+                    } else {
+                        Watts::ZERO
+                    },
+                    soc: self.bank.soc(),
+                    intensity,
+                    throughput: m.total_throughput(),
+                    par: allocation.shares.first().copied(),
+                }
+            }
+        };
+
+        records.push(record);
+        self.time += epoch_len;
+        Ok(())
+    }
+
+    /// Applies relative gaussian noise to a throughput counter.
+    fn noisy_perf(&mut self, value: Throughput) -> Throughput {
+        if self.scenario.perf_noise <= 0.0 {
+            return value;
+        }
+        let n = standard_normal(&mut self.perf_rng) * self.scenario.perf_noise;
+        Throughput::new((value.value() * (1.0 + n)).max(0.0))
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Convenience: build and run a scenario in one call.
+///
+/// # Errors
+///
+/// Propagates [`Simulation::new`] and [`Simulation::run`] failures.
+pub fn run_scenario(scenario: Scenario) -> Result<RunReport, CoreError> {
+    Simulation::new(scenario)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenhetero_core::sources::SupplyCase;
+
+    fn quick_scenario(policy: PolicyKind) -> Scenario {
+        Scenario {
+            servers_per_type: 2,
+            days: 1,
+            ..Scenario::paper_runtime(policy)
+        }
+    }
+
+    #[test]
+    fn one_day_run_produces_96_epochs() {
+        let report = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        assert_eq!(report.epochs.len(), 96);
+        // First epoch trains the database.
+        assert!(report.epochs[0].training);
+        assert!(!report.epochs[1].training);
+    }
+
+    #[test]
+    fn cases_follow_the_sun() {
+        let report = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        // Midnight epochs are Case C; midday epochs are Case A or B.
+        let by_hour = |h: u64| &report.epochs[(h * 4) as usize];
+        assert_eq!(by_hour(1).case, SupplyCase::C);
+        assert_ne!(by_hour(12).case, SupplyCase::C);
+    }
+
+    #[test]
+    fn battery_discharges_at_night_and_charges_by_day() {
+        let report = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        let night_discharge: f64 = report.epochs[..20]
+            .iter()
+            .map(|e| e.battery_discharge.value())
+            .sum();
+        assert!(night_discharge > 0.0, "battery should carry the night");
+        let day_charge: f64 = report
+            .epochs
+            .iter()
+            .filter(|e| e.case == SupplyCase::A)
+            .map(|e| e.battery_charge.value())
+            .sum();
+        assert!(day_charge > 0.0, "surplus solar should charge the battery");
+        assert!(report.battery_cycles > 0.0);
+    }
+
+    #[test]
+    fn greenhetero_beats_uniform_on_the_paper_runtime() {
+        let gh = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        let uni = run_scenario(quick_scenario(PolicyKind::Uniform)).unwrap();
+        let gain = gh.mean_throughput().value() / uni.mean_throughput().value();
+        assert!(gain > 1.05, "expected a clear gain, got {gain:.3}x");
+        // And better power utilization.
+        assert!(gh.epu().value() >= uni.epu().value());
+    }
+
+    #[test]
+    fn all_policies_run_to_completion() {
+        for policy in PolicyKind::ALL {
+            let report = run_scenario(quick_scenario(policy)).unwrap();
+            assert_eq!(report.epochs.len(), 96, "{policy}");
+            assert!(report.mean_throughput().value() > 0.0, "{policy}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let a = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        let b = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        assert_eq!(a.epochs.len(), b.epochs.len());
+        for (x, y) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(x.throughput, y.throughput);
+            assert_eq!(x.budget, y.budget);
+        }
+    }
+
+    #[test]
+    fn grid_usage_respects_budget() {
+        let report = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        assert!(report.grid_peak <= Watts::new(1000.0));
+        for e in &report.epochs {
+            assert!(e.grid_load + e.grid_charge <= Watts::new(1000.0 + 1e-6));
+        }
+    }
+}

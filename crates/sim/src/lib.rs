@@ -1,0 +1,31 @@
+//! # greenhetero-sim
+//!
+//! The discrete-time simulation engine tying the GreenHetero controller
+//! (`greenhetero-core`) to its physical substrates (`greenhetero-power`,
+//! `greenhetero-server`).
+//!
+//! * [`scenario`] — experiment descriptions with paper-faithful defaults;
+//! * [`engine`] — the epoch loop (predict → select sources → allocate →
+//!   enforce → advance physics → observe);
+//! * [`intensity`] — offered-load profiles (constant / diurnal);
+//! * [`runner`] — parallel policy comparisons and parameter sweeps;
+//! * [`report`] — per-epoch records, run summaries and CSV export.
+//!
+//! ```no_run
+//! use greenhetero_core::policies::PolicyKind;
+//! use greenhetero_sim::{engine::run_scenario, scenario::Scenario};
+//!
+//! let report = run_scenario(Scenario::paper_runtime(PolicyKind::GreenHetero))?;
+//! println!("mean throughput: {}", report.mean_throughput());
+//! println!("EPU: {}", report.epu());
+//! # Ok::<(), greenhetero_core::error::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod intensity;
+pub mod report;
+pub mod runner;
+pub mod scenario;

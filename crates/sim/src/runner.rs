@@ -1,0 +1,195 @@
+//! Experiment runners: policy comparisons and parameter sweeps.
+//!
+//! The paper's figures compare the five Table III policies across
+//! workloads, server combinations and grid budgets. These helpers run the
+//! cross-products, in parallel across OS threads (each simulation is
+//! independent and seeded).
+
+use greenhetero_core::error::CoreError;
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::types::Watts;
+
+use crate::engine::run_scenario;
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+
+/// The outcome of one (policy, scenario) cell.
+#[derive(Debug)]
+pub struct PolicyOutcome {
+    /// The policy that ran.
+    pub policy: PolicyKind,
+    /// Its run report.
+    pub report: RunReport,
+}
+
+/// Runs the same scenario under every policy in `policies`, in parallel.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure encountered.
+///
+/// # Examples
+///
+/// ```no_run
+/// use greenhetero_core::policies::PolicyKind;
+/// use greenhetero_sim::runner::compare_policies;
+/// use greenhetero_sim::scenario::Scenario;
+///
+/// let base = Scenario::paper_runtime(PolicyKind::Uniform);
+/// let outcomes = compare_policies(&base, &PolicyKind::ALL)?;
+/// for o in &outcomes {
+///     println!("{}: {}", o.policy, o.report.mean_throughput());
+/// }
+/// # Ok::<(), greenhetero_core::error::CoreError>(())
+/// ```
+pub fn compare_policies(
+    base: &Scenario,
+    policies: &[PolicyKind],
+) -> Result<Vec<PolicyOutcome>, CoreError> {
+    let scenarios: Vec<Scenario> = policies
+        .iter()
+        .map(|&policy| Scenario {
+            policy,
+            ..base.clone()
+        })
+        .collect();
+    let reports = run_all(scenarios)?;
+    Ok(policies
+        .iter()
+        .zip(reports)
+        .map(|(&policy, report)| PolicyOutcome { policy, report })
+        .collect())
+}
+
+/// Runs each scenario on its own thread and collects the reports in order.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure encountered.
+pub fn run_all(scenarios: Vec<Scenario>) -> Result<Vec<RunReport>, CoreError> {
+    let results: Vec<Result<RunReport, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .into_iter()
+            .map(|s| scope.spawn(move || run_scenario(s)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Normalized performance of each policy relative to a baseline policy
+/// (the paper normalizes to Uniform). Returns `(policy, speedup)` pairs.
+///
+/// # Errors
+///
+/// Propagates simulation failures; returns [`CoreError::InvalidConfig`]
+/// if `baseline` is not among `policies`.
+pub fn normalized_performance(
+    base: &Scenario,
+    policies: &[PolicyKind],
+    baseline: PolicyKind,
+) -> Result<Vec<(PolicyKind, f64)>, CoreError> {
+    let outcomes = compare_policies(base, policies)?;
+    let base_thr = outcomes
+        .iter()
+        .find(|o| o.policy == baseline)
+        .ok_or_else(|| CoreError::InvalidConfig {
+            reason: format!("baseline {baseline} not among compared policies"),
+        })?
+        .report
+        .mean_throughput();
+    Ok(outcomes
+        .iter()
+        .map(|o| {
+            let speedup = if base_thr.value() > 0.0 {
+                o.report.mean_throughput().value() / base_thr.value()
+            } else {
+                1.0
+            };
+            (o.policy, speedup)
+        })
+        .collect())
+}
+
+/// Sweeps the grid power budget (the paper's Fig. 12), running the given
+/// policy at each budget.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sweep_grid_budget(
+    base: &Scenario,
+    budgets: &[Watts],
+) -> Result<Vec<(Watts, RunReport)>, CoreError> {
+    let scenarios: Vec<Scenario> = budgets
+        .iter()
+        .map(|&grid_budget| Scenario {
+            grid_budget,
+            ..base.clone()
+        })
+        .collect();
+    let reports = run_all(scenarios)?;
+    Ok(budgets.iter().copied().zip(reports).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(policy: PolicyKind) -> Scenario {
+        Scenario {
+            servers_per_type: 1,
+            days: 1,
+            ..Scenario::paper_runtime(policy)
+        }
+    }
+
+    #[test]
+    fn compare_policies_preserves_order() {
+        let outcomes =
+            compare_policies(&tiny(PolicyKind::Uniform), &[PolicyKind::Uniform, PolicyKind::GreenHetero])
+                .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].policy, PolicyKind::Uniform);
+        assert_eq!(outcomes[1].policy, PolicyKind::GreenHetero);
+    }
+
+    #[test]
+    fn normalized_performance_baseline_is_one() {
+        let rows = normalized_performance(
+            &tiny(PolicyKind::Uniform),
+            &[PolicyKind::Uniform, PolicyKind::GreenHetero],
+            PolicyKind::Uniform,
+        )
+        .unwrap();
+        let uniform = rows.iter().find(|(p, _)| *p == PolicyKind::Uniform).unwrap();
+        assert!((uniform.1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_baseline_is_an_error() {
+        let err = normalized_performance(
+            &tiny(PolicyKind::Uniform),
+            &[PolicyKind::GreenHetero],
+            PolicyKind::Uniform,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn grid_budget_sweep_monotone_budgets() {
+        let rows = sweep_grid_budget(
+            &tiny(PolicyKind::GreenHetero),
+            &[Watts::new(200.0), Watts::new(800.0)],
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        // More grid budget never hurts throughput.
+        assert!(
+            rows[1].1.mean_throughput().value() >= rows[0].1.mean_throughput().value() - 1e-6
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Scenario description: everything needed to reproduce one experiment.
+
+use greenhetero_core::config::ControllerConfig;
+use greenhetero_core::error::CoreError;
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::types::Watts;
+use greenhetero_power::battery::BatterySpec;
+use greenhetero_power::grid::GridTariff;
+use greenhetero_power::solar::{SolarConfig, SolarProfile};
+use greenhetero_server::platform::PlatformKind;
+use greenhetero_server::rack::{Combination, Rack};
+use greenhetero_server::workload::WorkloadKind;
+
+use crate::intensity::IntensityProfile;
+
+/// A complete experiment description.
+///
+/// Defaults mirror the paper's runtime setup: Comb1 with 5 servers per
+/// type running SPECjbb under the diurnal datacenter pattern, a High solar
+/// week sized at 1.6× rack peak demand, the 12 kWh battery bank, and a
+/// 1000 W grid budget.
+///
+/// # Examples
+///
+/// ```
+/// use greenhetero_sim::scenario::Scenario;
+/// use greenhetero_core::policies::PolicyKind;
+///
+/// let scenario = Scenario::paper_runtime(PolicyKind::GreenHetero);
+/// assert_eq!(scenario.days, 1);
+/// scenario.validate()?;
+/// # Ok::<(), greenhetero_core::error::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Server combination (Table IV).
+    pub combination: Combination,
+    /// When set, overrides `combination`/`servers_per_type`/`workload`
+    /// with an explicit per-group composition — each group may run its
+    /// own workload (the paper's future-work direction).
+    pub mixed: Option<Vec<(PlatformKind, u32, WorkloadKind)>>,
+    /// Servers per platform type (paper: 5).
+    pub servers_per_type: u32,
+    /// The workload every server runs.
+    pub workload: WorkloadKind,
+    /// Allocation policy under test.
+    pub policy: PolicyKind,
+    /// Solar regime (High/Low).
+    pub solar_profile: SolarProfile,
+    /// Peak solar plant output as a multiple of rack peak demand.
+    pub solar_peak_ratio: f64,
+    /// Battery bank parameters.
+    pub battery: BatterySpec,
+    /// Grid power budget (paper: 1000 W).
+    pub grid_budget: Watts,
+    /// Grid tariff for cost accounting.
+    pub tariff: GridTariff,
+    /// Offered-load profile.
+    pub intensity: IntensityProfile,
+    /// Days to simulate.
+    pub days: u64,
+    /// Controller configuration.
+    pub controller: ControllerConfig,
+    /// Power-meter noise (standard deviation).
+    pub meter_noise: Watts,
+    /// Relative throughput-counter noise (e.g. 0.01 = 1 %).
+    pub perf_noise: f64,
+    /// Master RNG seed (traces, meters).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's 24-hour runtime experiment (Figs. 8/11): Comb1 ×5,
+    /// SPECjbb, diurnal demand, 1000 W grid budget, High solar trace.
+    #[must_use]
+    pub fn paper_runtime(policy: PolicyKind) -> Self {
+        Scenario {
+            combination: Combination::Comb1,
+            mixed: None,
+            servers_per_type: 5,
+            workload: WorkloadKind::SpecJbb,
+            policy,
+            solar_profile: SolarProfile::High,
+            solar_peak_ratio: 1.6,
+            battery: BatterySpec::paper_rack_bank(),
+            grid_budget: Watts::new(1000.0),
+            tariff: GridTariff::paper(),
+            intensity: IntensityProfile::datacenter_diurnal(),
+            days: 1,
+            controller: ControllerConfig::default(),
+            meter_noise: Watts::new(0.8),
+            perf_noise: 0.01,
+            seed: 42,
+        }
+    }
+
+    /// The workload-sweep setting of Figs. 9/10: saturating intensity and
+    /// a scarcity-heavy solar supply, so allocation decisions matter.
+    #[must_use]
+    pub fn workload_study(workload: WorkloadKind, policy: PolicyKind) -> Self {
+        Scenario {
+            workload,
+            intensity: IntensityProfile::SATURATED,
+            solar_profile: SolarProfile::Low,
+            solar_peak_ratio: 1.2,
+            grid_budget: Watts::new(1000.0),
+            days: 2,
+            ..Scenario::paper_runtime(policy)
+        }
+    }
+
+    /// Builds the rack this scenario describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rack construction failures (e.g. a CPU-only workload on
+    /// the GPU combination).
+    pub fn build_rack(&self) -> Result<Rack, CoreError> {
+        match &self.mixed {
+            Some(composition) => Rack::mixed(composition),
+            None => Rack::combination(self.combination, self.servers_per_type, self.workload),
+        }
+    }
+
+    /// The solar trace configuration, with the plant peak sized relative
+    /// to the rack's peak demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rack construction failures.
+    pub fn solar_config(&self) -> Result<SolarConfig, CoreError> {
+        let rack = self.build_rack()?;
+        let peak = rack.controller_spec()?.peak_demand() * self.solar_peak_ratio;
+        Ok(match self.solar_profile {
+            SolarProfile::High => SolarConfig::high(peak, self.seed),
+            SolarProfile::Low => SolarConfig::low(peak, self.seed),
+        })
+    }
+
+    /// Validates the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero days/servers, a
+    /// non-positive solar ratio, or invalid nested configs.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.days == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "scenario must simulate at least one day".into(),
+            });
+        }
+        if self.servers_per_type == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "scenario needs at least one server per type".into(),
+            });
+        }
+        if !(self.solar_peak_ratio.is_finite() && self.solar_peak_ratio >= 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "solar peak ratio must be non-negative, got {}",
+                    self.solar_peak_ratio
+                ),
+            });
+        }
+        if !(self.perf_noise.is_finite() && self.perf_noise >= 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: "perf noise must be non-negative".into(),
+            });
+        }
+        self.controller.validate()?;
+        self.battery.validate()?;
+        self.build_rack()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_runtime_is_valid() {
+        let s = Scenario::paper_runtime(PolicyKind::GreenHetero);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.grid_budget, Watts::new(1000.0));
+        assert_eq!(s.servers_per_type, 5);
+    }
+
+    #[test]
+    fn invalid_scenarios_rejected() {
+        let mut s = Scenario::paper_runtime(PolicyKind::Uniform);
+        s.days = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_runtime(PolicyKind::Uniform);
+        s.servers_per_type = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_runtime(PolicyKind::Uniform);
+        s.solar_peak_ratio = -1.0;
+        assert!(s.validate().is_err());
+
+        // GPU combination with a CPU-only workload.
+        let mut s = Scenario::paper_runtime(PolicyKind::Uniform);
+        s.combination = Combination::Comb6;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn solar_plant_scales_with_rack() {
+        let small = Scenario {
+            servers_per_type: 1,
+            ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+        };
+        let large = Scenario::paper_runtime(PolicyKind::GreenHetero);
+        let p_small = small.solar_config().unwrap().peak;
+        let p_large = large.solar_config().unwrap().peak;
+        assert!(p_large.value() > 4.0 * p_small.value());
+    }
+
+    #[test]
+    fn workload_study_uses_scarce_solar() {
+        let s = Scenario::workload_study(WorkloadKind::Canneal, PolicyKind::Uniform);
+        assert_eq!(s.solar_profile, SolarProfile::Low);
+        assert_eq!(s.intensity, IntensityProfile::SATURATED);
+        assert!(s.validate().is_ok());
+    }
+}

@@ -1,0 +1,75 @@
+//! Compare all five allocation policies on any Table IV server
+//! combination and workload — the experiment behind the paper's Figs. 9
+//! and 13, as a one-command tool.
+//!
+//! Run with:
+//!   cargo run --release --example heterogeneous_rack [comb1..comb6] [workload]
+//! e.g. `cargo run --release --example heterogeneous_rack comb5 Canneal`
+
+use greenhetero::core::policies::PolicyKind;
+use greenhetero::server::rack::Combination;
+use greenhetero::server::workload::WorkloadKind;
+use greenhetero::sim::runner::compare_policies;
+use greenhetero::sim::scenario::Scenario;
+
+fn parse_comb(s: &str) -> Option<Combination> {
+    Combination::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_workload(s: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(s))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let comb = std::env::args()
+        .nth(1)
+        .and_then(|s| parse_comb(&s))
+        .unwrap_or(Combination::Comb1);
+    let workload = std::env::args()
+        .nth(2)
+        .and_then(|s| parse_workload(&s))
+        .unwrap_or(WorkloadKind::SpecJbb);
+
+    println!(
+        "{comb} = {}; workload = {workload}; Low solar trace, 2 days, 5 servers/type\n",
+        comb.platforms()
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(" + "),
+    );
+
+    let base = Scenario {
+        combination: comb,
+        ..Scenario::workload_study(workload, PolicyKind::Uniform)
+    };
+    base.validate()?;
+
+    let outcomes = compare_policies(&base, &PolicyKind::ALL)?;
+    let baseline = outcomes
+        .iter()
+        .find(|o| o.policy == PolicyKind::Uniform)
+        .expect("uniform included")
+        .report
+        .mean_scarce_throughput()
+        .value();
+
+    println!("{:<15} {:>12} {:>10} {:>8} {:>12}", "policy", "throughput*", "speedup", "EPU", "grid cost $");
+    for o in &outcomes {
+        let thr = o.report.mean_scarce_throughput().value();
+        println!(
+            "{:<15} {:>12.0} {:>9.2}x {:>8} {:>12.2}",
+            o.policy.to_string(),
+            thr,
+            thr / baseline,
+            o.report.epu().to_string(),
+            o.report.grid_cost,
+        );
+    }
+    println!("\n* mean throughput over supply-constrained epochs (the paper's focus)");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! A 24-hour timeline of the GreenHetero controller at work: power-source
+//! cases, PAR decisions, battery state and throughput, epoch by epoch —
+//! the view behind the paper's Fig. 8. Also writes the full per-epoch CSV
+//! to `solar_day.csv` for plotting.
+//!
+//! Run with: `cargo run --release --example solar_day [high|low]`
+
+use std::fs::File;
+
+use greenhetero::core::policies::PolicyKind;
+use greenhetero::power::solar::SolarProfile;
+use greenhetero::sim::engine::run_scenario;
+use greenhetero::sim::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = match std::env::args().nth(1).as_deref() {
+        Some("low") => SolarProfile::Low,
+        _ => SolarProfile::High,
+    };
+
+    let scenario = Scenario {
+        solar_profile: profile,
+        ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+    };
+    println!(
+        "simulating 24 h of SPECjbb on Comb1 (5+5 servers) under the {profile:?} solar trace\n"
+    );
+    let report = run_scenario(scenario)?;
+
+    println!("epoch  time   case  solar   budget  load    batt+/-   soc    PAR   throughput");
+    for e in report.epochs.iter().step_by(4) {
+        let batt = if e.battery_discharge.value() > 0.0 {
+            format!("-{:.0}", e.battery_discharge.value())
+        } else if e.battery_charge.value() > 0.0 {
+            format!("+{:.0}", e.battery_charge.value())
+        } else {
+            "0".to_string()
+        };
+        println!(
+            "{:>5}  {}  {:>4}  {:>5.0}  {:>6.0}  {:>5.0}  {:>7}  {:>5.0}%  {}  {:>9.0}{}",
+            e.epoch.raw(),
+            e.time,
+            format!("{:?}", e.case),
+            e.solar.value(),
+            e.budget.value(),
+            e.load.value(),
+            batt,
+            e.soc.value() * 100.0,
+            e.par
+                .map_or("  —  ".to_string(), |p| format!("{:>4.0}%", p.as_percent())),
+            e.throughput.value(),
+            if e.training { "  (training)" } else { "" },
+        );
+    }
+
+    println!("\nsummary:");
+    println!("  mean throughput : {:.0}", report.mean_throughput().value());
+    println!("  EPU             : {}", report.epu());
+    println!(
+        "  mean PAR        : {}",
+        report
+            .mean_par()
+            .map_or("n/a".to_string(), |p| p.to_string())
+    );
+    println!(
+        "  grid energy     : {:.1} kWh (peak {:.0} W, cost ${:.2})",
+        report.grid_energy.as_kilowatt_hours(),
+        report.grid_peak.value(),
+        report.grid_cost
+    );
+    println!("  battery cycles  : {:.2}", report.battery_cycles);
+
+    let mut file = File::create("solar_day.csv")?;
+    report.write_csv(&mut file)?;
+    println!("\nfull per-epoch series written to solar_day.csv");
+    Ok(())
+}

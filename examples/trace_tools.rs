@@ -1,0 +1,64 @@
+//! Solar-trace tooling: synthesize the paper-style *High* and *Low*
+//! one-week traces, print their statistics, and round-trip them through
+//! the CSV format — the same format a real NREL MIDC export can be
+//! converted to and replayed through the simulator.
+//!
+//! Run with: `cargo run --release --example trace_tools`
+
+use greenhetero::core::types::{SimTime, Watts};
+use greenhetero::power::solar::{synthesize, SolarConfig};
+use greenhetero::power::trace::{demand_pattern, PowerTrace};
+use greenhetero::core::types::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let peak = Watts::new(1800.0);
+    let high = synthesize(&SolarConfig::high(peak, 42))?;
+    let low = synthesize(&SolarConfig::low(peak, 42))?;
+
+    println!("one-week synthetic solar traces (plant peak {peak}):\n");
+    println!("{:<12} {:>10} {:>10} {:>10} {:>12}", "trace", "mean", "max", "min", "kWh/day");
+    for (name, t) in [("High", &high), ("Low", &low)] {
+        let daily_kwh = t.mean().value() * 24.0 / 1000.0;
+        println!(
+            "{:<12} {:>10.0} {:>10.0} {:>10.0} {:>12.1}",
+            name,
+            t.mean().value(),
+            t.max().value(),
+            t.min().value(),
+            daily_kwh
+        );
+    }
+
+    println!("\nday 0 of the High trace, hourly:");
+    for hour in 0..24u64 {
+        let w = high.at(SimTime::from_hours(hour));
+        let bars = "#".repeat((w.value() / peak.value() * 40.0) as usize);
+        println!("{hour:02}:00 {:>6.0} W {bars}", w.value());
+    }
+
+    // CSV round-trip: what you would do with a real NREL export.
+    let mut buf = Vec::new();
+    high.write_csv(&mut buf)?;
+    let reloaded = PowerTrace::read_csv(buf.as_slice())?;
+    assert_eq!(reloaded.len(), high.len());
+    println!(
+        "\nCSV round-trip OK: {} samples at {} intervals ({} bytes)",
+        reloaded.len(),
+        reloaded.interval(),
+        buf.len()
+    );
+
+    let demand = demand_pattern(
+        Watts::new(650.0),
+        Watts::new(1150.0),
+        SimDuration::from_minutes(15),
+        1,
+    );
+    println!(
+        "\nrack demand pattern: trough {:.0} W, peak {:.0} W, mean {:.0} W",
+        demand.min().value(),
+        demand.max().value(),
+        demand.mean().value()
+    );
+    Ok(())
+}

@@ -1,0 +1,215 @@
+//! `greenhetero-cli` — run GreenHetero scenarios from the command line.
+//!
+//! ```text
+//! USAGE:
+//!   greenhetero-cli [OPTIONS]
+//!
+//! OPTIONS:
+//!   --policy <name>        Uniform | Manual | GreenHetero-p | GreenHetero-a | GreenHetero
+//!   --comb <comb1..comb6>  Table IV server combination (default comb1)
+//!   --workload <name>      Table I workload (default SPECjbb)
+//!   --trace <high|low>     solar regime (default high)
+//!   --days <n>             days to simulate (default 1)
+//!   --servers <n>          servers per platform type (default 5)
+//!   --grid <watts>         grid power budget (default 1000)
+//!   --seed <n>             RNG seed (default 42)
+//!   --csv <path>           write the per-epoch series as CSV
+//!   --compare              run all five policies and print a comparison
+//! ```
+//!
+//! Examples:
+//!
+//! ```bash
+//! cargo run --release --bin greenhetero-cli -- --policy GreenHetero --trace low --days 3
+//! cargo run --release --bin greenhetero-cli -- --comb comb6 --workload Srad_v1 --compare
+//! ```
+
+use std::process::ExitCode;
+
+use greenhetero::core::policies::PolicyKind;
+use greenhetero::core::types::Watts;
+use greenhetero::power::solar::SolarProfile;
+use greenhetero::server::rack::Combination;
+use greenhetero::server::workload::WorkloadKind;
+use greenhetero::sim::engine::run_scenario;
+use greenhetero::sim::runner::compare_policies;
+use greenhetero::sim::scenario::Scenario;
+
+struct Args {
+    policy: PolicyKind,
+    scenario: Scenario,
+    csv: Option<String>,
+    compare: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut policy = PolicyKind::GreenHetero;
+    let mut scenario = Scenario::paper_runtime(policy);
+    let mut csv = None;
+    let mut compare = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--policy" => {
+                let v = value("--policy")?;
+                policy = PolicyKind::ALL
+                    .into_iter()
+                    .find(|p| p.name().eq_ignore_ascii_case(&v))
+                    .ok_or_else(|| format!("unknown policy {v:?}"))?;
+            }
+            "--comb" => {
+                let v = value("--comb")?;
+                scenario.combination = Combination::ALL
+                    .into_iter()
+                    .find(|c| c.name().eq_ignore_ascii_case(&v))
+                    .ok_or_else(|| format!("unknown combination {v:?}"))?;
+            }
+            "--workload" => {
+                let v = value("--workload")?;
+                scenario.workload = WorkloadKind::ALL
+                    .into_iter()
+                    .find(|w| w.name().eq_ignore_ascii_case(&v))
+                    .ok_or_else(|| format!("unknown workload {v:?}"))?;
+            }
+            "--trace" => {
+                scenario.solar_profile = match value("--trace")?.to_ascii_lowercase().as_str() {
+                    "high" => SolarProfile::High,
+                    "low" => SolarProfile::Low,
+                    other => return Err(format!("unknown trace {other:?} (high|low)")),
+                };
+            }
+            "--days" => {
+                scenario.days = value("--days")?
+                    .parse()
+                    .map_err(|_| "--days expects an integer".to_string())?;
+            }
+            "--servers" => {
+                scenario.servers_per_type = value("--servers")?
+                    .parse()
+                    .map_err(|_| "--servers expects an integer".to_string())?;
+            }
+            "--grid" => {
+                let w: f64 = value("--grid")?
+                    .parse()
+                    .map_err(|_| "--grid expects watts".to_string())?;
+                scenario.grid_budget = Watts::new(w);
+            }
+            "--seed" => {
+                scenario.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--csv" => csv = Some(value("--csv")?),
+            "--compare" => compare = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    scenario.policy = policy;
+    Ok(Args {
+        policy,
+        scenario,
+        csv,
+        compare,
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: greenhetero-cli [--policy P] [--comb C] [--workload W] [--trace high|low]\n\
+         \u{20}                      [--days N] [--servers N] [--grid WATTS] [--seed N]\n\
+         \u{20}                      [--csv PATH] [--compare]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = args.scenario.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if args.compare {
+        let outcomes = match compare_policies(&args.scenario, &PolicyKind::ALL) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = outcomes[0].report.mean_throughput().value();
+        println!(
+            "{:<15} {:>12} {:>9} {:>8} {:>10} {:>12}",
+            "policy", "throughput", "speedup", "EPU", "grid kWh", "grid cost $"
+        );
+        for o in &outcomes {
+            println!(
+                "{:<15} {:>12.0} {:>8.2}x {:>8} {:>10.1} {:>12.2}",
+                o.policy.to_string(),
+                o.report.mean_throughput().value(),
+                o.report.mean_throughput().value() / baseline,
+                o.report.epu().to_string(),
+                o.report.grid_energy.as_kilowatt_hours(),
+                o.report.grid_cost,
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match run_scenario(args.scenario) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("policy          : {}", args.policy);
+    println!("epochs          : {}", report.epochs.len());
+    println!("mean throughput : {:.0}", report.mean_throughput().value());
+    println!("EPU             : {}", report.epu());
+    if let Some(par) = report.mean_par() {
+        println!("mean PAR        : {par}");
+    }
+    let (a, b, c) = report.case_hours(0.25);
+    println!("case hours      : A {a:.1} h, B {b:.1} h, C {c:.1} h");
+    println!(
+        "grid            : {:.1} kWh, peak {:.0} W, cost ${:.2}",
+        report.grid_energy.as_kilowatt_hours(),
+        report.grid_peak.value(),
+        report.grid_cost
+    );
+    println!("battery cycles  : {:.2}", report.battery_cycles);
+
+    if let Some(path) = args.csv {
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = report.write_csv(&mut f) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("per-epoch CSV   : {path}");
+            }
+            Err(e) => {
+                eprintln!("error creating {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

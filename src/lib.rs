@@ -1,0 +1,23 @@
+//! # greenhetero
+//!
+//! Meta-crate for the GreenHetero reproduction (ICDCS 2021): adaptive power
+//! allocation for heterogeneous green datacenters.
+//!
+//! Re-exports the whole workspace under one roof:
+//!
+//! * [`core`] — the controller: EPU metric, Holt predictor, performance-
+//!   power database, allocation solver, source selection, enforcer, and the
+//!   five allocation policies.
+//! * [`power`] — power-infrastructure substrates: PV solar traces, battery
+//!   bank, grid feed, PDU, metering.
+//! * [`server`] — server and workload substrates: the six Table II
+//!   platforms with DVFS, the Table I workload catalog, racks and monitors.
+//! * [`sim`] — the discrete-time simulation engine, scenarios and reports.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `greenhetero-bench` crate for the per-figure reproduction harnesses.
+
+pub use greenhetero_core as core;
+pub use greenhetero_power as power;
+pub use greenhetero_server as server;
+pub use greenhetero_sim as sim;

@@ -1,0 +1,152 @@
+//! Reproduction-band regression tests: the headline shapes of the paper's
+//! figures must keep holding as the code evolves. Bands are deliberately
+//! generous — they pin the *shape* (who wins, roughly by how much), not
+//! exact values.
+
+use greenhetero::core::metrics::EpuAccumulator;
+use greenhetero::core::policies::PolicyKind;
+use greenhetero::core::sources::SupplyCase;
+use greenhetero::core::types::{Ratio, Watts};
+use greenhetero::server::rack::{Combination, Rack};
+use greenhetero::server::workload::WorkloadKind;
+use greenhetero::sim::engine::run_scenario;
+use greenhetero::sim::runner::compare_policies;
+use greenhetero::sim::scenario::Scenario;
+
+/// Fig. 3: the case study's optimum PAR lies near 65 % and beats the
+/// uniform split by roughly 1.5×; uniform EPU sits near 0.86.
+#[test]
+fn fig3_case_study_shape() {
+    let rack = Rack::combination(Combination::Comb1, 1, WorkloadKind::SpecJbb).unwrap();
+    let budget = Watts::new(220.0);
+    let eval = |par: f64| {
+        let a = budget * Ratio::from_percent(par);
+        let m = rack.measure(&[a, budget - a], Ratio::ONE);
+        let mut epu = EpuAccumulator::new();
+        epu.record(m.total_power().min(budget), budget);
+        (epu.epu().value(), m.total_throughput().value())
+    };
+    let (epu_uniform, perf_uniform) = eval(50.0);
+    assert!((0.80..0.92).contains(&epu_uniform), "uniform EPU {epu_uniform}");
+
+    let mut best = (0.0, 0.0f64);
+    for step in 0..=100 {
+        let par = f64::from(step);
+        let (_, perf) = eval(par);
+        if perf > best.1 {
+            best = (par, perf);
+        }
+    }
+    assert!(
+        (55.0..=75.0).contains(&best.0),
+        "optimal PAR {} out of the paper's band",
+        best.0
+    );
+    let gain = best.1 / perf_uniform;
+    assert!((1.3..=1.8).contains(&gain), "case-study gain {gain}");
+    let (epu_best, _) = eval(best.0);
+    assert!(epu_best > 0.95, "EPU at the optimum {epu_best}");
+}
+
+/// Fig. 8: under the High trace, GreenHetero gains ≈1.5× while renewable
+/// power is insufficient and ≈1× while abundant; mean PAR near 58 %.
+#[test]
+fn fig8_runtime_shape() {
+    let gh = run_scenario(Scenario::paper_runtime(PolicyKind::GreenHetero)).unwrap();
+    let uni = run_scenario(Scenario::paper_runtime(PolicyKind::Uniform)).unwrap();
+
+    let scarce = gh
+        .mean_throughput_where(|e| e.case != SupplyCase::A)
+        .value()
+        / uni
+            .mean_throughput_where(|e| e.case != SupplyCase::A)
+            .value();
+    assert!((1.25..=1.9).contains(&scarce), "scarce gain {scarce}");
+
+    let abundant = gh
+        .mean_throughput_where(|e| e.case == SupplyCase::A)
+        .value()
+        / uni
+            .mean_throughput_where(|e| e.case == SupplyCase::A)
+            .value();
+    assert!((0.95..=1.25).contains(&abundant), "abundant gain {abundant}");
+
+    let par = gh.mean_par().unwrap().as_percent();
+    assert!((50.0..=70.0).contains(&par), "mean PAR {par}%");
+
+    // The battery carries Case C for a few hours before the grid takes over.
+    let mut longest = 0.0f64;
+    let mut streak = 0.0f64;
+    for e in &gh.epochs {
+        if e.case == SupplyCase::C && e.battery_discharge.value() > 0.0 {
+            streak += 0.25;
+            longest = longest.max(streak);
+        } else {
+            streak = 0.0;
+        }
+    }
+    assert!((3.0..=7.0).contains(&longest), "ride-through {longest} h");
+}
+
+/// Figs. 9/10 condensed: on the scarce-supply workload study, GreenHetero
+/// beats Uniform on every probe workload, Streamcluster gains most among
+/// them, and Memcached sits near the bottom.
+#[test]
+fn fig9_workload_ordering_shape() {
+    let gain = |w: WorkloadKind| {
+        let base = Scenario::workload_study(w, PolicyKind::Uniform);
+        let o = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero]).unwrap();
+        o[1].report.mean_scarce_throughput().value()
+            / o[0].report.mean_scarce_throughput().value()
+    };
+    let stream = gain(WorkloadKind::Streamcluster);
+    let memcached = gain(WorkloadKind::Memcached);
+    let jbb = gain(WorkloadKind::SpecJbb);
+    assert!(stream > 1.5, "streamcluster gain {stream}");
+    assert!(stream > memcached && stream > jbb, "streamcluster must lead");
+    assert!((1.05..=1.45).contains(&memcached), "memcached gain {memcached}");
+    assert!(jbb > 1.2, "SPECjbb gain {jbb}");
+}
+
+/// Fig. 13: Comb2/Comb4 behave near-homogeneously; Comb1 and Comb5 show
+/// clearly heterogeneous gains.
+#[test]
+fn fig13_combination_shape() {
+    let gain = |comb: Combination| {
+        let base = Scenario {
+            combination: comb,
+            ..Scenario::workload_study(WorkloadKind::SpecJbb, PolicyKind::Uniform)
+        };
+        let o = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero]).unwrap();
+        o[1].report.mean_scarce_throughput().value()
+            / o[0].report.mean_scarce_throughput().value()
+    };
+    let c1 = gain(Combination::Comb1);
+    let c2 = gain(Combination::Comb2);
+    let c4 = gain(Combination::Comb4);
+    let c5 = gain(Combination::Comb5);
+    assert!(c2 < c1 && c4 < c1, "near-homogeneous pairs must gain least");
+    assert!(c2 < 1.25 && c4 < 1.25, "c2 {c2}, c4 {c4}");
+    assert!(c1 > 1.25, "c1 {c1}");
+    assert!(c5 > 1.3, "c5 {c5}");
+}
+
+/// Fig. 14: on the GPU rack, Srad_v1 gains the most (≈4.6× in the paper)
+/// and Cfd the least.
+#[test]
+fn fig14_gpu_shape() {
+    let gain = |w: WorkloadKind| {
+        let base = Scenario {
+            combination: Combination::Comb6,
+            ..Scenario::workload_study(w, PolicyKind::Uniform)
+        };
+        let o = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero]).unwrap();
+        o[1].report.mean_scarce_throughput().value()
+            / o[0].report.mean_scarce_throughput().value()
+    };
+    let srad = gain(WorkloadKind::SradV1);
+    let cfd = gain(WorkloadKind::Cfd);
+    assert!((3.5..=6.0).contains(&srad), "srad gain {srad}");
+    assert!(cfd < srad, "cfd {cfd} must gain less than srad {srad}");
+    assert!(cfd > 1.2, "cfd still gains: {cfd}");
+}
