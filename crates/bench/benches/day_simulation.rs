@@ -17,8 +17,7 @@ fn bench_day(c: &mut Criterion) {
     ] {
         group.bench_function(policy.name(), |b| {
             b.iter(|| {
-                let report =
-                    run_scenario(black_box(Scenario::paper_runtime(policy))).unwrap();
+                let report = run_scenario(black_box(Scenario::paper_runtime(policy))).unwrap();
                 report.mean_throughput()
             })
         });

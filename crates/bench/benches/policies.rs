@@ -14,7 +14,11 @@ fn problem() -> AllocationProblem {
         ConfigId::new(0),
         5,
         PerfModel::new(
-            Quadratic { l: -3000.0, m: 60.0, n: -0.12 },
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
             PowerRange::new(Watts::new(88.0), Watts::new(147.0)).unwrap(),
         ),
     )
@@ -23,7 +27,11 @@ fn problem() -> AllocationProblem {
         ConfigId::new(1),
         5,
         PerfModel::new(
-            Quadratic { l: -1200.0, m: 55.0, n: -0.18 },
+            Quadratic {
+                l: -1200.0,
+                m: 55.0,
+                n: -0.18,
+            },
             PowerRange::new(Watts::new(47.0), Watts::new(81.0)).unwrap(),
         ),
     )
@@ -35,9 +43,8 @@ fn bench_policies(c: &mut Criterion) {
     let p = problem();
     // A cheap stand-in oracle for Manual (the simulation's real oracle
     // measures a rack; here we only benchmark the policy's own loop).
-    let oracle = |per_server: &[Watts]| {
-        Throughput::new(per_server.iter().map(|w| w.value().sqrt()).sum())
-    };
+    let oracle =
+        |per_server: &[Watts]| Throughput::new(per_server.iter().map(|w| w.value().sqrt()).sum());
 
     let mut group = c.benchmark_group("policies");
     for kind in PolicyKind::ALL {

@@ -28,11 +28,7 @@ fn problem(types: u32) -> AllocationProblem {
             .unwrap()
         })
         .collect();
-    let budget: f64 = groups
-        .iter()
-        .map(|g| g.group_peak().value())
-        .sum::<f64>()
-        * 0.7;
+    let budget: f64 = groups.iter().map(|g| g.group_peak().value()).sum::<f64>() * 0.7;
     AllocationProblem::new(groups, Watts::new(budget)).unwrap()
 }
 

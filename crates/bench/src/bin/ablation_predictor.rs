@@ -8,10 +8,10 @@
 //! actually predicts.
 
 use greenhetero_bench::{banner, table_header, table_row};
+use greenhetero_core::predictor::train_holt;
 use greenhetero_core::predictor::{
     sum_squared_error, HoltPredictor, LastValue, MovingAverage, Predictor, SeasonalNaive,
 };
-use greenhetero_core::predictor::train_holt;
 use greenhetero_core::types::{SimDuration, Watts};
 use greenhetero_power::solar::{synthesize, SolarConfig};
 use greenhetero_power::trace::demand_pattern;
@@ -37,9 +37,18 @@ fn main() {
     );
 
     let series: Vec<(&str, Vec<f64>)> = vec![
-        ("High solar", high.values().iter().map(|w| w.value()).collect()),
-        ("Low solar", low.values().iter().map(|w| w.value()).collect()),
-        ("Rack demand", demand.values().iter().map(|w| w.value()).collect()),
+        (
+            "High solar",
+            high.values().iter().map(|w| w.value()).collect(),
+        ),
+        (
+            "Low solar",
+            low.values().iter().map(|w| w.value()).collect(),
+        ),
+        (
+            "Rack demand",
+            demand.values().iter().map(|w| w.value()).collect(),
+        ),
     ];
 
     table_header(&[
@@ -59,7 +68,10 @@ fn main() {
             format!("{:.1}", rmse(trained.params.predictor(), &values[split..])),
             format!(
                 "{:.1}",
-                rmse(HoltPredictor::new(0.8, 0.2).expect("valid"), &values[split..])
+                rmse(
+                    HoltPredictor::new(0.8, 0.2).expect("valid"),
+                    &values[split..]
+                )
             ),
             format!("{:.1}", rmse(LastValue::new(), &values[split..])),
             format!(

@@ -242,8 +242,8 @@ fn main() {
                 grid_budget: Watts::new(budget),
                 ..Scenario::paper_runtime(PolicyKind::Uniform)
             };
-            let o = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero])
-                .unwrap();
+            let o =
+                compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero]).unwrap();
             let night = |r: &RunReport| {
                 r.mean_throughput_where(|e| {
                     e.solar.value() < 5.0 && e.battery_discharge.value() == 0.0
@@ -362,6 +362,11 @@ fn main() {
     println!();
     table_header(&["Experiment", "Quantity", "Paper", "Measured"]);
     for r in &rows {
-        table_row(&[r.id.to_string(), r.what.clone(), r.paper.clone(), r.measured.clone()]);
+        table_row(&[
+            r.id.to_string(),
+            r.what.clone(),
+            r.paper.clone(),
+            r.measured.clone(),
+        ]);
     }
 }

@@ -52,6 +52,9 @@ fn main() {
     }
 
     println!();
-    println!("optimal PAR ≈ {:.0}% with {:.2}x the uniform performance", best.0, best.1);
+    println!(
+        "optimal PAR ≈ {:.0}% with {:.2}x the uniform performance",
+        best.0, best.1
+    );
     println!("paper reports: optimum at 65% PAR, ≈1.5x gain, uniform EPU ≈ 0.86, EPU → 1.0 at the optimum");
 }

@@ -46,7 +46,11 @@ fn main() {
             format!("{hour:02}"),
             format!("{:.0}", d.value()),
             format!("{:.0}", s.value()),
-            format!("{:?}", plan.case).chars().last().unwrap().to_string(),
+            format!("{:?}", plan.case)
+                .chars()
+                .last()
+                .unwrap()
+                .to_string(),
             bar(d.value(), 1800.0, 18),
             bar(s.value(), 1800.0, 18),
         ]);

@@ -19,13 +19,19 @@ fn main() {
         "Runtime results of SPECjbb using the High solar trace (24 h, Comb1 x5, 1000 W grid)",
     );
 
-    let gh = run_scenario(Scenario::paper_runtime(PolicyKind::GreenHetero))
-        .expect("simulation runs");
-    let uni = run_scenario(Scenario::paper_runtime(PolicyKind::Uniform))
-        .expect("simulation runs");
+    let gh =
+        run_scenario(Scenario::paper_runtime(PolicyKind::GreenHetero)).expect("simulation runs");
+    let uni = run_scenario(Scenario::paper_runtime(PolicyKind::Uniform)).expect("simulation runs");
 
     println!("\n(a) hourly performance (normalized to Uniform) and PAR");
-    table_header(&["Hour", "Case", "GreenHetero/Uniform", "PAR", "Budget (W)", "Solar (W)"]);
+    table_header(&[
+        "Hour",
+        "Case",
+        "GreenHetero/Uniform",
+        "PAR",
+        "Budget (W)",
+        "Solar (W)",
+    ]);
     for hour in 0..24 {
         let idx = |h: u64| (h * 4) as usize..((h + 1) * 4) as usize;
         let mean_thr = |r: &RunReport, h: u64| {
@@ -35,7 +41,11 @@ fn main() {
         let g = mean_thr(&gh, hour);
         let u = mean_thr(&uni, hour);
         let slice = &gh.epochs[idx(hour)];
-        let par = slice.iter().filter_map(|e| e.par).map(|p| p.value()).sum::<f64>()
+        let par = slice
+            .iter()
+            .filter_map(|e| e.par)
+            .map(|p| p.value())
+            .sum::<f64>()
             / slice.iter().filter(|e| e.par.is_some()).count().max(1) as f64;
         let case = slice[0].case;
         table_row(&[
@@ -43,13 +53,26 @@ fn main() {
             format!("{case:?}").chars().last().unwrap().to_string(),
             format!("{:.2}x", if u > 0.0 { g / u } else { 1.0 }),
             format!("{:.0}%", par * 100.0),
-            format!("{:.0}", slice.iter().map(|e| e.budget.value()).sum::<f64>() / 4.0),
-            format!("{:.0}", slice.iter().map(|e| e.solar.value()).sum::<f64>() / 4.0),
+            format!(
+                "{:.0}",
+                slice.iter().map(|e| e.budget.value()).sum::<f64>() / 4.0
+            ),
+            format!(
+                "{:.0}",
+                slice.iter().map(|e| e.solar.value()).sum::<f64>() / 4.0
+            ),
         ]);
     }
 
     println!("\n(b) battery and grid activity (hourly watt averages)");
-    table_header(&["Hour", "Discharge", "Charge", "Grid load", "Grid charging", "SoC"]);
+    table_header(&[
+        "Hour",
+        "Discharge",
+        "Charge",
+        "Grid load",
+        "Grid charging",
+        "SoC",
+    ]);
     for hour in 0..24 {
         let slice = &gh.epochs[(hour * 4) as usize..((hour + 1) * 4) as usize];
         let avg = |f: &dyn Fn(&greenhetero_sim::report::EpochRecord) -> f64| {

@@ -28,11 +28,17 @@ fn main() {
 
     let gh = run_scenario(low(PolicyKind::GreenHetero)).expect("simulation runs");
     let uni = run_scenario(low(PolicyKind::Uniform)).expect("simulation runs");
-    let gh_high = run_scenario(Scenario::paper_runtime(PolicyKind::GreenHetero))
-        .expect("simulation runs");
+    let gh_high =
+        run_scenario(Scenario::paper_runtime(PolicyKind::GreenHetero)).expect("simulation runs");
 
     println!("\n(a) hourly performance (normalized to Uniform) and supply case");
-    table_header(&["Hour", "Case", "GreenHetero/Uniform", "Solar (W)", "Budget (W)"]);
+    table_header(&[
+        "Hour",
+        "Case",
+        "GreenHetero/Uniform",
+        "Solar (W)",
+        "Budget (W)",
+    ]);
     for hour in 0..24u64 {
         let slice = &gh.epochs[(hour * 4) as usize..((hour + 1) * 4) as usize];
         let uslice = &uni.epochs[(hour * 4) as usize..((hour + 1) * 4) as usize];
@@ -40,10 +46,20 @@ fn main() {
         let u: f64 = uslice.iter().map(|e| e.throughput.value()).sum();
         table_row(&[
             format!("{hour:02}"),
-            format!("{:?}", slice[0].case).chars().last().unwrap().to_string(),
+            format!("{:?}", slice[0].case)
+                .chars()
+                .last()
+                .unwrap()
+                .to_string(),
             format!("{:.2}x", if u > 0.0 { g / u } else { 1.0 }),
-            format!("{:.0}", slice.iter().map(|e| e.solar.value()).sum::<f64>() / 4.0),
-            format!("{:.0}", slice.iter().map(|e| e.budget.value()).sum::<f64>() / 4.0),
+            format!(
+                "{:.0}",
+                slice.iter().map(|e| e.solar.value()).sum::<f64>() / 4.0
+            ),
+            format!(
+                "{:.0}",
+                slice.iter().map(|e| e.budget.value()).sum::<f64>() / 4.0
+            ),
         ]);
     }
 
@@ -100,5 +116,7 @@ fn main() {
         "battery cycled {:.1}x to max DoD (paper: about twice per day)",
         gh.battery_cycles
     );
-    println!("paper: the Low trace shows more frequent charge/discharge and more grid usage than High");
+    println!(
+        "paper: the Low trace shows more frequent charge/discharge and more grid usage than High"
+    );
 }

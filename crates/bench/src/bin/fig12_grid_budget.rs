@@ -10,9 +10,9 @@
 use greenhetero_bench::{banner, table_header, table_row};
 use greenhetero_core::policies::PolicyKind;
 use greenhetero_core::types::Watts;
+use greenhetero_sim::report::RunReport;
 use greenhetero_sim::runner::compare_policies;
 use greenhetero_sim::scenario::Scenario;
-use greenhetero_sim::report::RunReport;
 
 fn main() {
     banner(
@@ -39,9 +39,8 @@ fn main() {
             grid_budget: Watts::new(budget),
             ..Scenario::paper_runtime(PolicyKind::Uniform)
         };
-        let outcomes =
-            compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero])
-                .expect("simulations run");
+        let outcomes = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero])
+            .expect("simulations run");
         let uni = night(&outcomes[0].report).value();
         let gh = night(&outcomes[1].report).value();
         let gain = if uni > 0.0 { gh / uni } else { f64::INFINITY };
@@ -56,5 +55,7 @@ fn main() {
 
     println!();
     println!("paper reports: the GreenHetero-vs-Uniform gain shrinks as the grid budget grows;");
-    println!("under-provisioned grid budgets are where heterogeneity-aware allocation matters most");
+    println!(
+        "under-provisioned grid budgets are where heterogeneity-aware allocation matters most"
+    );
 }

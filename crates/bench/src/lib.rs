@@ -5,10 +5,10 @@
 //! formatting helpers and the experiment presets they share.
 
 use greenhetero_core::policies::PolicyKind;
+use greenhetero_server::workload::WorkloadKind;
 use greenhetero_sim::report::RunReport;
 use greenhetero_sim::runner::compare_policies;
 use greenhetero_sim::scenario::Scenario;
-use greenhetero_server::workload::WorkloadKind;
 
 /// Runs the Figs. 9/10 workload study: every Fig. 9 workload under every
 /// policy, with the scarce-renewable setting. Returns, per workload, the

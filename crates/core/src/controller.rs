@@ -248,8 +248,7 @@ impl Controller {
     ) -> Result<EpochDecision, CoreError> {
         // Prediction (Eqs. 2–4). Before any observation: assume no
         // renewable (conservative) and peak demand (ample).
-        let predicted_renewable =
-            Watts::new(self.renewable.predict_or(0.0).max(0.0));
+        let predicted_renewable = Watts::new(self.renewable.predict_or(0.0).max(0.0));
         let peak_demand = rack.peak_demand();
         let predicted_demand = Watts::new(
             self.demand
@@ -290,6 +289,14 @@ impl Controller {
             .collect::<Result<_, CoreError>>()?;
         let problem = AllocationProblem::new(groups, plan.budget())?;
         let allocation = self.policy.allocate(&problem, oracle)?;
+        // Policies are pluggable; re-audit their answer against the
+        // problem the controller actually posed.
+        crate::solver::audit_allocation(&problem, &allocation);
+        debug_assert!(
+            plan.budget()
+                <= predicted_renewable + battery.max_discharge + grid_budget + Watts::new(1e-6),
+            "source plan budget exceeds what the sources can jointly supply"
+        );
         Ok(EpochDecision::Run { plan, allocation })
     }
 
@@ -353,6 +360,8 @@ impl Controller {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::sources::SupplyCase;
@@ -407,14 +416,20 @@ mod tests {
             ConfigId::new(0),
             WorkloadId::new(0),
             envelope(88.0, 147.0),
-            &training_samples(|p| 60.0 * p - 0.12 * p * p - 3000.0, &[95.0, 108.0, 121.0, 134.0, 147.0]),
+            &training_samples(
+                |p| 60.0 * p - 0.12 * p * p - 3000.0,
+                &[95.0, 108.0, 121.0, 134.0, 147.0],
+            ),
         )
         .unwrap();
         c.complete_training(
             ConfigId::new(1),
             WorkloadId::new(0),
             envelope(47.0, 81.0),
-            &training_samples(|p| 50.0 * p - 0.18 * p * p - 1200.0, &[52.0, 59.0, 66.0, 74.0, 81.0]),
+            &training_samples(
+                |p| 50.0 * p - 0.18 * p * p - 1200.0,
+                &[52.0, 59.0, 66.0, 74.0, 81.0],
+            ),
         )
         .unwrap();
         c

@@ -28,12 +28,14 @@ pub struct Quadratic {
 impl Quadratic {
     /// Evaluates the polynomial at `x`.
     #[must_use]
+    // greenhetero-lint: allow(GH002) Quadratic is the raw-math layer beneath the newtypes
     pub fn eval(&self, x: f64) -> f64 {
         self.l + self.m * x + self.n * x * x
     }
 
     /// First derivative `m + 2·n·x`.
     #[must_use]
+    // greenhetero-lint: allow(GH002) Quadratic is the raw-math layer beneath the newtypes
     pub fn derivative(&self, x: f64) -> f64 {
         self.m + 2.0 * self.n * x
     }
@@ -47,6 +49,7 @@ impl Quadratic {
 
     /// The stationary point `-m / 2n`, if the quadratic term is non-zero.
     #[must_use]
+    // greenhetero-lint: allow(GH002) Quadratic is the raw-math layer beneath the newtypes
     pub fn vertex(&self) -> Option<f64> {
         if self.n == 0.0 {
             None
@@ -97,6 +100,7 @@ pub struct FitResult {
 /// assert!(fit.rmse < 1e-8);
 /// # Ok::<(), greenhetero_core::error::CoreError>(())
 /// ```
+// greenhetero-lint: allow(GH002) least-squares input is raw (power, throughput) samples
 pub fn fit_quadratic(points: &[(f64, f64)]) -> Result<FitResult, CoreError> {
     if points.len() < 2 {
         return Err(CoreError::InsufficientSamples {
@@ -107,6 +111,7 @@ pub fn fit_quadratic(points: &[(f64, f64)]) -> Result<FitResult, CoreError> {
 
     let distinct = count_distinct_x(points);
     let curve = match distinct {
+        // greenhetero-lint: allow(GH001) distinct == 0 only for empty input, rejected above
         0 => unreachable!("points is non-empty"),
         1 => {
             // All samples at one power level: the best projection is their
@@ -142,7 +147,7 @@ pub fn fit_quadratic(points: &[(f64, f64)]) -> Result<FitResult, CoreError> {
 
 fn count_distinct_x(points: &[(f64, f64)]) -> usize {
     let mut xs: Vec<f64> = points.iter().map(|p| p.0).collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("power samples must not be NaN"));
+    xs.sort_by(f64::total_cmp);
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
     xs.len()
 }
@@ -205,13 +210,8 @@ fn solve_3x3(mut m: [[f64; 3]; 3], mut v: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
         // Partial pivot.
         let pivot_row = (col..3)
-            .max_by(|&a, &b| {
-                m[a][col]
-                    .abs()
-                    .partial_cmp(&m[b][col].abs())
-                    .expect("matrix entries are finite")
-            })
-            .expect("range is non-empty");
+            .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            .unwrap_or(col);
         if m[pivot_row][col].abs() < 1e-12 {
             return None;
         }
@@ -239,6 +239,8 @@ fn solve_3x3(mut m: [[f64; 3]; 3], mut v: [f64; 3]) -> Option<[f64; 3]> {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -78,6 +78,7 @@ impl PerfModel {
     /// ("allocate power to the server based on the order of energy
     /// efficiency").
     #[must_use]
+    // greenhetero-lint: allow(GH002) throughput-per-watt has no newtype; used only for ordering
     pub fn peak_efficiency(&self) -> f64 {
         let peak = self.range.peak().value();
         if peak <= 0.0 {
@@ -90,6 +91,7 @@ impl PerfModel {
     /// Marginal throughput per extra watt at `power`, clamped into the
     /// productive envelope. Zero outside it.
     #[must_use]
+    // greenhetero-lint: allow(GH002) throughput-per-watt has no newtype; used only for ordering
     pub fn marginal(&self, power: Watts) -> f64 {
         if power < self.range.idle() || power > self.range.peak() {
             0.0
@@ -111,6 +113,8 @@ impl PerfModel {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -290,7 +290,9 @@ mod tests {
     fn training_run_creates_usable_model() {
         let mut db = PerfDatabase::new();
         let (c, w) = ids();
-        let fit = db.insert_training(c, w, range(), &training_samples()).unwrap();
+        let fit = db
+            .insert_training(c, w, range(), &training_samples())
+            .unwrap();
         assert!(fit.rmse < 1e-6);
         assert!(db.contains(c, w));
         assert_eq!(db.len(), 1);
@@ -304,7 +306,8 @@ mod tests {
     fn feedback_refits_and_counts() {
         let mut db = PerfDatabase::new();
         let (c, w) = ids();
-        db.insert_training(c, w, range(), &training_samples()).unwrap();
+        db.insert_training(c, w, range(), &training_samples())
+            .unwrap();
         let s = ProfileSample::new(
             Watts::new(70.0),
             Throughput::new(40.0 * 70.0 - 0.2 * 70.0 * 70.0),
@@ -375,7 +378,8 @@ mod tests {
     fn sample_cap_evicts_feedback_not_training() {
         let mut db = PerfDatabase::with_max_samples(7);
         let (c, w) = ids();
-        db.insert_training(c, w, range(), &training_samples()).unwrap();
+        db.insert_training(c, w, range(), &training_samples())
+            .unwrap();
         for i in 0u32..10 {
             let p = 50.0 + f64::from(i) * 3.0;
             db.record_feedback(
@@ -406,10 +410,20 @@ mod tests {
     #[test]
     fn iter_visits_all_entries() {
         let mut db = PerfDatabase::new();
-        db.insert_training(ConfigId::new(0), WorkloadId::new(0), range(), &training_samples())
-            .unwrap();
-        db.insert_training(ConfigId::new(1), WorkloadId::new(0), range(), &training_samples())
-            .unwrap();
+        db.insert_training(
+            ConfigId::new(0),
+            WorkloadId::new(0),
+            range(),
+            &training_samples(),
+        )
+        .unwrap();
+        db.insert_training(
+            ConfigId::new(1),
+            WorkloadId::new(0),
+            range(),
+            &training_samples(),
+        )
+        .unwrap();
         assert_eq!(db.iter().count(), 2);
     }
 }

@@ -58,14 +58,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// Controller configuration knobs and their validation.
 pub mod config;
+/// The epoch-driven GreenHetero controller loop.
 pub mod controller;
+/// The performance-power database: samples, quadratic fits, and lookup.
 pub mod database;
+/// Power-cap enforcement: turning allocations into per-server caps.
 pub mod enforcer;
+/// The crate-wide error type.
 pub mod error;
+/// The EPU metric and series statistics.
 pub mod metrics;
+/// Allocation policies compared in the paper (GreenHetero, Manual, …).
 pub mod policies;
+/// Renewable-power prediction: Holt smoothing and baselines.
 pub mod predictor;
+/// The power-allocation solver: exact KKT and grid-lattice search.
 pub mod solver;
+/// Power-source selection across renewable, battery, and grid.
 pub mod sources;
+/// Unit newtypes (`Watts`, `Ratio`, …) shared by every layer.
 pub mod types;

@@ -159,6 +159,7 @@ impl EpuAccumulator {
 /// assert_eq!(normalized(Throughput::ZERO, Throughput::ZERO), Some(1.0));
 /// ```
 #[must_use]
+// greenhetero-lint: allow(GH002) normalized performance is a dimensionless speedup
 pub fn normalized(value: Throughput, baseline: Throughput) -> Option<f64> {
     if baseline.value() > 0.0 {
         Some(value.value() / baseline.value())
@@ -171,6 +172,7 @@ pub fn normalized(value: Throughput, baseline: Throughput) -> Option<f64> {
 
 /// Arithmetic mean of a slice; `None` when the slice is empty.
 #[must_use]
+// greenhetero-lint: allow(GH002) statistics over already-normalized dimensionless series
 pub fn mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         None
@@ -184,6 +186,7 @@ pub fn mean(values: &[f64]) -> Option<f64> {
 ///
 /// Speedup ratios are conventionally aggregated with the geometric mean.
 #[must_use]
+// greenhetero-lint: allow(GH002) statistics over already-normalized dimensionless series
 pub fn geometric_mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
         return None;
@@ -208,6 +211,7 @@ pub struct SeriesSummary {
 impl SeriesSummary {
     /// Summarizes a non-empty series; `None` for an empty one.
     #[must_use]
+    // greenhetero-lint: allow(GH002) statistics over already-normalized dimensionless series
     pub fn of(values: &[f64]) -> Option<Self> {
         let mean = mean(values)?;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
@@ -222,6 +226,8 @@ impl SeriesSummary {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -231,7 +237,10 @@ mod tests {
 
     #[test]
     fn productive_power_below_idle_is_zero() {
-        assert_eq!(productive_power(Watts::new(46.9), range(47.0, 81.0)), Watts::ZERO);
+        assert_eq!(
+            productive_power(Watts::new(46.9), range(47.0, 81.0)),
+            Watts::ZERO
+        );
     }
 
     #[test]

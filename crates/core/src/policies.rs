@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::solver::{enumerate_shares, solve, Allocation, AllocationProblem};
-use crate::types::{Throughput, Watts};
+use crate::types::{Ratio, Throughput, Watts};
 
 /// Measures the *actual* throughput of a per-server assignment by running
 /// it on the real rack — how the paper's Manual policy evaluates its 10 %
@@ -118,9 +118,7 @@ impl PolicyKind {
             PolicyKind::GreenHeteroA => {
                 "determine the power allocation ratio as GreenHetero without optimizations"
             }
-            PolicyKind::GreenHetero => {
-                "determine the power allocation ratio adaptively at runtime"
-            }
+            PolicyKind::GreenHetero => "determine the power allocation ratio adaptively at runtime",
         }
     }
 
@@ -170,12 +168,14 @@ impl AllocationPolicy for Uniform {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Manual {
     /// Lattice granularity; the paper uses 0.1 (10 %).
-    pub granularity: f64,
+    pub granularity: Ratio,
 }
 
 impl Default for Manual {
     fn default() -> Self {
-        Manual { granularity: 0.1 }
+        Manual {
+            granularity: Ratio::saturating(0.1),
+        }
     }
 }
 
@@ -243,7 +243,7 @@ impl AllocationPolicy for GreenHeteroP {
         order.sort_by(|&a, &b| {
             let ea = problem.groups()[a].model.peak_efficiency();
             let eb = problem.groups()[b].model.peak_efficiency();
-            eb.partial_cmp(&ea).expect("efficiencies are finite")
+            eb.total_cmp(&ea)
         });
 
         let mut assignment = vec![Watts::ZERO; problem.groups().len()];
@@ -327,8 +327,28 @@ mod tests {
     /// (the i5's curve is tuned so its peak throughput-per-watt clearly
     /// beats the Xeon's, as measured in the paper's §III-B).
     fn case_study(budget: f64) -> AllocationProblem {
-        let xeon = group(0, 1, 88.0, 147.0, Quadratic { l: -3000.0, m: 60.0, n: -0.12 });
-        let i5 = group(1, 1, 47.0, 81.0, Quadratic { l: -1200.0, m: 55.0, n: -0.18 });
+        let xeon = group(
+            0,
+            1,
+            88.0,
+            147.0,
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
+        );
+        let i5 = group(
+            1,
+            1,
+            47.0,
+            81.0,
+            Quadratic {
+                l: -1200.0,
+                m: 55.0,
+                n: -0.18,
+            },
+        );
         AllocationProblem::new(vec![xeon, i5], Watts::new(budget)).unwrap()
     }
 
@@ -342,8 +362,28 @@ mod tests {
 
     #[test]
     fn uniform_weights_by_server_count_not_group() {
-        let a = group(0, 3, 10.0, 100.0, Quadratic { l: 0.0, m: 1.0, n: 0.0 });
-        let b = group(1, 1, 10.0, 100.0, Quadratic { l: 0.0, m: 1.0, n: 0.0 });
+        let a = group(
+            0,
+            3,
+            10.0,
+            100.0,
+            Quadratic {
+                l: 0.0,
+                m: 1.0,
+                n: 0.0,
+            },
+        );
+        let b = group(
+            1,
+            1,
+            10.0,
+            100.0,
+            Quadratic {
+                l: 0.0,
+                m: 1.0,
+                n: 0.0,
+            },
+        );
         let p = AllocationProblem::new(vec![a, b], Watts::new(400.0)).unwrap();
         let alloc = Uniform.allocate(&p, None).unwrap();
         // 4 servers × 100 W each.
@@ -363,9 +403,8 @@ mod tests {
     fn manual_uses_the_oracle_when_given() {
         let p = case_study(220.0);
         // An adversarial oracle that loves giving everything to group 1.
-        let oracle = |per_server: &[Watts]| {
-            Throughput::new(per_server[1].value() - per_server[0].value())
-        };
+        let oracle =
+            |per_server: &[Watts]| Throughput::new(per_server[1].value() - per_server[0].value());
         let alloc = Manual::default().allocate(&p, Some(&oracle)).unwrap();
         assert_eq!(alloc.per_server[0], Watts::ZERO);
         assert_eq!(alloc.per_server[1], Watts::new(220.0));
@@ -381,7 +420,10 @@ mod tests {
         // Manual shares land on the 10 % lattice.
         for s in &manual.shares {
             let ticks = s.value() * 10.0;
-            assert!((ticks - ticks.round()).abs() < 1e-6, "share {s} off-lattice");
+            assert!(
+                (ticks - ticks.round()).abs() < 1e-6,
+                "share {s} off-lattice"
+            );
         }
     }
 
@@ -406,7 +448,10 @@ mod tests {
         let alloc = GreenHeteroP.allocate(&p, None).unwrap();
         assert_eq!(alloc.per_server[1], Watts::new(81.0));
         let leftover = alloc.per_server[0];
-        assert!(leftover < Watts::new(88.0), "leftover {leftover} below Xeon idle");
+        assert!(
+            leftover < Watts::new(88.0),
+            "leftover {leftover} below Xeon idle"
+        );
         // The full solver avoids the stranding.
         let full = GreenHetero.allocate(&p, None).unwrap();
         assert!(full.projected > alloc.projected);

@@ -145,16 +145,14 @@ impl Predictor for SeasonalNaive {
     }
 
     fn predict(&self) -> Result<f64, CoreError> {
-        if self.history.is_empty() {
-            return Err(CoreError::NoObservations);
-        }
         // With a full season buffered, the front is exactly one period
         // back from the next epoch; otherwise fall back to persistence.
-        if self.history.len() == self.period {
-            Ok(*self.history.front().expect("non-empty"))
+        let sample = if self.history.len() == self.period {
+            self.history.front()
         } else {
-            Ok(*self.history.back().expect("non-empty"))
-        }
+            self.history.back()
+        };
+        sample.copied().ok_or(CoreError::NoObservations)
     }
 
     fn len(&self) -> usize {
@@ -163,6 +161,8 @@ impl Predictor for SeasonalNaive {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

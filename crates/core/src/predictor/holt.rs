@@ -46,7 +46,11 @@ enum State {
     /// One observation: level known, trend not yet.
     Primed { first: f64, count: usize },
     /// Two or more observations: full level + trend smoothing.
-    Running { level: f64, trend: f64, count: usize },
+    Running {
+        level: f64,
+        trend: f64,
+        count: usize,
+    },
 }
 
 impl HoltPredictor {
@@ -59,6 +63,7 @@ impl HoltPredictor {
     ///
     /// Returns [`CoreError::InvalidQuantity`] if either parameter is outside
     /// `[0, 1]` or not finite.
+    // greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
     pub fn new(alpha: f64, beta: f64) -> Result<Self, CoreError> {
         for (name, v) in [("alpha", alpha), ("beta", beta)] {
             if !v.is_finite() || !(0.0..=1.0).contains(&v) {
@@ -77,12 +82,14 @@ impl HoltPredictor {
 
     /// The level smoothing parameter α.
     #[must_use]
+    // greenhetero-lint: allow(GH002) smoothing parameters are dimensionless by definition
     pub fn alpha(&self) -> f64 {
         self.alpha
     }
 
     /// The trend smoothing parameter β.
     #[must_use]
+    // greenhetero-lint: allow(GH002) smoothing parameters are dimensionless by definition
     pub fn beta(&self) -> f64 {
         self.beta
     }
@@ -90,6 +97,7 @@ impl HoltPredictor {
     /// The current smoothed level `S_t`, if at least one observation has
     /// been consumed.
     #[must_use]
+    // greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
     pub fn level(&self) -> Option<f64> {
         match self.state {
             State::Empty => None,
@@ -100,6 +108,7 @@ impl HoltPredictor {
 
     /// The current smoothed trend `B_t`, if it exists yet.
     #[must_use]
+    // greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
     pub fn trend(&self) -> Option<f64> {
         match self.state {
             State::Running { trend, .. } => Some(trend),
@@ -112,6 +121,7 @@ impl HoltPredictor {
     /// # Errors
     ///
     /// Returns [`CoreError::NoObservations`] before the first observation.
+    // greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
     pub fn predict_ahead(&self, steps: u32) -> Result<f64, CoreError> {
         match self.state {
             State::Empty => Err(CoreError::NoObservations),
@@ -167,6 +177,8 @@ impl Predictor for HoltPredictor {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -233,7 +245,9 @@ mod tests {
         // initializes near zero): Holt with moderate α should predict
         // closer to the true mean than the raw last value does on average.
         let truth = 500.0;
-        let noise = [40.0, -35.0, 22.0, -18.0, 31.0, -44.0, 12.0, -9.0, 27.0, -30.0];
+        let noise = [
+            40.0, -35.0, 22.0, -18.0, 31.0, -44.0, 12.0, -9.0, 27.0, -30.0,
+        ];
         let mut series = vec![truth; 5];
         series.extend(noise.iter().map(|n| truth + n));
         let mut p = HoltPredictor::new(0.3, 0.1).unwrap();

@@ -41,6 +41,7 @@ use crate::error::CoreError;
 /// ```
 pub trait Predictor {
     /// Feeds the observation for the epoch that just finished.
+    // greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
     fn observe(&mut self, value: f64);
 
     /// Forecasts the value for the next epoch.
@@ -49,6 +50,7 @@ pub trait Predictor {
     ///
     /// Returns [`CoreError::NoObservations`] if called before any
     /// observation has been fed.
+    // greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
     fn predict(&self) -> Result<f64, CoreError>;
 
     /// Number of observations consumed so far.
@@ -66,6 +68,7 @@ pub trait Predictor {
 /// This is the ΔD² objective of Eq. 5 evaluated on a record of past
 /// observations; the trainer minimizes it over (α, β).
 #[must_use]
+// greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
 pub fn sum_squared_error<P: Predictor>(mut predictor: P, history: &[f64]) -> f64 {
     let mut sse = 0.0;
     for &observed in history {
@@ -79,6 +82,8 @@ pub fn sum_squared_error<P: Predictor>(mut predictor: P, history: &[f64]) -> f64
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -36,8 +36,10 @@ impl HoltParams {
     /// Never panics for values produced by [`train_holt`]; panics if the
     /// fields were manually set outside `[0, 1]`.
     #[must_use]
+    #[allow(clippy::expect_used)]
     pub fn predictor(self) -> HoltPredictor {
         HoltPredictor::new(self.alpha, self.beta)
+            // greenhetero-lint: allow(GH001) documented panic contract on manually-built params
             .expect("HoltParams fields must lie in [0, 1]")
     }
 }
@@ -83,6 +85,7 @@ pub struct TrainOutcome {
 /// assert!((0.0..=1.0).contains(&outcome.params.alpha));
 /// # Ok::<(), greenhetero_core::error::CoreError>(())
 /// ```
+// greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
 pub fn train_holt(history: &[f64], coarse_step: f64) -> Result<TrainOutcome, CoreError> {
     if history.len() < 3 {
         return Err(CoreError::NoObservations);
@@ -123,11 +126,7 @@ fn grid_search(
     // which can never track the series again once it starts moving. A tiny
     // regularizer pulls ties toward the responsive defaults without
     // affecting genuinely informative histories.
-    let scale = history
-        .iter()
-        .map(|v| v * v)
-        .sum::<f64>()
-        .max(1.0);
+    let scale = history.iter().map(|v| v * v).sum::<f64>().max(1.0);
     let regularizer = |a: f64, b: f64| {
         let da = a - HoltParams::DEFAULT.alpha;
         let db = b - HoltParams::DEFAULT.beta;
@@ -148,8 +147,11 @@ fn grid_search(
         while beta <= beta_hi + 1e-12 {
             let a = alpha.clamp(0.0, 1.0);
             let b = beta.clamp(0.0, 1.0);
-            let predictor =
-                HoltPredictor::new(a, b).expect("grid points are clamped into [0, 1]");
+            let Ok(predictor) = HoltPredictor::new(a, b) else {
+                // Unreachable for clamped grid points; skip defensively.
+                beta += step;
+                continue;
+            };
             let sse = sum_squared_error(predictor, history);
             let score = sse + regularizer(a, b);
             if score < best_score {
@@ -170,6 +172,7 @@ fn grid_search(
 /// history is too short to train — the behaviour the scheduler wants during
 /// the first epochs of a run.
 #[must_use]
+// greenhetero-lint: allow(GH002) the predictor smooths an abstract series; units are the caller's
 pub fn train_or_default(history: &[f64], coarse_step: f64) -> HoltParams {
     train_holt(history, coarse_step)
         .map(|o| o.params)
@@ -218,10 +221,8 @@ mod tests {
             })
             .collect();
         let outcome = train_holt(&history, 0.05).unwrap();
-        let fixed = crate::predictor::sum_squared_error(
-            HoltPredictor::new(0.5, 0.5).unwrap(),
-            &history,
-        );
+        let fixed =
+            crate::predictor::sum_squared_error(HoltPredictor::new(0.5, 0.5).unwrap(), &history);
         assert!(outcome.sse <= fixed + 1e-9, "{} vs {}", outcome.sse, fixed);
     }
 
@@ -233,10 +234,8 @@ mod tests {
             .map(|i| 200.0 + if i % 2 == 0 { 15.0 } else { -15.0 })
             .collect();
         let outcome = train_holt(&history, 0.05).unwrap();
-        let chasing = crate::predictor::sum_squared_error(
-            HoltPredictor::new(1.0, 1.0).unwrap(),
-            &history,
-        );
+        let chasing =
+            crate::predictor::sum_squared_error(HoltPredictor::new(1.0, 1.0).unwrap(), &history);
         assert!(outcome.sse < chasing, "{} vs {}", outcome.sse, chasing);
     }
 

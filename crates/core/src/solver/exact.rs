@@ -160,10 +160,9 @@ fn best_power_cap(group: &ServerGroup) -> Watts {
     let range = group.model.range();
     let curve = group.model.curve();
     match curve.vertex() {
-        Some(v) if curve.n < 0.0 => range.clamp(Watts::new(v.clamp(
-            range.idle().value(),
-            range.peak().value(),
-        ))),
+        Some(v) if curve.n < 0.0 => range.clamp(Watts::new(
+            v.clamp(range.idle().value(), range.peak().value()),
+        )),
         _ => range.peak(),
     }
 }
@@ -249,12 +248,7 @@ fn water_fill(
 
 /// Donates any leftover budget to the on-groups in order of marginal gain.
 /// Fixes the step-discontinuity of linear pieces and bisection round-off.
-fn greedy_fill(
-    groups: &[ServerGroup],
-    on: &[usize],
-    budget: Watts,
-    assignment: &mut [Watts],
-) {
+fn greedy_fill(groups: &[ServerGroup], on: &[usize], budget: Watts, assignment: &mut [Watts]) {
     let mut spent: f64 = on
         .iter()
         .map(|&i| assignment[i].value() * f64::from(groups[i].count))
@@ -269,7 +263,7 @@ fn greedy_fill(
     order.sort_by(|&a, &b| {
         let ma = groups[a].model.curve().derivative(assignment[a].value());
         let mb = groups[b].model.curve().derivative(assignment[b].value());
-        mb.partial_cmp(&ma).expect("marginals are finite")
+        mb.total_cmp(&ma)
     });
 
     for &i in &order {
@@ -307,7 +301,10 @@ mod tests {
         ServerGroup::new(
             ConfigId::new(id),
             count,
-            PerfModel::new(q, PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap()),
+            PerfModel::new(
+                q,
+                PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap(),
+            ),
         )
         .unwrap()
     }
@@ -399,11 +396,7 @@ mod tests {
         let b = group(1, 1, 60.0, 120.0, q);
         let p = AllocationProblem::new(vec![a, b], Watts::new(130.0)).unwrap();
         let alloc = solve_exact(&p).unwrap();
-        let on_count = alloc
-            .per_server
-            .iter()
-            .filter(|w| w.value() > 0.0)
-            .count();
+        let on_count = alloc.per_server.iter().filter(|w| w.value() > 0.0).count();
         assert_eq!(on_count, 1, "only one server should be powered");
         let winner: f64 = alloc.per_server.iter().map(|w| w.value()).sum();
         assert!((winner - 120.0).abs() < 1e-6);
@@ -413,7 +406,17 @@ mod tests {
     fn never_allocates_past_the_vertex() {
         // Vertex at 80 W, inside [50, 120]: extra watts past 80 hurt the
         // projection, so they go unallocated (→ battery).
-        let g = group(0, 1, 50.0, 120.0, Quadratic { l: 0.0, m: 16.0, n: -0.1 });
+        let g = group(
+            0,
+            1,
+            50.0,
+            120.0,
+            Quadratic {
+                l: 0.0,
+                m: 16.0,
+                n: -0.1,
+            },
+        );
         let p = AllocationProblem::new(vec![g], Watts::new(500.0)).unwrap();
         let alloc = solve_exact(&p).unwrap();
         assert!((alloc.per_server[0].value() - 80.0).abs() < 1e-6);
@@ -421,8 +424,28 @@ mod tests {
 
     #[test]
     fn linear_fit_groups_fill_by_slope_order() {
-        let a = group(0, 1, 10.0, 100.0, Quadratic { l: 0.0, m: 5.0, n: 0.0 });
-        let b = group(1, 1, 10.0, 100.0, Quadratic { l: 0.0, m: 9.0, n: 0.0 });
+        let a = group(
+            0,
+            1,
+            10.0,
+            100.0,
+            Quadratic {
+                l: 0.0,
+                m: 5.0,
+                n: 0.0,
+            },
+        );
+        let b = group(
+            1,
+            1,
+            10.0,
+            100.0,
+            Quadratic {
+                l: 0.0,
+                m: 9.0,
+                n: 0.0,
+            },
+        );
         let p = AllocationProblem::new(vec![a, b], Watts::new(130.0)).unwrap();
         let alloc = solve_exact(&p).unwrap();
         // Steeper group (b) saturates first; the rest goes to a.
@@ -432,7 +455,17 @@ mod tests {
 
     #[test]
     fn convex_fit_does_not_crash_and_respects_budget() {
-        let a = group(0, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 1.0, n: 0.05 });
+        let a = group(
+            0,
+            1,
+            40.0,
+            120.0,
+            Quadratic {
+                l: 0.0,
+                m: 1.0,
+                n: 0.05,
+            },
+        );
         let b = group(1, 1, 40.0, 120.0, concave(10.0, -0.02));
         let p = AllocationProblem::new(vec![a, b], Watts::new(180.0)).unwrap();
         let alloc = solve_exact(&p).unwrap();
@@ -470,8 +503,28 @@ mod tests {
     fn case_study_optimum_lands_near_sixty_five_percent() {
         // Calibrated to the paper's §III-B case study. Curves chosen so
         // each server's projection rises through its whole envelope.
-        let xeon = group(0, 1, 88.0, 147.0, Quadratic { l: -3000.0, m: 60.0, n: -0.12 });
-        let i5 = group(1, 1, 47.0, 81.0, Quadratic { l: -1200.0, m: 50.0, n: -0.18 });
+        let xeon = group(
+            0,
+            1,
+            88.0,
+            147.0,
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
+        );
+        let i5 = group(
+            1,
+            1,
+            47.0,
+            81.0,
+            Quadratic {
+                l: -1200.0,
+                m: 50.0,
+                n: -0.18,
+            },
+        );
         let p = AllocationProblem::new(vec![xeon, i5], Watts::new(220.0)).unwrap();
         let alloc = solve_exact(&p).unwrap();
         let par = alloc.shares[0].value();

@@ -62,7 +62,12 @@ pub fn solve_grid(problem: &AllocationProblem) -> Allocation {
     let mut windows: Vec<(f64, f64)> = problem
         .groups()
         .iter()
-        .map(|g| (g.model.range().idle().value(), g.model.range().peak().value()))
+        .map(|g| {
+            (
+                g.model.range().idle().value(),
+                g.model.range().peak().value(),
+            )
+        })
         .collect();
 
     let mut best_assignment = vec![Watts::ZERO; n];
@@ -173,7 +178,7 @@ fn solve_coordinate_ascent(problem: &AllocationProblem) -> Allocation {
     order.sort_by(|&a, &b| {
         let ea = problem.groups()[a].model.peak_efficiency();
         let eb = problem.groups()[b].model.peak_efficiency();
-        eb.partial_cmp(&ea).expect("efficiencies are finite")
+        eb.total_cmp(&ea)
     });
 
     for _ in 0..ASCENT_PASSES {
@@ -264,19 +269,16 @@ fn search(
 }
 
 /// Enumerates all share vectors on the `granularity`-step simplex, e.g.
-/// `granularity = 0.1` yields the Manual policy's 10 % lattice: every
+/// a granularity of 0.1 yields the Manual policy's 10 % lattice: every
 /// `(η, γ, …)` with entries in `{0, 0.1, …, 1}` summing to exactly 1.
 ///
 /// # Panics
 ///
-/// Panics if `granularity` is not in `(0, 1]`.
+/// Panics if `granularity` is zero.
 #[must_use]
-pub fn enumerate_shares(groups: usize, granularity: f64) -> Vec<Vec<Ratio>> {
-    assert!(
-        granularity > 0.0 && granularity <= 1.0,
-        "granularity must be in (0, 1]"
-    );
-    let steps = (1.0 / granularity).round() as u32;
+pub fn enumerate_shares(groups: usize, granularity: Ratio) -> Vec<Vec<Ratio>> {
+    assert!(!granularity.is_zero(), "granularity must be in (0, 1]");
+    let steps = (1.0 / granularity.value()).round() as u32;
     let mut out = Vec::new();
     let mut current = vec![0u32; groups];
     enumerate_rec(groups, steps, 0, steps, &mut current, &mut out);
@@ -322,15 +324,38 @@ mod tests {
         ServerGroup::new(
             ConfigId::new(id),
             count,
-            PerfModel::new(q, PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap()),
+            PerfModel::new(
+                q,
+                PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap(),
+            ),
         )
         .unwrap()
     }
 
     #[test]
     fn matches_exact_on_concave_two_group_problem() {
-        let a = group(0, 1, 88.0, 147.0, Quadratic { l: -3000.0, m: 60.0, n: -0.12 });
-        let b = group(1, 1, 47.0, 81.0, Quadratic { l: -1200.0, m: 50.0, n: -0.18 });
+        let a = group(
+            0,
+            1,
+            88.0,
+            147.0,
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
+        );
+        let b = group(
+            1,
+            1,
+            47.0,
+            81.0,
+            Quadratic {
+                l: -1200.0,
+                m: 50.0,
+                n: -0.18,
+            },
+        );
         let p = AllocationProblem::new(vec![a, b], Watts::new(220.0)).unwrap();
         let exact = solve_exact(&p).unwrap();
         let grid = solve_grid(&p);
@@ -345,8 +370,28 @@ mod tests {
 
     #[test]
     fn handles_convex_misfits() {
-        let a = group(0, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 1.0, n: 0.05 });
-        let b = group(1, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 10.0, n: -0.02 });
+        let a = group(
+            0,
+            1,
+            40.0,
+            120.0,
+            Quadratic {
+                l: 0.0,
+                m: 1.0,
+                n: 0.05,
+            },
+        );
+        let b = group(
+            1,
+            1,
+            40.0,
+            120.0,
+            Quadratic {
+                l: 0.0,
+                m: 10.0,
+                n: -0.02,
+            },
+        );
         let p = AllocationProblem::new(vec![a, b], Watts::new(180.0)).unwrap();
         let alloc = solve_grid(&p);
         assert!(p.is_feasible(&alloc.per_server));
@@ -404,8 +449,28 @@ mod tests {
 
     #[test]
     fn ascent_matches_exhaustive_on_small_problem() {
-        let a = group(0, 1, 50.0, 150.0, Quadratic { l: 0.0, m: 20.0, n: -0.05 });
-        let b = group(1, 1, 40.0, 120.0, Quadratic { l: 0.0, m: 15.0, n: -0.04 });
+        let a = group(
+            0,
+            1,
+            50.0,
+            150.0,
+            Quadratic {
+                l: 0.0,
+                m: 20.0,
+                n: -0.05,
+            },
+        );
+        let b = group(
+            1,
+            1,
+            40.0,
+            120.0,
+            Quadratic {
+                l: 0.0,
+                m: 15.0,
+                n: -0.04,
+            },
+        );
         let p = AllocationProblem::new(vec![a, b], Watts::new(200.0)).unwrap();
         let exhaustive = solve_grid(&p);
         let ascent = super::solve_coordinate_ascent(&p);
@@ -424,7 +489,17 @@ mod tests {
 
     #[test]
     fn zero_budget_yields_all_off() {
-        let g = group(0, 1, 50.0, 100.0, Quadratic { l: 0.0, m: 10.0, n: -0.02 });
+        let g = group(
+            0,
+            1,
+            50.0,
+            100.0,
+            Quadratic {
+                l: 0.0,
+                m: 10.0,
+                n: -0.02,
+            },
+        );
         let p = AllocationProblem::new(vec![g], Watts::ZERO).unwrap();
         let alloc = solve_grid(&p);
         assert_eq!(alloc.per_server[0], Watts::ZERO);
@@ -432,7 +507,7 @@ mod tests {
 
     #[test]
     fn enumerate_shares_ten_percent_two_groups() {
-        let shares = enumerate_shares(2, 0.1);
+        let shares = enumerate_shares(2, Ratio::saturating(0.1));
         // (0, 1), (0.1, 0.9), …, (1, 0): 11 lattice points.
         assert_eq!(shares.len(), 11);
         for s in &shares {
@@ -443,7 +518,7 @@ mod tests {
 
     #[test]
     fn enumerate_shares_three_groups_counts() {
-        let shares = enumerate_shares(3, 0.1);
+        let shares = enumerate_shares(3, Ratio::saturating(0.1));
         // Compositions of 10 into 3 parts: C(12, 2) = 66.
         assert_eq!(shares.len(), 66);
     }
@@ -451,6 +526,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "granularity must be in (0, 1]")]
     fn enumerate_shares_rejects_zero_granularity() {
-        let _ = enumerate_shares(2, 0.0);
+        let _ = enumerate_shares(2, Ratio::saturating(0.0));
     }
 }

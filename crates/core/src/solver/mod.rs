@@ -68,13 +68,49 @@ use crate::error::CoreError;
 /// ```
 pub fn solve(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
     let grid = solve_grid(problem);
-    match solve_exact(problem) {
+    let best = match solve_exact(problem) {
         Ok(exact) if exact.projected >= grid.projected => Ok(exact),
         Ok(_) => Ok(grid),
         // Too many groups for the exact engine: grid stands alone.
         Err(CoreError::InvalidConfig { .. }) => Ok(grid),
         Err(other) => Err(other),
+    };
+    if let Ok(allocation) = &best {
+        audit_allocation(problem, allocation);
     }
+    best
+}
+
+/// Debug-build conservation audit of a solver answer: the allocation must
+/// be budget-feasible, non-negative, and its PAR vector plus the surplus
+/// share must account for exactly the whole budget.
+pub fn audit_allocation(problem: &AllocationProblem, allocation: &Allocation) {
+    debug_assert_eq!(
+        allocation.per_server.len(),
+        problem.groups().len(),
+        "allocation must cover every group exactly once"
+    );
+    debug_assert!(
+        problem.is_feasible(&allocation.per_server),
+        "allocation exceeds the epoch budget: {:?} W against {:?}",
+        problem.total_power(&allocation.per_server),
+        problem.budget()
+    );
+    debug_assert!(
+        allocation.per_server.iter().all(|p| p.value() >= 0.0),
+        "per-server watts must be non-negative: {:?}",
+        allocation.per_server
+    );
+    let used: f64 = allocation.shares.iter().map(|s| s.value()).sum();
+    debug_assert!(
+        used <= 1.0 + 1e-6,
+        "PAR shares must sum to at most 1, got {used}"
+    );
+    debug_assert!(
+        (used + allocation.surplus_share().value() - 1.0).abs() <= 1e-6,
+        "PAR shares plus surplus must sum to 1: {used} + {}",
+        allocation.surplus_share()
+    );
 }
 
 #[cfg(test)]
@@ -97,9 +133,39 @@ mod tests {
 
     #[test]
     fn solve_is_at_least_as_good_as_either_engine() {
-        let a = group(0, 2, 88.0, 147.0, Quadratic { l: -3000.0, m: 60.0, n: -0.12 });
-        let b = group(1, 3, 47.0, 81.0, Quadratic { l: -1200.0, m: 50.0, n: -0.18 });
-        let c = group(2, 1, 58.0, 79.0, Quadratic { l: -500.0, m: 30.0, n: -0.1 });
+        let a = group(
+            0,
+            2,
+            88.0,
+            147.0,
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
+        );
+        let b = group(
+            1,
+            3,
+            47.0,
+            81.0,
+            Quadratic {
+                l: -1200.0,
+                m: 50.0,
+                n: -0.18,
+            },
+        );
+        let c = group(
+            2,
+            1,
+            58.0,
+            79.0,
+            Quadratic {
+                l: -500.0,
+                m: 30.0,
+                n: -0.1,
+            },
+        );
         let p = AllocationProblem::new(vec![a, b, c], Watts::new(700.0)).unwrap();
         let combined = solve(&p).unwrap();
         let exact = solve_exact(&p).unwrap();

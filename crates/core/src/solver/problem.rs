@@ -259,8 +259,7 @@ mod tests {
     #[test]
     fn allocation_shares_and_surplus() {
         let p = two_group_problem();
-        let alloc =
-            Allocation::from_assignment(&p, vec![Watts::new(110.0), Watts::new(66.0)]);
+        let alloc = Allocation::from_assignment(&p, vec![Watts::new(110.0), Watts::new(66.0)]);
         assert!((alloc.shares[0].value() - 0.5).abs() < 1e-12);
         assert!((alloc.shares[1].value() - 0.3).abs() < 1e-12);
         assert!((alloc.surplus_share().value() - 0.2).abs() < 1e-12);

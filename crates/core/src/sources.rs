@@ -20,7 +20,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::types::Watts;
+use crate::types::{Ratio, Watts};
 
 /// The three supply regimes of Fig. 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -121,12 +121,12 @@ impl SourcePlan {
 
     /// The share of green power (renewable + battery) in the budget.
     #[must_use]
-    pub fn green_fraction(&self) -> f64 {
+    pub fn green_fraction(&self) -> Ratio {
         let budget = self.budget().value();
         if budget <= 0.0 {
-            0.0
+            Ratio::ZERO
         } else {
-            (self.renewable_to_load + self.battery_to_load).value() / budget
+            Ratio::saturating((self.renewable_to_load + self.battery_to_load).value() / budget)
         }
     }
 }
@@ -175,12 +175,51 @@ pub fn select_sources(inputs: &SourceInputs) -> SourcePlan {
     let renewable = inputs.predicted_renewable.non_negative();
     let demand = inputs.predicted_demand.non_negative();
 
-    if renewable >= demand && renewable > inputs.renewable_negligible {
+    let plan = if renewable >= demand && renewable > inputs.renewable_negligible {
         plan_case_a(renewable, demand, &inputs.battery)
     } else if renewable > inputs.renewable_negligible {
         plan_case_b(renewable, demand, inputs)
     } else {
         plan_case_c(demand, inputs)
+    };
+    audit_plan(inputs, &plan);
+    plan
+}
+
+/// Debug-build audit of a source plan against the module invariants: every
+/// draw non-negative, each source within its capability, grid draw (load
+/// plus charging) within the grid budget, and the battery never charging
+/// and discharging in the same epoch.
+pub fn audit_plan(inputs: &SourceInputs, plan: &SourcePlan) {
+    const EPS: f64 = 1e-6;
+    debug_assert!(
+        plan.renewable_to_load.value() >= 0.0
+            && plan.battery_to_load.value() >= 0.0
+            && plan.grid_to_load.value() >= 0.0
+            && plan.curtailed.value() >= 0.0,
+        "source draws must be non-negative: {plan:?}"
+    );
+    debug_assert!(
+        plan.renewable_to_load.value() <= inputs.predicted_renewable.non_negative().value() + EPS,
+        "renewable draw exceeds predicted generation: {plan:?}"
+    );
+    debug_assert!(
+        plan.battery_to_load.value() <= inputs.battery.max_discharge.value() + EPS,
+        "battery draw exceeds the bank's discharge capability: {plan:?}"
+    );
+    debug_assert!(
+        plan.grid_draw().value() <= inputs.grid_budget.value() + EPS,
+        "grid draw (load + charging) exceeds the grid budget: {plan:?}"
+    );
+    if let Some((_, w)) = plan.charge {
+        debug_assert!(
+            w.value() > 0.0 && w.value() <= inputs.battery.max_charge.value() + EPS,
+            "battery charging must be positive and within the charge limit: {plan:?}"
+        );
+        debug_assert!(
+            plan.battery_to_load.is_zero(),
+            "the battery must not charge and discharge in the same epoch: {plan:?}"
+        );
     }
 }
 
@@ -288,14 +327,22 @@ mod tests {
 
     #[test]
     fn case_a_surplus_charges_battery() {
-        let plan = select_sources(&inputs(1500.0, 1000.0, battery(800.0, 400.0, false), 1000.0));
+        let plan = select_sources(&inputs(
+            1500.0,
+            1000.0,
+            battery(800.0, 400.0, false),
+            1000.0,
+        ));
         assert_eq!(plan.case, SupplyCase::A);
         assert_eq!(plan.renewable_to_load, Watts::new(1500.0));
         assert_eq!(plan.battery_to_load, Watts::ZERO);
         assert_eq!(plan.grid_to_load, Watts::ZERO);
-        assert_eq!(plan.charge, Some((ChargeSource::Renewable, Watts::new(400.0))));
+        assert_eq!(
+            plan.charge,
+            Some((ChargeSource::Renewable, Watts::new(400.0)))
+        );
         assert_eq!(plan.curtailed, Watts::new(100.0));
-        assert!((plan.green_fraction() - 1.0).abs() < 1e-12);
+        assert!((plan.green_fraction().value() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -391,7 +438,7 @@ mod tests {
     #[test]
     fn green_fraction_zero_budget() {
         let plan = select_sources(&inputs(0.0, 0.0, BatteryView::inert(), 0.0));
-        assert_eq!(plan.green_fraction(), 0.0);
+        assert_eq!(plan.green_fraction(), Ratio::ZERO);
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! Property-based tests of the core algorithms' invariants.
 
+// Strategy helpers sit outside `#[test]` fns, where the
+// allow-*-in-tests clippy knobs do not reach; panicking is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use greenhetero_core::database::{fit_quadratic, PerfModel, Quadratic};
 use greenhetero_core::enforcer::{PowerState, PowerStateSet, Spc};
 use greenhetero_core::metrics::{productive_power, EpuAccumulator};
 use greenhetero_core::predictor::{HoltPredictor, Predictor};
-use greenhetero_core::solver::{solve, solve_exact, solve_grid, AllocationProblem, ServerGroup};
-use greenhetero_core::sources::{select_sources, BatteryView, ChargeSource, SourceInputs};
+use greenhetero_core::solver::{
+    audit_allocation, solve, solve_exact, solve_grid, AllocationProblem, ServerGroup,
+};
+use greenhetero_core::sources::{
+    audit_plan, select_sources, BatteryView, ChargeSource, SourceInputs,
+};
 use greenhetero_core::types::{ConfigId, PowerRange, Ratio, Watts};
 use proptest::prelude::*;
 
@@ -318,5 +326,66 @@ proptest! {
         if (0.0..=1.0).contains(&v) {
             prop_assert!((r - v).abs() < 1e-12);
         }
+    }
+}
+
+// The runtime invariant-audit layer (`audit_allocation`, `audit_plan`) is
+// built from `debug_assert!`s and runs inline in the hot paths of debug
+// builds. These cases drive it across randomized inputs: the property is
+// simply that no audit ever fires (panics), on top of the explicit bound
+// checks re-stated here so release-mode test runs still verify something.
+proptest! {
+    /// No engine's answer ever trips the allocation audit: feasible,
+    /// non-negative, and PAR shares + surplus accounting for the whole
+    /// budget, across adversarial (non-monotone) fits and tight budgets.
+    #[test]
+    fn allocation_audit_never_fires(p in arb_problem()) {
+        audit_allocation(&p, &solve_grid(&p));
+        if let Ok(exact) = solve_exact(&p) {
+            audit_allocation(&p, &exact);
+        }
+        let best = solve(&p).unwrap();
+        audit_allocation(&p, &best);
+        let used: f64 = best.shares.iter().map(|s| s.value()).sum();
+        prop_assert!((used + best.surplus_share().value() - 1.0).abs() <= 1e-6);
+    }
+
+    /// The audit also holds on the well-behaved monotone fits the
+    /// database actually produces (a distinct sampling regime: here the
+    /// exact engine usually wins and budgets are often generous).
+    #[test]
+    fn allocation_audit_never_fires_on_monotone_fits(p in arb_monotone_problem()) {
+        let best = solve(&p).unwrap();
+        audit_allocation(&p, &best);
+        prop_assert!(p.is_feasible(&best.per_server));
+    }
+
+    /// The source-plan audit never fires across randomized inputs,
+    /// including adversarial negative predictions (a predictor can
+    /// undershoot below zero before clamping).
+    #[test]
+    fn source_plan_audit_never_fires(
+        renewable in -200.0..3000.0f64,
+        demand in -200.0..3000.0f64,
+        max_discharge in 0.0..3000.0f64,
+        max_charge in 0.0..3000.0f64,
+        needs in any::<bool>(),
+        grid in 0.0..2000.0f64,
+        negligible in 0.0..50.0f64,
+    ) {
+        let inputs = SourceInputs {
+            predicted_renewable: Watts::new(renewable),
+            predicted_demand: Watts::new(demand),
+            battery: BatteryView {
+                max_discharge: Watts::new(max_discharge),
+                max_charge: Watts::new(max_charge),
+                needs_recharge: needs,
+            },
+            grid_budget: Watts::new(grid),
+            renewable_negligible: Watts::new(negligible),
+        };
+        let plan = select_sources(&inputs);
+        audit_plan(&inputs, &plan);
+        prop_assert!(plan.budget().value() >= 0.0);
     }
 }

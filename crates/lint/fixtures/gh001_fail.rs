@@ -1,0 +1,31 @@
+//! GH001 fixture: every panic path below must be flagged.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn named(v: Option<u32>) -> u32 {
+    v.expect("value must be present")
+}
+
+pub fn boom(flag: bool) {
+    if flag {
+        panic!("unhandled state");
+    }
+}
+
+pub fn cold(code: u8) -> u8 {
+    match code {
+        0 => 0,
+        _ => unreachable!("codes above zero are filtered earlier"),
+    }
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn reasonless() -> u32 {
+    // greenhetero-lint: allow(GH001)
+    Some(3).unwrap()
+}

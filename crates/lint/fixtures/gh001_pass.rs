@@ -1,0 +1,34 @@
+//! GH001 fixture: no violations — fallible paths return errors, test code
+//! and justified sites are exempt.
+
+pub fn first(v: &[u32]) -> Result<u32, String> {
+    v.first().copied().ok_or_else(|| "empty input".to_string())
+}
+
+pub fn defaulted(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn bounded(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        return 0;
+    }
+    // greenhetero-lint: allow(GH001) non-emptiness is checked above
+    v.last().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(7);
+        assert_eq!(v.unwrap(), 7);
+    }
+
+    #[test]
+    fn panics_are_fine_in_tests() {
+        if false {
+            panic!("test-only panic");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! GH002 fixture: bare floats leaking through public API boundaries.
+
+pub struct Controller;
+
+impl Controller {
+    pub fn set_budget(&mut self, budget_watts: f64) {
+        let _ = budget_watts;
+    }
+}
+
+pub fn green_fraction(green: f64, total: f64) -> f64 {
+    green / total
+}
+
+pub trait Observer {
+    fn observe(&mut self, sample: f32);
+}

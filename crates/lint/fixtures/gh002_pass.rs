@@ -1,0 +1,35 @@
+//! GH002 fixture: no violations — unit newtypes at the API surface, raw
+//! floats only at the newtype boundary or behind a justified allow.
+
+pub struct Watts(f64);
+
+impl Watts {
+    pub fn new(raw: f64) -> Watts {
+        Watts(raw)
+    }
+
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+pub struct Controller;
+
+impl Controller {
+    pub fn set_budget(&mut self, budget: Watts) {
+        let _ = budget;
+    }
+}
+
+// greenhetero-lint: allow(GH002) smoothing factor is genuinely dimensionless
+pub fn smooth(alpha: f64, prev: Watts, next: Watts) -> Watts {
+    Watts(prev.0 * (1.0 - alpha) + next.0 * alpha)
+}
+
+fn internal_math(x: f64) -> f64 {
+    x * x
+}
+
+pub(crate) fn crate_math(x: f64) -> f64 {
+    internal_math(x)
+}

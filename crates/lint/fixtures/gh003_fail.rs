@@ -1,0 +1,21 @@
+//! GH003 fixture: cross-newtype operators outside the sanctioned table.
+
+pub struct Watts(f64);
+pub struct WattHours(f64);
+pub struct SimDuration(u64);
+
+// Energy times time means nothing: not in the table.
+impl core::ops::Mul<SimDuration> for WattHours {
+    type Output = WattHours;
+    fn mul(self, _rhs: SimDuration) -> WattHours {
+        self
+    }
+}
+
+// Right identity, wrong output dimension.
+impl core::ops::Mul<SimDuration> for Watts {
+    type Output = Watts;
+    fn mul(self, _rhs: SimDuration) -> Watts {
+        self
+    }
+}

@@ -1,0 +1,48 @@
+//! GH003 fixture: only sanctioned identities and scalar scaling.
+
+pub struct Watts(f64);
+pub struct WattHours(f64);
+pub struct Ratio(f64);
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    fn as_hours(&self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+}
+
+impl core::ops::Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Mul<Ratio> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: Ratio) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl core::ops::Mul<SimDuration> for Watts {
+    type Output = WattHours;
+    fn mul(self, rhs: SimDuration) -> WattHours {
+        WattHours(self.0 * rhs.as_hours())
+    }
+}
+
+impl core::ops::Div for WattHours {
+    type Output = f64;
+    fn div(self, rhs: WattHours) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+// Scalar scaling is always dimensionally safe.
+impl core::ops::Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}

@@ -1,0 +1,17 @@
+//! GH004 fixture: `NeverBuilt` is matched but never constructed.
+
+pub enum FixtureError {
+    Used(u32),
+    NeverBuilt,
+}
+
+pub fn fail(code: u32) -> FixtureError {
+    FixtureError::Used(code)
+}
+
+pub fn describe(e: &FixtureError) -> &'static str {
+    match e {
+        FixtureError::Used(_) => "used",
+        FixtureError::NeverBuilt => "impossible",
+    }
+}

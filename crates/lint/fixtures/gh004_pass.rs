@@ -1,0 +1,29 @@
+//! GH004 fixture: every variant has a live construction site.
+
+pub enum FixtureError {
+    Used(u32),
+    Empty,
+    Saturated { limit: u32 },
+}
+
+pub fn fail(code: u32) -> FixtureError {
+    FixtureError::Used(code)
+}
+
+pub fn check(len: usize, cap: u32) -> Result<(), FixtureError> {
+    if len == 0 {
+        return Err(FixtureError::Empty);
+    }
+    if len as u32 > cap {
+        return Err(FixtureError::Saturated { limit: cap });
+    }
+    Ok(())
+}
+
+pub fn describe(e: &FixtureError) -> &'static str {
+    match e {
+        FixtureError::Used(_) => "used",
+        FixtureError::Empty => "empty",
+        FixtureError::Saturated { .. } => "saturated",
+    }
+}

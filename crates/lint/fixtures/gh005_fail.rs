@@ -1,0 +1,15 @@
+//! GH005 fixture: public surface with missing documentation.
+
+pub struct Bare {
+    pub raw: u32,
+}
+
+pub fn undocumented() -> u32 {
+    0
+}
+
+pub enum Shape {
+    Round,
+}
+
+pub const LIMIT: u32 = 8;

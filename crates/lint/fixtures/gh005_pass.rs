@@ -1,0 +1,36 @@
+//! GH005 fixture: every public item documented; private and restricted
+//! items exempt.
+
+/// A documented struct.
+pub struct Covered {
+    /// A documented field.
+    pub raw: u32,
+}
+
+/// A documented function.
+pub fn documented() -> u32 {
+    0
+}
+
+/// A documented enum.
+#[derive(Clone)]
+pub enum Shape {
+    /// Variants are out of scope, but this one is documented anyway.
+    Round,
+}
+
+/// A documented constant.
+pub const LIMIT: u32 = 8;
+
+pub(crate) struct Internal;
+
+fn private() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pub_in_test_mod_is_exempt() {
+        struct Local;
+        let _ = Local;
+    }
+}

@@ -1,0 +1,151 @@
+//! Diagnostics: the violation record, ordering, and the two output
+//! formats (`text` and `json`).
+
+use std::fmt;
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule code, e.g. `GH001`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    #[must_use]
+    pub fn new(rule: &'static str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the stable report order: by file, then line,
+/// then rule code.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Renders diagnostics in the line-oriented text format, one per line.
+#[must_use]
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders diagnostics as a stable JSON array of
+/// `{"rule", "file", "line", "message"}` objects, sorted like
+/// [`sort`]. The format is documented in DESIGN.md and is safe to parse
+/// from CI tooling.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(d.rule)));
+        out.push_str(&format!("\"file\": \"{}\", ", escape(&d.file)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"message\": \"{}\"}}", escape(&d.message)));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_is_rustc_style() {
+        let d = Diagnostic::new("GH001", "crates/core/src/lib.rs", 12, "no unwrap");
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/lib.rs:12: [GH001] no unwrap"
+        );
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_rule() {
+        let mut v = vec![
+            Diagnostic::new("GH005", "b.rs", 1, "m"),
+            Diagnostic::new("GH001", "a.rs", 9, "m"),
+            Diagnostic::new("GH001", "a.rs", 2, "m"),
+            Diagnostic::new("GH001", "b.rs", 1, "m"),
+        ];
+        sort(&mut v);
+        let order: Vec<(&str, u32, &str)> = v
+            .iter()
+            .map(|d| (d.file.as_str(), d.line, d.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 2, "GH001"),
+                ("a.rs", 9, "GH001"),
+                ("b.rs", 1, "GH001"),
+                ("b.rs", 1, "GH005")
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_terminates() {
+        let v = vec![Diagnostic::new(
+            "GH002",
+            "a.rs",
+            3,
+            "bare `f64` in \"pub\" fn",
+        )];
+        let json = render_json(&v);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\\\"pub\\\""));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,115 @@
+//! The sanctioned dimension table for rule GH003.
+//!
+//! Any `impl Add/Sub/Mul/Div` (or the `*Assign` form) between two unit
+//! newtypes must correspond to an entry here; an arithmetic impl that
+//! invents a new dimensional identity is a lint violation until the table
+//! is extended deliberately. Operations against raw scalars (`f64`, `u64`)
+//! are outside the table's scope — dimensionless scaling is always legal.
+
+/// The unit newtypes defined in `greenhetero-core::types`.
+///
+/// This is also the exemption set for GH002: `impl` blocks on these types
+/// may expose `f64` constructors/accessors (`new`, `value`, …) because the
+/// newtype boundary is exactly where raw floats are supposed to appear.
+pub const UNIT_NEWTYPES: &[&str] = &[
+    "Watts",
+    "WattHours",
+    "Ratio",
+    "MegaHertz",
+    "Throughput",
+    "SimTime",
+    "SimDuration",
+    "EpochId",
+    "ConfigId",
+    "WorkloadId",
+    "ServerId",
+    "PowerRange",
+];
+
+/// One sanctioned identity: `lhs op rhs = output`.
+///
+/// `*Assign` ops are normalized to the base op with `output == lhs` before
+/// lookup.
+pub type Entry = (&'static str, &'static str, &'static str, &'static str);
+
+/// The sanctioned identities, mirroring the physics of the model:
+/// power integrates over time into energy, ratios scale power, and
+/// dividing like by like is dimensionless.
+pub const SANCTIONED: &[Entry] = &[
+    ("Add", "Watts", "Watts", "Watts"),
+    ("Sub", "Watts", "Watts", "Watts"),
+    ("Mul", "Watts", "Ratio", "Watts"),
+    ("Div", "Watts", "Watts", "f64"),
+    ("Mul", "Watts", "SimDuration", "WattHours"),
+    ("Add", "WattHours", "WattHours", "WattHours"),
+    ("Sub", "WattHours", "WattHours", "WattHours"),
+    ("Div", "WattHours", "WattHours", "f64"),
+    ("Mul", "Ratio", "Ratio", "Ratio"),
+    ("Add", "Throughput", "Throughput", "Throughput"),
+    ("Sub", "Throughput", "Throughput", "Throughput"),
+    ("Div", "Throughput", "Throughput", "f64"),
+    ("Add", "SimTime", "SimDuration", "SimTime"),
+    ("Sub", "SimTime", "SimTime", "SimDuration"),
+    ("Add", "SimDuration", "SimDuration", "SimDuration"),
+    ("Sub", "SimDuration", "SimDuration", "SimDuration"),
+];
+
+/// `true` if `name` is one of the unit newtypes.
+#[must_use]
+pub fn is_unit_newtype(name: &str) -> bool {
+    UNIT_NEWTYPES.contains(&name)
+}
+
+/// Normalizes an operator trait name to its base op (`AddAssign` → `Add`).
+/// Returns `None` for traits outside the four arithmetic ops.
+#[must_use]
+pub fn base_op(trait_name: &str) -> Option<&'static str> {
+    match trait_name {
+        "Add" | "AddAssign" => Some("Add"),
+        "Sub" | "SubAssign" => Some("Sub"),
+        "Mul" | "MulAssign" => Some("Mul"),
+        "Div" | "DivAssign" => Some("Div"),
+        _ => None,
+    }
+}
+
+/// `true` if `lhs op rhs = output` is a sanctioned identity.
+#[must_use]
+pub fn is_sanctioned(op: &str, lhs: &str, rhs: &str, output: &str) -> bool {
+    SANCTIONED
+        .iter()
+        .any(|&(o, l, r, out)| o == op && l == lhs && r == rhs && out == output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        assert!(is_sanctioned("Mul", "Watts", "SimDuration", "WattHours"));
+        assert!(!is_sanctioned("Mul", "Watts", "SimDuration", "Watts"));
+        assert!(!is_sanctioned(
+            "Mul",
+            "WattHours",
+            "SimDuration",
+            "WattHours"
+        ));
+    }
+
+    #[test]
+    fn assign_ops_normalize() {
+        assert_eq!(base_op("AddAssign"), Some("Add"));
+        assert_eq!(base_op("Div"), Some("Div"));
+        assert_eq!(base_op("Neg"), None);
+        assert_eq!(base_op("Display"), None);
+    }
+
+    #[test]
+    fn newtype_set_matches_core_types() {
+        assert!(is_unit_newtype("Watts"));
+        assert!(is_unit_newtype("PowerRange"));
+        assert!(!is_unit_newtype("f64"));
+        assert!(!is_unit_newtype("Allocation"));
+    }
+}

@@ -1,0 +1,422 @@
+//! A comment- and string-aware Rust token scanner.
+//!
+//! The offline build environment cannot fetch `syn`, so this crate carries
+//! its own lexical front end: a scanner that splits Rust source into
+//! identifier / punctuation / literal tokens with line numbers, while
+//! recording comments (for `greenhetero-lint: allow(...)` directives and
+//! doc-comment detection). The domain rules (GH001–GH005) are all
+//! expressible over this token stream plus brace matching — none of them
+//! needs full expression parsing.
+//!
+//! The scanner understands every Rust 2021 lexical form that affects
+//! correctness of token extraction: line and (nested) block comments,
+//! string / raw-string / byte-string / C-string literals, char literals
+//! versus lifetimes, and numeric literals with suffixes.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's text. For literals this is the raw source slice.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token classification, deliberately coarse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules match on text).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `{`, …). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct,
+    /// String/char/numeric literal (content is not interpreted).
+    Literal,
+    /// A lifetime such as `'a` (kept distinct so char literals are not
+    /// confused with lifetimes).
+    Lifetime,
+}
+
+/// One comment, retained for directive and doc detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//`/`/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// `true` for `///`, `//!`, `/**`, or `/*!` doc comments.
+    pub is_doc: bool,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans Rust source text into tokens and comments.
+///
+/// The scanner is infallible: unrecognized bytes are skipped. That is the
+/// right behavior for a lint front end — a file that does not parse will
+/// fail `cargo build` long before this tool matters.
+#[must_use]
+pub fn scan(source: &str) -> Scanned {
+    let bytes = source.as_bytes();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&b| b == b'\n').count() as u32
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                let start_line = line;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let raw = &source[start..i];
+                let is_doc = raw.starts_with("///") || raw.starts_with("//!");
+                let text = raw.trim_start_matches('/').trim_start_matches('!');
+                out.comments.push(Comment {
+                    text: text.trim().to_string(),
+                    line: start_line,
+                    is_doc,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let raw = &source[start..i];
+                let is_doc = raw.starts_with("/**") || raw.starts_with("/*!");
+                out.comments.push(Comment {
+                    text: raw
+                        .trim_start_matches('/')
+                        .trim_matches('*')
+                        .trim_matches('!')
+                        .trim()
+                        .to_string(),
+                    line: start_line,
+                    is_doc,
+                });
+            }
+            b'"' => {
+                let (end, consumed) = scan_string(bytes, i);
+                bump_lines!(&bytes[i..end]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[i..end].to_string(),
+                    line: line - count_newlines(&bytes[i..end]),
+                });
+                i = end;
+                debug_assert!(consumed > 0, "string scan must make progress");
+            }
+            b'r' | b'b' | b'c' if is_raw_or_byte_string_start(bytes, i) => {
+                let start_line = line;
+                let end = scan_raw_or_prefixed_string(bytes, i);
+                bump_lines!(&bytes[i..end]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[i..end].to_string(),
+                    line: start_line,
+                });
+                i = end;
+            }
+            b'\'' => {
+                // Disambiguate char literal from lifetime.
+                let (end, kind) = scan_quote(bytes, i);
+                out.tokens.push(Token {
+                    kind,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // `1..2` — stop before a range operator.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: source[i..i + 1].to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn count_newlines(bytes: &[u8]) -> u32 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u32
+}
+
+/// Scans a regular `"…"` string starting at `start`; returns the index one
+/// past the closing quote and the number of bytes consumed.
+fn scan_string(bytes: &[u8], start: usize) -> (usize, usize) {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                return (i, i - start);
+            }
+            _ => i += 1,
+        }
+    }
+    (i, i - start)
+}
+
+/// `true` if position `i` starts a raw/byte/C string or raw identifier
+/// that must be consumed as a unit (`r"`, `r#"`, `b"`, `br#"`, `c"`, …).
+fn is_raw_or_byte_string_start(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    let after_prefix = |n: usize| -> bool { matches!(rest.get(n), Some(&b'"') | Some(&b'#')) };
+    match rest.first() {
+        Some(&b'r') | Some(&b'c') => after_prefix(1),
+        Some(&b'b') => {
+            // b"…", br"…", br#"…"#
+            matches!(rest.get(1), Some(&b'"')) || (rest.get(1) == Some(&b'r') && after_prefix(2))
+        }
+        _ => false,
+    }
+}
+
+/// Scans a raw / byte / C string starting at `start`; returns the index one
+/// past its end.
+fn scan_raw_or_prefixed_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    // Skip the prefix letters.
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b' || bytes[i] == b'c') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        // Not actually a string (e.g. identifier starting with b); consume
+        // one byte and let the main loop re-tokenize.
+        return start + 1;
+    }
+    i += 1;
+    if hashes == 0 {
+        // Raw string without hashes still has no escapes.
+        while i < bytes.len() {
+            if bytes[i] == b'"' {
+                return i + 1;
+            }
+            i += 1;
+        }
+        return i;
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(i + 1 + k) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scans from a `'`: either a char literal (`'a'`, `'\n'`) or a lifetime
+/// (`'static`). Returns the end index and the token kind.
+fn scan_quote(bytes: &[u8], start: usize) -> (usize, TokenKind) {
+    let next = bytes.get(start + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: consume through the closing quote.
+            let mut i = start + 2;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\'' => return (i + 1, TokenKind::Literal),
+                    _ => i += 1,
+                }
+            }
+            (i, TokenKind::Literal)
+        }
+        Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+            // 'x' is a char literal iff a quote follows immediately;
+            // otherwise it is a lifetime.
+            if bytes.get(start + 2) == Some(&b'\'') {
+                (start + 3, TokenKind::Literal)
+            } else {
+                let mut i = start + 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                (i, TokenKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // Some other char literal like '(' — find the closing quote.
+            let mut i = start + 1;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
+            }
+            (i.min(bytes.len() - 1) + 1, TokenKind::Literal)
+        }
+        None => (start + 1, TokenKind::Punct),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let s = scan("// unwrap() in a comment\nfn main() {}\n/* panic! */");
+        assert_eq!(idents("// unwrap()\nfn x() {}"), vec!["fn", "x"]);
+        assert_eq!(s.comments.len(), 2);
+        assert!(!s.comments[0].is_doc);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let s = scan("/// docs here\npub fn f() {}\n//! inner\n");
+        assert!(s.comments[0].is_doc);
+        assert!(s.comments[1].is_doc);
+        assert_eq!(s.comments[0].line, 1);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = scan(r#"let x = "unwrap() panic!"; y"#);
+        let names: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and unwrap()\"#; z";
+        let names = idents(src);
+        assert_eq!(names, vec!["let", "s", "z"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let literals = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let s = scan("a\nb\n\nc");
+        let lines: Vec<u32> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let names = idents("/* outer /* inner */ still comment */ fn g() {}");
+        assert_eq!(names, vec!["fn", "g"]);
+    }
+
+    #[test]
+    fn numeric_literals_with_ranges() {
+        let s = scan("0.0..3000.0f64");
+        let lits: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["0.0", "3000.0f64"]);
+    }
+}

@@ -1,0 +1,214 @@
+//! `greenhetero-lint`: workspace-aware domain lints for the GreenHetero
+//! codebase.
+//!
+//! The general-purpose toolchain (rustc, clippy) cannot know that `Watts`
+//! times `SimDuration` must be `WattHours`, or that every `CoreError`
+//! variant needs a live construction site. This crate encodes those
+//! project-specific rules as a standalone static-analysis pass:
+//!
+//! | rule  | meaning |
+//! |-------|---------|
+//! | GH000 | `greenhetero-lint: allow(...)` directive without a reason |
+//! | GH001 | no `unwrap`/`expect`/`panic!`/`unreachable!` in library code |
+//! | GH002 | no bare `f64`/`f32` in pub APIs of the dimensional crates |
+//! | GH003 | cross-newtype arithmetic must be in the sanctioned table |
+//! | GH004 | every `*Error` variant constructed outside its definition |
+//! | GH005 | doc comments on all pub items of the library crates |
+//!
+//! The analysis is a hand-rolled lexer plus token-level structural model —
+//! the offline build environment has no `syn`/`proc-macro2`, and the rules
+//! here only need comment/string-aware token streams with brace matching,
+//! not full parse trees.
+//!
+//! Violations can be suppressed per-site with a justified escape hatch on
+//! the same or preceding line: `// greenhetero-lint: allow(GH001) <reason>`.
+
+pub mod diag;
+pub mod dimensions;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use diag::Diagnostic;
+use model::FileModel;
+
+/// Directory names never descended into when scanning a workspace.
+///
+/// `fixtures` holds deliberate rule violations for the lint's own tests;
+/// `vendor` holds the offline stand-ins for external crates, which are
+/// outside the domain rules' jurisdiction.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures", "node_modules"];
+
+/// `true` for files inside a library crate's `src/` tree.
+fn is_lib_src(path: &str) -> bool {
+    ["core", "power", "server", "sim"]
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// `true` for files inside the dimensional crates (`core`, `power`).
+fn is_dimensional_src(path: &str) -> bool {
+    ["core", "power"]
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// `true` for any crate source file (operator impls can live anywhere).
+fn is_crate_src(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/")
+}
+
+/// Reads every `.rs` file under `root` (skipping [`SKIP_DIRS`]), returning
+/// `(workspace-relative path, contents)` pairs in a stable order.
+///
+/// # Errors
+///
+/// Propagates I/O failures from directory traversal or file reads.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+/// Recursive directory walk backing [`collect_workspace_files`].
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the given `(path, source)` set and returns the
+/// sorted diagnostics.
+#[must_use]
+pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let models: Vec<FileModel> = files
+        .iter()
+        .map(|(path, src)| FileModel::build(path, src))
+        .collect();
+    let mut diags = Vec::new();
+    for model in &models {
+        // GH000: a directive that cannot suppress anything is a bug in
+        // the annotation, wherever it appears.
+        for a in &model.allows {
+            if !a.has_reason {
+                diags.push(Diagnostic::new(
+                    "GH000",
+                    &model.path,
+                    a.line,
+                    format!(
+                        "allow({}) directive has no reason; write `greenhetero-lint: allow({}) <why this site is safe>`",
+                        a.rules.join(", "),
+                        a.rules.join(", ")
+                    ),
+                ));
+            }
+        }
+        if is_lib_src(&model.path) {
+            rules::gh001::check(model, &mut diags);
+            rules::gh005::check(model, &mut diags);
+        }
+        if is_dimensional_src(&model.path) {
+            rules::gh002::check(model, &mut diags);
+        }
+        if is_crate_src(&model.path) {
+            rules::gh003::check(model, &mut diags);
+        }
+    }
+    rules::gh004::check(&models, is_lib_src, &mut diags);
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Scans the workspace rooted at `root` and returns sorted diagnostics.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the file walk.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(analyze_files(&collect_workspace_files(root)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> (String, String) {
+        (path.to_string(), src.to_string())
+    }
+
+    #[test]
+    fn rules_are_scoped_to_their_crates() {
+        // An unwrap in sim's src is GH001; the same code in an
+        // integration-test tree is out of scope.
+        let diags = analyze_files(&[
+            file(
+                "crates/sim/src/lib.rs",
+                "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+            ),
+            file(
+                "tests/e2e.rs",
+                "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+            ),
+        ]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "GH001");
+        assert_eq!(diags[0].file, "crates/sim/src/lib.rs");
+    }
+
+    #[test]
+    fn gh002_only_applies_to_dimensional_crates() {
+        let src = "/// Doc.\npub fn ratio(x: f64) -> f64 { x }\n";
+        let diags = analyze_files(&[
+            file("crates/server/src/lib.rs", src),
+            file("crates/power/src/lib.rs", src),
+        ]);
+        let rules: Vec<(&str, &str)> = diags.iter().map(|d| (d.file.as_str(), d.rule)).collect();
+        assert!(rules.contains(&("crates/power/src/lib.rs", "GH002")));
+        assert!(!rules.contains(&("crates/server/src/lib.rs", "GH002")));
+    }
+
+    #[test]
+    fn reasonless_allow_is_gh000() {
+        let diags = analyze_files(&[file(
+            "crates/core/src/x.rs",
+            "// greenhetero-lint: allow(GH001)\n/// Doc.\npub fn f() {}\n",
+        )]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "GH000");
+    }
+
+    #[test]
+    fn diagnostics_come_out_sorted() {
+        let diags = analyze_files(&[
+            file("crates/core/src/b.rs", "fn f(v: Option<u32>) -> u32 { v.unwrap() }\nfn g(v: Option<u32>) -> u32 { v.unwrap() }\n"),
+            file("crates/core/src/a.rs", "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n"),
+        ]);
+        let keys: Vec<(&str, u32)> = diags.iter().map(|d| (d.file.as_str(), d.line)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(diags.len(), 3);
+    }
+}

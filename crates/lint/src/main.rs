@@ -1,0 +1,113 @@
+//! CLI for `greenhetero-lint`.
+//!
+//! ```text
+//! cargo run -p greenhetero-lint [-- --root PATH] [--format text|json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use greenhetero_lint::{analyze_workspace, diag};
+
+/// Output format selection.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Parsed command line.
+struct Args {
+    root: Option<PathBuf>,
+    format: Format,
+}
+
+/// Parses the argument list; returns an error message on bad usage.
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: Format::Text,
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = argv.next().ok_or("--root needs a path argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = argv.next().ok_or("--format needs `text` or `json`")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: greenhetero-lint [--root PATH] [--format text|json]",
+                ))
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// declaring a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("no workspace root found; pass --root PATH");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match analyze_workspace(Path::new(&root)) {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!("failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        Format::Text => {
+            print!("{}", diag::render_text(&diags));
+            if diags.is_empty() {
+                println!("greenhetero-lint: clean");
+            } else {
+                println!("greenhetero-lint: {} violation(s)", diags.len());
+            }
+        }
+        Format::Json => print!("{}", diag::render_json(&diags)),
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

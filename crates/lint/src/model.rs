@@ -1,0 +1,587 @@
+//! Per-file structural model shared by all rules.
+//!
+//! Built once per source file from the [`crate::lexer`] token stream:
+//! brace-matched spans for `#[cfg(test)]` / `#[test]` regions, `impl` and
+//! `trait` block spans, doc-comment line coverage, and
+//! `greenhetero-lint: allow(...)` suppression directives.
+
+use std::collections::HashSet;
+
+use crate::lexer::{scan, Comment, Token, TokenKind};
+
+/// An `impl` block: `impl Trait<G> for Target { … }` or `impl Target { … }`.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// Last segment of the trait path, when this is a trait impl.
+    pub trait_name: Option<String>,
+    /// First identifier inside the trait's generic arguments
+    /// (`Mul<SimDuration>` → `SimDuration`), when present.
+    pub trait_generic: Option<String>,
+    /// Base name of the implementing type (`Watts`, `BatteryBank`, …).
+    pub target: String,
+    /// Token index of the opening `{`.
+    pub body_start: usize,
+    /// Token index of the matching `}`.
+    pub body_end: usize,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// A `trait` declaration block.
+#[derive(Debug, Clone)]
+pub struct TraitBlock {
+    /// The trait's name.
+    pub name: String,
+    /// `true` when declared `pub` (without a restriction like `pub(crate)`).
+    pub is_pub: bool,
+    /// Token index of the opening `{`.
+    pub body_start: usize,
+    /// Token index of the matching `}`.
+    pub body_end: usize,
+}
+
+/// One parsed `greenhetero-lint: allow(RULE, …) reason` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the directive comment sits on.
+    pub line: u32,
+    /// Rule codes listed in the parentheses (upper-cased).
+    pub rules: Vec<String>,
+    /// `true` when a justification follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, as shown in diagnostics.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+    /// Lines covered by doc comments (`///`, `//!`, `/** */`).
+    pub doc_lines: HashSet<u32>,
+    /// Lines holding ordinary (non-doc) comments; transparent to the
+    /// doc-attachment walk, exactly as they are to the parser.
+    pub comment_lines: HashSet<u32>,
+    /// Lines starting an attribute (`#[...]`), used to walk attribute
+    /// chains when attaching doc comments to items.
+    pub attr_lines: HashSet<u32>,
+    /// Inclusive line ranges inside `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Inclusive line ranges of `macro_rules!` definition bodies; their
+    /// `$name`-template code is opaque to the item-level rules.
+    pub macro_ranges: Vec<(u32, u32)>,
+    /// All `impl` blocks.
+    pub impls: Vec<ImplBlock>,
+    /// All `trait` blocks.
+    pub traits: Vec<TraitBlock>,
+    /// Suppression directives.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl FileModel {
+    /// Scans and models one file.
+    #[must_use]
+    pub fn build(path: &str, source: &str) -> Self {
+        let scanned = scan(source);
+        let tokens = scanned.tokens;
+        let comments = scanned.comments;
+
+        let mut doc_lines = HashSet::new();
+        let mut comment_lines = HashSet::new();
+        let mut allows = Vec::new();
+        for c in &comments {
+            if c.is_doc {
+                doc_lines.insert(c.line);
+            } else {
+                comment_lines.insert(c.line);
+            }
+            if let Some(directive) = parse_allow(c) {
+                allows.push(directive);
+            }
+        }
+
+        let mut attr_lines = HashSet::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.text == "#" && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("[") {
+                // A `#[derive(...)]` can span several lines; mark them all
+                // so doc-attachment walks don't stop mid-attribute.
+                let mut depth = 0i64;
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let end_line = tokens.get(j).map_or(t.line, |e| e.line);
+                attr_lines.extend(t.line..=end_line);
+                // `#[doc = "…"]` counts as documentation.
+                if tokens.get(i + 2).map(|n| n.text.as_str()) == Some("doc") {
+                    doc_lines.insert(t.line);
+                }
+            }
+        }
+
+        let test_ranges = find_test_ranges(&tokens);
+        let impls = find_impls(&tokens);
+        let traits = find_traits(&tokens);
+        let macro_ranges = find_macro_ranges(&tokens);
+
+        FileModel {
+            path: path.to_string(),
+            tokens,
+            comments,
+            doc_lines,
+            comment_lines,
+            attr_lines,
+            test_ranges,
+            macro_ranges,
+            impls,
+            traits,
+            allows,
+        }
+    }
+
+    /// `true` if `line` falls inside a `macro_rules!` definition body.
+    #[must_use]
+    pub fn in_macro_def(&self, line: u32) -> bool {
+        self.macro_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// `true` if `line` falls inside a test-gated region.
+    #[must_use]
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// `true` if a violation of `rule` at `line` is suppressed by an allow
+    /// directive (with a reason) on the same or the preceding line.
+    #[must_use]
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.has_reason
+                && (a.line == line || a.line + 1 == line)
+                && a.rules.iter().any(|r| r == rule)
+        })
+    }
+
+    /// The innermost `impl` block containing token index `idx`, if any.
+    #[must_use]
+    pub fn impl_at(&self, idx: usize) -> Option<&ImplBlock> {
+        self.impls
+            .iter()
+            .filter(|b| (b.body_start..=b.body_end).contains(&idx))
+            .min_by_key(|b| b.body_end - b.body_start)
+    }
+
+    /// The innermost `trait` block containing token index `idx`, if any.
+    #[must_use]
+    pub fn trait_at(&self, idx: usize) -> Option<&TraitBlock> {
+        self.traits
+            .iter()
+            .filter(|b| (b.body_start..=b.body_end).contains(&idx))
+            .min_by_key(|b| b.body_end - b.body_start)
+    }
+
+    /// `true` if the item whose first token is on `item_line` carries a doc
+    /// comment, walking upward through a contiguous run of attribute and
+    /// doc lines.
+    #[must_use]
+    pub fn has_doc(&self, item_line: u32) -> bool {
+        let mut line = item_line;
+        while line > 1 {
+            let above = line - 1;
+            if self.doc_lines.contains(&above) {
+                return true;
+            }
+            // Attributes and plain comments sit between docs and their
+            // item without detaching them.
+            if self.attr_lines.contains(&above) || self.comment_lines.contains(&above) {
+                line = above;
+                continue;
+            }
+            return false;
+        }
+        false
+    }
+}
+
+/// Parses a `greenhetero-lint: allow(GH001) reason` comment.
+fn parse_allow(comment: &Comment) -> Option<AllowDirective> {
+    let marker = "greenhetero-lint:";
+    let pos = comment.text.find(marker)?;
+    let rest = comment.text[pos + marker.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect::<Vec<_>>();
+    if rules.is_empty() {
+        return None;
+    }
+    let reason = rest[close + 1..].trim();
+    Some(AllowDirective {
+        line: comment.line,
+        rules,
+        has_reason: !reason.is_empty(),
+    })
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`.
+///
+/// Returns the last token index if the file is unbalanced (a file that
+/// does not parse fails `cargo build` anyway).
+#[must_use]
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Locates `#[cfg(test)]` / `#[test]` attributes and brace-matches the item
+/// that follows each, yielding inclusive line ranges of test-only code.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1i64;
+        let mut names: Vec<&str> = Vec::new();
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                other => {
+                    if tokens[j].kind == TokenKind::Ident {
+                        names.push(other);
+                    }
+                }
+            }
+            j += 1;
+        }
+        let is_test_attr =
+            names.first() == Some(&"test") || (names.contains(&"cfg") && names.contains(&"test"));
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Find the gated item's body: the first `{` before any `;` at
+        // nesting level zero of parens/brackets.
+        let mut k = j;
+        let mut nest = 0i64;
+        let mut end_line = attr_line;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "(" | "[" => nest += 1,
+                ")" | "]" => nest -= 1,
+                "{" if nest == 0 => {
+                    let close = matching_brace(tokens, k);
+                    end_line = tokens[close].line;
+                    break;
+                }
+                ";" if nest == 0 => {
+                    end_line = tokens[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        ranges.push((attr_line, end_line));
+        i = j;
+    }
+    ranges
+}
+
+/// Locates `macro_rules! name { … }` definition bodies.
+fn find_macro_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "macro_rules" {
+            continue;
+        }
+        if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("!") {
+            continue;
+        }
+        // `macro_rules! name {` — find the body brace.
+        let mut k = i + 2;
+        while k < tokens.len() && tokens[k].text != "{" {
+            k += 1;
+        }
+        if k < tokens.len() {
+            let close = matching_brace(tokens, k);
+            ranges.push((tokens[i].line, tokens[close].line));
+        }
+    }
+    ranges
+}
+
+/// Reads a type path starting at `i`: consumes `seg::seg::Name<...>` and
+/// returns (base identifier of the last segment, index after the path).
+fn read_type_path(tokens: &[Token], mut i: usize) -> (Option<String>, Option<String>, usize) {
+    let mut base: Option<String> = None;
+    let mut generic: Option<String> = None;
+    // Leading `&`, lifetimes, `mut`, `dyn` are not expected in impl heads
+    // for this codebase's rules; consume defensively.
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Ident => {
+                let name = tokens[i].text.clone();
+                if name == "for" || name == "where" {
+                    break;
+                }
+                base = Some(name);
+                i += 1;
+                // `::` continues the path.
+                if tokens.get(i).map(|t| t.text.as_str()) == Some(":")
+                    && tokens.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+                {
+                    i += 2;
+                    continue;
+                }
+                // Generic arguments: record the first identifier inside.
+                if tokens.get(i).map(|t| t.text.as_str()) == Some("<") {
+                    let mut depth = 0i64;
+                    while i < tokens.len() {
+                        match tokens[i].text.as_str() {
+                            "<" => depth += 1,
+                            ">" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            _ => {
+                                if tokens[i].kind == TokenKind::Ident && generic.is_none() {
+                                    generic = Some(tokens[i].text.clone());
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (base, generic, i)
+}
+
+/// Locates all `impl` blocks with their trait/target names and body spans.
+fn find_impls(tokens: &[Token]) -> Vec<ImplBlock> {
+    let mut impls = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "impl" {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        let mut j = i + 1;
+        // Skip `impl<...>` generics.
+        if tokens.get(j).map(|t| t.text.as_str()) == Some("<") {
+            let mut depth = 0i64;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let (first, first_generic, after_first) = read_type_path(tokens, j);
+        let mut trait_name = None;
+        let mut trait_generic = None;
+        let mut target = first.clone();
+        let mut k = after_first;
+        if tokens.get(k).map(|t| t.text.as_str()) == Some("for") {
+            trait_name = first;
+            trait_generic = first_generic;
+            let (tgt, _, after_tgt) = read_type_path(tokens, k + 1);
+            target = tgt;
+            k = after_tgt;
+        }
+        // Find the body `{` (skipping a possible `where` clause).
+        while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+            k += 1;
+        }
+        if let (Some(target), Some("{")) = (target, tokens.get(k).map(|t| t.text.as_str())) {
+            let close = matching_brace(tokens, k);
+            impls.push(ImplBlock {
+                trait_name,
+                trait_generic,
+                target,
+                body_start: k,
+                body_end: close,
+                line,
+            });
+            // Continue scanning *inside* the impl too (nested impls are
+            // rare but legal); just move past the `impl` keyword.
+        }
+        i += 1;
+    }
+    impls
+}
+
+/// Locates all `trait` declaration blocks.
+fn find_traits(tokens: &[Token]) -> Vec<TraitBlock> {
+    let mut traits = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "trait" {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // `pub` may sit immediately before, or before `unsafe trait`.
+        let is_pub = (1..=2).any(|back| {
+            i >= back
+                && tokens[i - back].text == "pub"
+                && tokens.get(i - back + 1).map(|t| t.text.as_str()) != Some("(")
+        });
+        // Find the body: first `{` before a `;` (skip supertraits/where).
+        let mut k = i + 2;
+        while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+            k += 1;
+        }
+        if tokens.get(k).map(|t| t.text.as_str()) == Some("{") {
+            let close = matching_brace(tokens, k);
+            traits.push(TraitBlock {
+                name: name_tok.text.clone(),
+                is_pub,
+                body_start: k,
+                body_end: close,
+            });
+        }
+    }
+    traits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_ranges_cover_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let m = FileModel::build("x.rs", src);
+        assert!(!m.in_test_code(1));
+        assert!(m.in_test_code(3));
+        assert!(m.in_test_code(4));
+        assert!(!m.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_range() {
+        let src = "#[cfg(feature = \"x\")]\nmod gated {\n fn a() {}\n}\n";
+        let m = FileModel::build("x.rs", src);
+        assert!(!m.in_test_code(3));
+    }
+
+    #[test]
+    fn allow_directive_requires_reason() {
+        let src = "// greenhetero-lint: allow(GH001) checked: index bounded above\nlet x = v[0];\n// greenhetero-lint: allow(GH002)\nlet y = 1;\n";
+        let m = FileModel::build("x.rs", src);
+        assert!(m.is_allowed("GH001", 2));
+        assert!(m.is_allowed("GH001", 1));
+        assert!(
+            !m.is_allowed("GH002", 4),
+            "reasonless directive must not suppress"
+        );
+        assert!(!m.is_allowed("GH001", 4));
+    }
+
+    #[test]
+    fn impl_blocks_are_modeled() {
+        let src = "impl Mul<SimDuration> for Watts {\n type Output = WattHours;\n}\nimpl Watts { fn f(&self) {} }\n";
+        let m = FileModel::build("x.rs", src);
+        assert_eq!(m.impls.len(), 2);
+        assert_eq!(m.impls[0].trait_name.as_deref(), Some("Mul"));
+        assert_eq!(m.impls[0].trait_generic.as_deref(), Some("SimDuration"));
+        assert_eq!(m.impls[0].target, "Watts");
+        assert_eq!(m.impls[1].trait_name, None);
+        assert_eq!(m.impls[1].target, "Watts");
+    }
+
+    #[test]
+    fn trait_blocks_and_pubness() {
+        let src = "pub trait Predictor { fn observe(&mut self, v: f64); }\ntrait Private {}\npub(crate) trait Half {}\n";
+        let m = FileModel::build("x.rs", src);
+        assert_eq!(m.traits.len(), 3);
+        assert!(m.traits[0].is_pub);
+        assert!(!m.traits[1].is_pub);
+        assert!(!m.traits[2].is_pub);
+    }
+
+    #[test]
+    fn multiline_attributes_do_not_break_doc_attachment() {
+        let src = "/// Documented.\n#[derive(\n    Debug, Clone,\n)]\npub struct A(u64);\n";
+        let m = FileModel::build("x.rs", src);
+        assert!(m.has_doc(5));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_tracked() {
+        let src = "macro_rules! m {\n () => {\n  pub struct Inner;\n };\n}\npub struct Outer;\n";
+        let m = FileModel::build("x.rs", src);
+        assert!(m.in_macro_def(3));
+        assert!(!m.in_macro_def(6));
+    }
+
+    #[test]
+    fn doc_attachment_walks_attribute_chains() {
+        let src =
+            "/// Documented.\n#[derive(Debug)]\npub struct A;\n\n#[derive(Debug)]\npub struct B;\n";
+        let m = FileModel::build("x.rs", src);
+        assert!(m.has_doc(3));
+        assert!(!m.has_doc(6));
+    }
+}

@@ -1,0 +1,90 @@
+//! GH001: no `unwrap`/`expect`/`panic!`/`unreachable!` (or `todo!`/
+//! `unimplemented!`) in non-test library code.
+//!
+//! A solver or controller that can panic takes down the whole simulation;
+//! library code must surface failures as `CoreError` values instead.
+//! Genuinely-infallible sites can opt out with
+//! `// greenhetero-lint: allow(GH001) <reason>`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH001";
+
+/// Runs GH001 over one file.
+pub fn check(model: &FileModel, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let found: Option<String> = match t.text.as_str() {
+            // Method calls: `.unwrap()` / `.expect("…")`.
+            "unwrap" | "expect" => {
+                let is_method_call = i > 0
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("(");
+                is_method_call.then(|| format!(".{}()", t.text))
+            }
+            // Panicking macros.
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                let is_macro = tokens.get(i + 1).map(|n| n.text.as_str()) == Some("!");
+                is_macro.then(|| format!("{}!", t.text))
+            }
+            _ => None,
+        };
+        let Some(what) = found else {
+            continue;
+        };
+        if model.in_test_code(t.line) || model.is_allowed(RULE, t.line) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            RULE,
+            &model.path,
+            t.line,
+            format!("`{what}` in library code; return a `CoreError` (or document infallibility with a `greenhetero-lint: allow(GH001) <reason>` comment)"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build("f.rs", src);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(include_str!("../../fixtures/gh001_fail.rs"));
+        assert!(
+            diags.len() >= 4,
+            "expected unwrap/expect/panic/unreachable hits, got {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == "GH001"));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(include_str!("../../fixtures/gh001_pass.rs"));
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(run("fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n").is_empty());
+        assert!(run("fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n").is_empty());
+    }
+
+    #[test]
+    fn string_and_comment_occurrences_are_ignored() {
+        assert!(run("// .unwrap() is banned\nfn f() -> &'static str { \"panic!\" }\n").is_empty());
+    }
+}

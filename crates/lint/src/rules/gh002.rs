@@ -1,0 +1,122 @@
+//! GH002: no bare `f64`/`f32` parameters or returns in public APIs of the
+//! dimensional crates (`greenhetero-core`, `greenhetero-power`).
+//!
+//! A `Watts` mistaken for a `Ratio` is the class of bug the newtype layer
+//! exists to prevent; a pub fn trafficking in raw floats re-opens the
+//! hole. Exempt:
+//!
+//! - inherent impls on the unit newtypes themselves (the constructor /
+//!   accessor boundary, e.g. `Watts::new(f64)` / `Watts::value() -> f64`),
+//! - trait-impl methods (their signatures are fixed by the trait),
+//! - sites carrying `// greenhetero-lint: allow(GH002) <reason>` for APIs
+//!   that are genuinely dimensionless (fit coefficients, smoothing
+//!   factors, …).
+
+use crate::diag::Diagnostic;
+use crate::dimensions::is_unit_newtype;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::rules::find_fns;
+
+/// The rule code.
+pub const RULE: &str = "GH002";
+
+/// Runs GH002 over one file.
+pub fn check(model: &FileModel, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for sig in find_fns(model) {
+        // Public directly, or a method of a `pub trait` declaration.
+        let in_pub_trait = model
+            .trait_at(sig.fn_idx)
+            .is_some_and(|t| t.is_pub && model.impl_at(sig.fn_idx).is_none());
+        if !sig.is_pub && !in_pub_trait {
+            continue;
+        }
+        if model.in_test_code(sig.line)
+            || model.in_macro_def(sig.line)
+            || model.is_allowed(RULE, sig.line)
+        {
+            continue;
+        }
+        if let Some(block) = model.impl_at(sig.fn_idx) {
+            // The newtype boundary itself: raw floats are the point.
+            if block.trait_name.is_none() && is_unit_newtype(&block.target) {
+                continue;
+            }
+            // Trait impls don't own their signatures.
+            if block.trait_name.is_some() {
+                continue;
+            }
+        }
+        let bare_float = |range: std::ops::Range<usize>| {
+            tokens[range]
+                .iter()
+                .find(|t| t.kind == TokenKind::Ident && (t.text == "f64" || t.text == "f32"))
+                .map(|t| t.text.clone())
+        };
+        let in_params = bare_float(sig.params.clone());
+        let in_ret = bare_float(sig.ret.clone());
+        let (Some(float), position) = (match (&in_params, &in_ret) {
+            (Some(f), _) => (Some(f.clone()), "parameter of"),
+            (None, Some(f)) => (Some(f.clone()), "return type of"),
+            (None, None) => (None, ""),
+        }) else {
+            continue;
+        };
+        diags.push(Diagnostic::new(
+            RULE,
+            &model.path,
+            sig.line,
+            format!(
+                "bare `{float}` in {position} pub fn `{name}`; use a unit newtype (`Watts`, `Ratio`, …) or justify with `greenhetero-lint: allow(GH002) <reason>`",
+                name = sig.name
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build("f.rs", src);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(include_str!("../../fixtures/gh002_fail.rs"));
+        assert!(
+            diags.len() >= 2,
+            "expected param + return hits, got {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == "GH002"));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(include_str!("../../fixtures/gh002_pass.rs"));
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn newtype_inherent_impls_are_exempt() {
+        let src = "pub struct Watts(f64);\nimpl Watts {\n pub fn new(raw: f64) -> Watts { Watts(raw) }\n pub fn value(&self) -> f64 { self.0 }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn private_and_crate_fns_are_exempt() {
+        let src = "fn go(x: f64) -> f64 { x }\npub(crate) fn half(x: f64) -> f64 { x }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pub_trait_methods_are_checked() {
+        let src = "pub trait Predictor {\n fn observe(&mut self, v: f64);\n}\n";
+        assert_eq!(run(src).len(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! GH003: arithmetic between two unit newtypes must be a sanctioned
+//! dimensional identity (see [`crate::dimensions::SANCTIONED`]).
+//!
+//! The table is the single place where the model's physics is declared;
+//! an `impl Mul<SimDuration> for WattHours` (energy × time?) would compile
+//! fine but mean nothing, so the lint forces every cross-newtype operator
+//! through review.
+
+use crate::diag::Diagnostic;
+use crate::dimensions::{base_op, is_sanctioned, is_unit_newtype};
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH003";
+
+/// Runs GH003 over one file.
+pub fn check(model: &FileModel, diags: &mut Vec<Diagnostic>) {
+    for block in &model.impls {
+        let Some(trait_name) = block.trait_name.as_deref() else {
+            continue;
+        };
+        let Some(op) = base_op(trait_name) else {
+            continue;
+        };
+        let lhs = block.target.as_str();
+        let rhs = block.trait_generic.as_deref().unwrap_or(lhs);
+        if !is_unit_newtype(lhs) || !is_unit_newtype(rhs) {
+            continue;
+        }
+        // `*Assign` ops have no `Output`; they produce the left-hand type.
+        let output = if trait_name.ends_with("Assign") {
+            lhs.to_string()
+        } else {
+            find_output(model, block.body_start, block.body_end).unwrap_or_else(|| lhs.to_string())
+        };
+        if is_sanctioned(op, lhs, rhs, &output) {
+            continue;
+        }
+        if model.is_allowed(RULE, block.line) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            RULE,
+            &model.path,
+            block.line,
+            format!(
+                "`{lhs} {op} {rhs} = {output}` is not in the sanctioned dimension table; extend `crates/lint/src/dimensions.rs` if this identity is physically meaningful"
+            ),
+        ));
+    }
+}
+
+/// Finds the `type Output = X;` identifier inside an impl body.
+fn find_output(model: &FileModel, start: usize, end: usize) -> Option<String> {
+    let tokens = &model.tokens;
+    let mut i = start;
+    while i + 3 <= end {
+        if tokens[i].kind == TokenKind::Ident
+            && tokens[i].text == "type"
+            && tokens[i + 1].text == "Output"
+            && tokens[i + 2].text == "="
+        {
+            // The output type's base identifier is the last ident before `;`.
+            let mut j = i + 3;
+            let mut last = None;
+            while j <= end && tokens[j].text != ";" {
+                if tokens[j].kind == TokenKind::Ident {
+                    last = Some(tokens[j].text.clone());
+                }
+                j += 1;
+            }
+            return last;
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build("f.rs", src);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(include_str!("../../fixtures/gh003_fail.rs"));
+        assert!(
+            !diags.is_empty(),
+            "expected unsanctioned impls, got {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == "GH003"));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(include_str!("../../fixtures/gh003_pass.rs"));
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn scalar_operands_are_out_of_scope() {
+        let src = "impl Mul<f64> for Watts {\n type Output = Watts;\n fn mul(self, r: f64) -> Watts { Watts(self.0 * r) }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn wrong_output_is_flagged() {
+        let src = "impl Mul<SimDuration> for Watts {\n type Output = Watts;\n fn mul(self, r: SimDuration) -> Watts { self }\n}\n";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("Watts Mul SimDuration = Watts"));
+    }
+
+    #[test]
+    fn assign_ops_normalize_to_base() {
+        assert!(run(
+            "impl AddAssign for Watts { fn add_assign(&mut self, r: Watts) { self.0 += r.0 } }\n"
+        )
+        .is_empty());
+        assert_eq!(
+            run("impl SubAssign<Ratio> for Watts { fn sub_assign(&mut self, r: Ratio) {} }\n")
+                .len(),
+            1
+        );
+    }
+}

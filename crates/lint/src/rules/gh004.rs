@@ -1,0 +1,234 @@
+//! GH004: every variant of `CoreError` (and any sibling `*Error` enum in
+//! the library crates) must be constructed somewhere outside its own
+//! definition.
+//!
+//! An error variant nobody builds is dead API surface: callers write
+//! `match` arms for a case that cannot happen, and the real failure it was
+//! meant to represent is being swallowed somewhere else. Matching a
+//! variant in a pattern does not count as construction.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH004";
+
+/// One `*Error` enum definition.
+#[derive(Debug)]
+struct ErrorEnum {
+    name: String,
+    file: String,
+    /// Inclusive line span of the definition (attributes not included).
+    span: (u32, u32),
+    /// Variant name and declaration line.
+    variants: Vec<(String, u32)>,
+}
+
+/// Runs GH004 across the whole workspace.
+///
+/// `defines` selects which files may *define* audited enums (the library
+/// crates); usages are searched in every scanned file.
+pub fn check(models: &[FileModel], defines: impl Fn(&str) -> bool, diags: &mut Vec<Diagnostic>) {
+    let mut enums = Vec::new();
+    for model in models {
+        if defines(&model.path) {
+            collect_error_enums(model, &mut enums);
+        }
+    }
+    for e in &enums {
+        for (variant, line) in &e.variants {
+            let constructed = models.iter().any(|m| {
+                find_constructions(m, &e.name, variant)
+                    .iter()
+                    .any(|&l| m.path != e.file || !(e.span.0..=e.span.1).contains(&l))
+            });
+            if constructed {
+                continue;
+            }
+            let def_model = models.iter().find(|m| m.path == e.file);
+            if def_model.is_some_and(|m| m.is_allowed(RULE, *line)) {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                RULE,
+                &e.file,
+                *line,
+                format!(
+                    "variant `{}::{}` is never constructed outside its definition; wire it into a failure path or remove it",
+                    e.name, variant
+                ),
+            ));
+        }
+    }
+}
+
+/// Collects `enum *Error` definitions with their variants.
+fn collect_error_enums(model: &FileModel, out: &mut Vec<ErrorEnum>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "enum" {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident || !name_tok.text.ends_with("Error") {
+            continue;
+        }
+        // Find the body braces.
+        let mut k = i + 2;
+        while k < tokens.len() && tokens[k].text != "{" && tokens[k].text != ";" {
+            k += 1;
+        }
+        if tokens.get(k).map(|t| t.text.as_str()) != Some("{") {
+            continue;
+        }
+        let close = crate::model::matching_brace(tokens, k);
+        let mut variants = Vec::new();
+        // Variants are identifiers at brace depth 1 / paren depth 0 in
+        // "variant position": first in the body, or right after a `,`.
+        let mut depth = 0i64;
+        let mut nest = 0i64;
+        let mut at_variant_position = true;
+        let mut j = k;
+        while j <= close {
+            let t = &tokens[j];
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    at_variant_position = depth == 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    at_variant_position = false;
+                }
+                "(" | "[" => nest += 1,
+                ")" | "]" => nest -= 1,
+                "," if depth == 1 && nest == 0 => at_variant_position = true,
+                "#" if depth == 1 && nest == 0 => {} // attribute on a variant
+                _ => {
+                    if at_variant_position && depth == 1 && nest == 0 && t.kind == TokenKind::Ident
+                    {
+                        variants.push((t.text.clone(), t.line));
+                        at_variant_position = false;
+                    }
+                }
+            }
+            j += 1;
+        }
+        out.push(ErrorEnum {
+            name: name_tok.text.clone(),
+            file: model.path.clone(),
+            span: (tokens[i].line, tokens[close].line),
+            variants,
+        });
+    }
+}
+
+/// Lines in `model` where `enum_name::variant` appears in construction
+/// position (not as a `match`/`if let` pattern).
+fn find_constructions(model: &FileModel, enum_name: &str, variant: &str) -> Vec<u32> {
+    let tokens = &model.tokens;
+    let mut lines = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != enum_name {
+            continue;
+        }
+        if tokens.get(i + 1).map(|t| t.text.as_str()) != Some(":")
+            || tokens.get(i + 2).map(|t| t.text.as_str()) != Some(":")
+            || tokens.get(i + 3).map(|t| t.text.as_str()) != Some(variant)
+        {
+            continue;
+        }
+        let v = i + 3;
+        // Find the token that follows the variant (and its payload group).
+        let after = match tokens.get(v + 1).map(|t| t.text.as_str()) {
+            Some("(") | Some("{") => {
+                let (open, close_text) = if tokens[v + 1].text == "(" {
+                    ("(", ")")
+                } else {
+                    ("{", "}")
+                };
+                let mut depth = 0i64;
+                let mut j = v + 1;
+                while j < tokens.len() {
+                    if tokens[j].text == open {
+                        depth += 1;
+                    } else if tokens[j].text == close_text {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                tokens.get(j + 1).map(|t| t.text.as_str())
+            }
+            other => other,
+        };
+        // `=> | =` after the reference marks a pattern context
+        // (match arm, or-pattern, `if let … =`).
+        let is_pattern = matches!(after, Some("=>") | Some("|") | Some("="));
+        if !is_pattern {
+            lines.push(tokens[i].line);
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let models: Vec<FileModel> = sources
+            .iter()
+            .map(|(p, s)| FileModel::build(p, s))
+            .collect();
+        let mut diags = Vec::new();
+        check(&models, |p| p.starts_with("lib/"), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(&[("lib/err.rs", include_str!("../../fixtures/gh004_fail.rs"))]);
+        assert!(!diags.is_empty(), "expected dead variants, got {diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("NeverBuilt")));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(&[("lib/err.rs", include_str!("../../fixtures/gh004_pass.rs"))]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn match_arms_do_not_count_as_construction() {
+        let diags = run(&[(
+            "lib/err.rs",
+            "pub enum FooError { Bad(u32) }\nfn show(e: &FooError) -> u32 {\n match e { FooError::Bad(c) => *c }\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn cross_file_construction_counts() {
+        let diags = run(&[
+            ("lib/err.rs", "pub enum FooError { Bad(u32) }\n"),
+            ("lib/use.rs", "fn f() -> FooError { FooError::Bad(1) }\n"),
+        ]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn usage_outside_defining_set_still_counts() {
+        // Constructed only from an integration test file: still alive.
+        let diags = run(&[
+            ("lib/err.rs", "pub enum FooError { Bad }\n"),
+            ("tests/t.rs", "fn f() -> FooError { FooError::Bad }\n"),
+        ]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! GH005: public items in the library crates must carry doc comments.
+//!
+//! Covers `pub` fns (free and inherent-impl), structs, enums, traits,
+//! mods, type aliases, consts, statics, and named struct fields. `pub use`
+//! re-exports, `pub(crate)`/`pub(super)` items, trait-impl methods
+//! (never `pub`), and test code are out of scope.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH005";
+
+/// Item keywords that may follow `pub` (after modifiers).
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union",
+];
+
+/// Runs GH005 over one file.
+pub fn check(model: &FileModel, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "pub" {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)` etc.) is not public API.
+        if tokens.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+            continue;
+        }
+        let line = tokens[i].line;
+        if model.in_test_code(line) || model.in_macro_def(line) || model.is_allowed(RULE, line) {
+            continue;
+        }
+        // Skip modifiers to find what is being made public.
+        let mut j = i + 1;
+        while j < tokens.len()
+            && (matches!(
+                tokens[j].text.as_str(),
+                "const" | "async" | "unsafe" | "extern"
+            ) || tokens[j].kind == TokenKind::Literal)
+        {
+            // `pub const NAME` vs `pub const fn`: only treat `const` as a
+            // modifier when a `fn` eventually follows.
+            if tokens[j].text == "const"
+                && tokens.get(j + 1).map(|t| t.kind) == Some(TokenKind::Ident)
+                && !matches!(tokens[j + 1].text.as_str(), "fn" | "unsafe" | "extern")
+            {
+                break;
+            }
+            j += 1;
+        }
+        let Some(kw) = tokens.get(j) else { continue };
+        let (kind, name) = if ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            let name = tokens
+                .get(j + 1)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_else(|| "_".to_string());
+            (kw.text.clone(), name)
+        } else if kw.text == "use" {
+            continue; // re-exports inherit their target's docs
+        } else if kw.kind == TokenKind::Ident
+            && tokens.get(j + 1).map(|t| t.text.as_str()) == Some(":")
+            && tokens.get(j + 2).map(|t| t.text.as_str()) != Some(":")
+        {
+            // `pub name: Type` — a struct field.
+            ("field".to_string(), kw.text.clone())
+        } else {
+            continue;
+        };
+        if model.has_doc(line) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            RULE,
+            &model.path,
+            line,
+            format!("missing doc comment on pub {kind} `{name}`"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build("f.rs", src);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(include_str!("../../fixtures/gh005_fail.rs"));
+        assert!(
+            diags.len() >= 3,
+            "expected struct/fn/field hits, got {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == "GH005"));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(include_str!("../../fixtures/gh005_pass.rs"));
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn docs_through_attribute_chain_are_seen() {
+        let src = "/// Documented.\n#[derive(Debug)]\n#[non_exhaustive]\npub struct A;\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pub_use_and_restricted_visibility_are_exempt() {
+        let src = "pub use crate::types::Watts;\npub(crate) struct Internal;\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pub_const_item_vs_pub_const_fn() {
+        let diags = run("pub const LIMIT: u32 = 4;\n/// Doc.\npub const fn f() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("pub const `LIMIT`"));
+    }
+}

@@ -1,0 +1,167 @@
+//! The GH001–GH005 rule implementations plus shared signature parsing.
+
+pub mod gh001;
+pub mod gh002;
+pub mod gh003;
+pub mod gh004;
+pub mod gh005;
+
+use std::ops::Range;
+
+use crate::lexer::{Token, TokenKind};
+use crate::model::FileModel;
+
+/// A parsed `fn` signature.
+#[derive(Debug)]
+pub struct FnSig {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// `true` when declared `pub` without a visibility restriction.
+    pub is_pub: bool,
+    /// Token indices of the parameter list (between the parentheses).
+    pub params: Range<usize>,
+    /// Token indices of the return type (after `->`, empty when absent).
+    pub ret: Range<usize>,
+}
+
+/// Modifier keywords that may sit between `pub` and `fn`.
+fn is_fn_modifier(t: &Token) -> bool {
+    matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern")
+        || t.kind == TokenKind::Literal
+}
+
+/// Skips a balanced `<...>` group starting at `i` (which must point at
+/// `<`), returning the index just past the matching `>`.
+fn skip_angles(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses every `fn` signature in the file.
+#[must_use]
+pub fn find_fns(model: &FileModel) -> Vec<FnSig> {
+    let tokens = &model.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "fn" {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        // `fn(` is a function-pointer type, not a declaration.
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Direct visibility: walk back over modifiers to a possible `pub`.
+        let mut j = i;
+        while j > 0 && is_fn_modifier(&tokens[j - 1]) {
+            j -= 1;
+        }
+        let is_pub = j > 0
+            && tokens[j - 1].text == "pub"
+            && tokens.get(j).map(|t| t.text.as_str()) != Some("(");
+
+        // Parameter list: after the name and optional generics.
+        let mut k = i + 2;
+        if tokens.get(k).map(|t| t.text.as_str()) == Some("<") {
+            k = skip_angles(tokens, k);
+        }
+        if tokens.get(k).map(|t| t.text.as_str()) != Some("(") {
+            continue;
+        }
+        let params_start = k + 1;
+        let mut depth = 0i64;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let params_end = k.min(tokens.len());
+        // Return type: between `->` and the body / `;` / `where`.
+        let mut ret = params_end..params_end;
+        let mut m = params_end + 1;
+        if tokens.get(m).map(|t| t.text.as_str()) == Some("-")
+            && tokens.get(m + 1).map(|t| t.text.as_str()) == Some(">")
+        {
+            m += 2;
+            let ret_start = m;
+            let mut nest = 0i64;
+            while m < tokens.len() {
+                match tokens[m].text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    "{" | ";" if nest == 0 => break,
+                    "where" if nest == 0 && tokens[m].kind == TokenKind::Ident => break,
+                    _ => {}
+                }
+                m += 1;
+            }
+            ret = ret_start..m;
+        }
+        out.push(FnSig {
+            name: name_tok.text.clone(),
+            line: tokens[i].line,
+            fn_idx: i,
+            is_pub,
+            params: params_start..params_end,
+            ret,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pub_fn_with_generics_and_return() {
+        let m = FileModel::build(
+            "x.rs",
+            "pub fn solve<T: Clone>(budget: Watts, shares: &[Ratio]) -> Result<Allocation, CoreError> {\n}\npub(crate) fn helper(x: f64) {}\nfn private(y: f64) -> f64 { y }\n",
+        );
+        let fns = find_fns(&m);
+        assert_eq!(fns.len(), 3);
+        assert!(fns[0].is_pub);
+        assert_eq!(fns[0].name, "solve");
+        assert!(!fns[0].params.is_empty());
+        assert!(!fns[0].ret.is_empty());
+        assert!(!fns[1].is_pub, "pub(crate) is not public API");
+        assert!(!fns[2].is_pub);
+        assert_eq!(fns[2].ret.len(), 1);
+    }
+
+    #[test]
+    fn const_unsafe_modifiers_do_not_hide_pub() {
+        let m = FileModel::build("x.rs", "pub const unsafe fn f() {}\n");
+        let fns = find_fns(&m);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].is_pub);
+    }
+}

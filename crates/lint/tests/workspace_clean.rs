@@ -1,0 +1,45 @@
+//! The acceptance gate: running the analyzer over the real workspace must
+//! produce zero diagnostics, and the output formats must be stable.
+
+// Integration-test helpers sit outside `#[test]` fns, where the
+// allow-*-in-tests clippy knobs do not reach; panicking is fine here.
+#![allow(clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use greenhetero_lint::{analyze_workspace, diag};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let diags = analyze_workspace(&workspace_root()).expect("workspace scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "greenhetero-lint found {} violation(s) in the workspace:\n{}",
+        diags.len(),
+        diag::render_text(&diags)
+    );
+}
+
+#[test]
+fn clean_run_renders_empty_json_array() {
+    let diags = analyze_workspace(&workspace_root()).expect("workspace scan succeeds");
+    assert_eq!(diag::render_json(&diags), "[]\n");
+}
+
+#[test]
+fn fixtures_are_excluded_from_workspace_scans() {
+    // The deliberate violations under crates/lint/fixtures must never leak
+    // into a workspace run.
+    let files = greenhetero_lint::collect_workspace_files(&workspace_root())
+        .expect("workspace scan succeeds");
+    assert!(files.iter().all(|(p, _)| !p.contains("fixtures/")));
+    // Sanity: the scan did see the real library sources.
+    assert!(files.iter().any(|(p, _)| p == "crates/core/src/types.rs"));
+}

@@ -177,6 +177,7 @@ impl BatteryBank {
 
     /// Equivalent full-DoD cycles consumed so far.
     #[must_use]
+    // greenhetero-lint: allow(GH002) equivalent-cycle count is a dimensionless wear metric
     pub fn cycles(&self) -> f64 {
         let per_cycle = self.spec.capacity.value() * self.spec.dod_limit.value();
         if per_cycle <= 0.0 {
@@ -242,7 +243,13 @@ impl BatteryBank {
         if self.usable().value() <= 1e-9 {
             self.recharging = true;
         }
-        Watts::new(deliverable.value() / hours)
+        let delivered = Watts::new(deliverable.value() / hours);
+        debug_assert!(
+            delivered <= power + Watts::new(1e-9),
+            "delivered more than was requested: {delivered:?} vs {power:?}"
+        );
+        self.audit();
+        delivered
     }
 
     /// Charges at up to `power` (at the source) for `duration`; returns
@@ -268,8 +275,34 @@ impl BatteryBank {
         if self.headroom().value() <= 1e-9 {
             self.energy = self.spec.capacity; // snap round-off to full
         }
-        let drawn = storable.value() / self.spec.efficiency.value() / hours;
-        Watts::new(drawn)
+        let drawn = Watts::new(storable.value() / self.spec.efficiency.value() / hours);
+        debug_assert!(
+            drawn <= power + Watts::new(1e-9),
+            "drew more than was offered: {drawn:?} vs {power:?}"
+        );
+        self.audit();
+        drawn
+    }
+
+    /// Debug-build invariant audit: stored energy stays within
+    /// `[DoD floor, capacity]` (the discharge path never dips below the
+    /// floor; the charge path never overfills) and wear only accumulates.
+    fn audit(&self) {
+        let floor = self.spec.capacity.value() * self.spec.floor_soc().value();
+        debug_assert!(
+            self.energy.value() >= floor - 1e-6,
+            "SoC fell below the DoD floor: {:?} < {floor} Wh",
+            self.energy
+        );
+        debug_assert!(
+            self.energy <= self.spec.capacity + WattHours::new(1e-6),
+            "stored energy exceeds capacity: {:?}",
+            self.energy
+        );
+        debug_assert!(
+            self.total_discharged.value() >= 0.0,
+            "cycle accounting went negative"
+        );
     }
 
     /// Resets to full charge, clearing cycle accounting. For experiment
@@ -282,6 +315,8 @@ impl BatteryBank {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -375,7 +410,10 @@ mod tests {
         // so the bank stays offline as a source.
         let _ = b.charge(Watts::new(2000.0), SimDuration::from_hours(1));
         assert!(b.is_recharging());
-        assert_eq!(b.view(SimDuration::from_minutes(15)).max_discharge, Watts::ZERO);
+        assert_eq!(
+            b.view(SimDuration::from_minutes(15)).max_discharge,
+            Watts::ZERO
+        );
         // Keep charging past the target: the bank comes back online.
         for _ in 0..2 {
             let _ = b.charge(Watts::new(2400.0), SimDuration::from_hours(1));
@@ -400,7 +438,10 @@ mod tests {
     #[test]
     fn charge_stops_at_capacity() {
         let mut b = bank();
-        assert_eq!(b.charge(Watts::new(1000.0), SimDuration::from_hours(1)), Watts::ZERO);
+        assert_eq!(
+            b.charge(Watts::new(1000.0), SimDuration::from_hours(1)),
+            Watts::ZERO
+        );
         assert_eq!(b.soc(), Ratio::ONE);
     }
 
@@ -452,7 +493,10 @@ mod tests {
     #[test]
     fn zero_duration_operations_are_noops() {
         let mut b = bank();
-        assert_eq!(b.discharge(Watts::new(100.0), SimDuration::ZERO), Watts::ZERO);
+        assert_eq!(
+            b.discharge(Watts::new(100.0), SimDuration::ZERO),
+            Watts::ZERO
+        );
         assert_eq!(b.charge(Watts::new(100.0), SimDuration::ZERO), Watts::ZERO);
     }
 }

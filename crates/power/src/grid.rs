@@ -106,6 +106,7 @@ impl GridFeed {
 
     /// Total bill under the tariff: peak demand charge + volumetric energy.
     #[must_use]
+    // greenhetero-lint: allow(GH002) monetary cost in tariff currency units; no newtype exists
     pub fn cost(&self) -> f64 {
         self.peak_draw.value() / 1000.0 * self.tariff.peak_price_per_kw
             + self.energy.as_kilowatt_hours() * self.tariff.energy_price_per_kwh
@@ -119,6 +120,8 @@ impl GridFeed {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -130,8 +133,14 @@ mod tests {
     #[test]
     fn draw_clamps_to_budget() {
         let mut g = GridFeed::new(Watts::new(1000.0), GridTariff::paper()).unwrap();
-        assert_eq!(g.draw(Watts::new(600.0), SimDuration::from_hours(1)), Watts::new(600.0));
-        assert_eq!(g.draw(Watts::new(1600.0), SimDuration::from_hours(1)), Watts::new(1000.0));
+        assert_eq!(
+            g.draw(Watts::new(600.0), SimDuration::from_hours(1)),
+            Watts::new(600.0)
+        );
+        assert_eq!(
+            g.draw(Watts::new(1600.0), SimDuration::from_hours(1)),
+            Watts::new(1000.0)
+        );
         assert_eq!(g.energy_drawn(), WattHours::new(1600.0));
         assert_eq!(g.peak_draw(), Watts::new(1000.0));
     }
@@ -139,7 +148,10 @@ mod tests {
     #[test]
     fn zero_budget_grants_nothing() {
         let mut g = GridFeed::new(Watts::ZERO, GridTariff::paper()).unwrap();
-        assert_eq!(g.draw(Watts::new(500.0), SimDuration::from_hours(1)), Watts::ZERO);
+        assert_eq!(
+            g.draw(Watts::new(500.0), SimDuration::from_hours(1)),
+            Watts::ZERO
+        );
     }
 
     #[test]

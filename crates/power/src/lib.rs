@@ -25,9 +25,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// Lead-acid battery bank with DoD-limited state of charge.
 pub mod battery;
+/// Budget-capped grid feed and its tariff accounting.
 pub mod grid;
+/// Power metering and per-epoch energy accounting.
 pub mod meter;
+/// PDU/ATS source switching and the resulting power flows.
 pub mod pdu;
+/// PV array model converting irradiance to electrical output.
 pub mod solar;
+/// Time-indexed power traces and synthetic trace generators.
 pub mod trace;

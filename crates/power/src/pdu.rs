@@ -8,7 +8,7 @@
 //! is curtailed.
 
 use greenhetero_core::sources::{ChargeSource, SourcePlan};
-use greenhetero_core::types::{SimDuration, WattHours, Watts};
+use greenhetero_core::types::{Ratio, SimDuration, WattHours, Watts};
 use serde::{Deserialize, Serialize};
 
 use crate::battery::BatteryBank;
@@ -39,12 +39,12 @@ pub struct PowerFlows {
 impl PowerFlows {
     /// Green (renewable + battery) fraction of the delivered load power.
     #[must_use]
-    pub fn green_fraction(&self) -> f64 {
+    pub fn green_fraction(&self) -> Ratio {
         let total = self.to_load.value();
         if total <= 0.0 {
-            0.0
+            Ratio::ZERO
         } else {
-            (self.from_renewable + self.from_battery).value() / total
+            Ratio::saturating((self.from_renewable + self.from_battery).value() / total)
         }
     }
 
@@ -228,7 +228,7 @@ mod tests {
         assert_eq!(flows.shortfall, Watts::ZERO);
         assert!(flows.charging > Watts::ZERO);
         assert_eq!(flows.charge_source, Some(ChargeSource::Renewable));
-        assert!((flows.green_fraction() - 1.0).abs() < 1e-12);
+        assert!((flows.green_fraction().value() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -320,6 +320,9 @@ mod tests {
             curtailed: Watts::ZERO,
             shortfall: Watts::ZERO,
         };
-        assert_eq!(flows.load_energy(SimDuration::from_minutes(30)), WattHours::new(400.0));
+        assert_eq!(
+            flows.load_energy(SimDuration::from_minutes(30)),
+            WattHours::new(400.0)
+        );
     }
 }

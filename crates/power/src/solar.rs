@@ -31,6 +31,7 @@ impl PvArray {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for a non-positive area.
+    // greenhetero-lint: allow(GH002) panel area in m² is outside the power/energy newtype set
     pub fn new(area_m2: f64, efficiency: Ratio) -> Result<Self, CoreError> {
         if !(area_m2.is_finite() && area_m2 > 0.0) {
             return Err(CoreError::InvalidConfig {
@@ -45,6 +46,7 @@ impl PvArray {
 
     /// Electrical output for a given plane-of-array irradiance.
     #[must_use]
+    // greenhetero-lint: allow(GH002) irradiance in W/m² is outside the power/energy newtype set
     pub fn output(&self, irradiance_w_per_m2: f64) -> Watts {
         Watts::new((irradiance_w_per_m2.max(0.0)) * self.area_m2 * self.efficiency.value())
     }
@@ -227,6 +229,8 @@ fn clear_sky(hour: f64, sunrise: f64, sunset: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests compare results of exact literal arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use greenhetero_core::types::SimTime;

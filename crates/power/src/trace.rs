@@ -148,6 +148,7 @@ impl PowerTrace {
     ///
     /// Panics if `factor` is not finite.
     #[must_use]
+    // greenhetero-lint: allow(GH002) scale factor may exceed 1, so Ratio cannot represent it
     pub fn scaled(&self, factor: f64) -> PowerTrace {
         assert!(factor.is_finite(), "scale factor must be finite");
         PowerTrace {
@@ -243,7 +244,10 @@ impl PowerTrace {
         } else {
             SimDuration::from_minutes(15)
         };
-        PowerTrace::new(interval, rows.into_iter().map(|(_, w)| Watts::new(w)).collect())
+        PowerTrace::new(
+            interval,
+            rows.into_iter().map(|(_, w)| Watts::new(w)).collect(),
+        )
     }
 }
 
@@ -265,12 +269,8 @@ impl PowerTrace {
 /// assert!(demand.at(SimTime::from_hours(3)) < demand.at(SimTime::from_hours(14)));
 /// ```
 #[must_use]
-pub fn demand_pattern(
-    base: Watts,
-    peak: Watts,
-    interval: SimDuration,
-    days: u64,
-) -> PowerTrace {
+#[allow(clippy::expect_used)]
+pub fn demand_pattern(base: Watts, peak: Watts, interval: SimDuration, days: u64) -> PowerTrace {
     let samples_per_day = (86_400 / interval.as_secs()).max(1);
     let mut values = Vec::with_capacity((samples_per_day * days) as usize);
     for day in 0..days {
@@ -280,6 +280,7 @@ pub fn demand_pattern(
             let _ = day;
         }
     }
+    // greenhetero-lint: allow(GH001) samples_per_day >= 1 makes the trace non-empty
     PowerTrace::new(interval, values).expect("non-empty by construction")
 }
 
@@ -337,7 +338,10 @@ mod tests {
         let m2 = t.mean_over(SimTime::from_secs(450), SimDuration::from_minutes(15));
         assert!((m2.value() - 50.0).abs() < 1e-9);
         // Zero-length span degenerates to a point lookup.
-        assert_eq!(t.mean_over(SimTime::from_secs(900), SimDuration::ZERO), Watts::new(100.0));
+        assert_eq!(
+            t.mean_over(SimTime::from_secs(900), SimDuration::ZERO),
+            Watts::new(100.0)
+        );
     }
 
     #[test]

@@ -40,6 +40,45 @@ proptest! {
         prop_assert!((bank.energy().value() - expected).abs() < 1e-6);
     }
 
+    /// The bank's internal debug audit never fires across randomized
+    /// *specs* (capacity, DoD, efficiency) and trajectories — not just
+    /// the paper bank — and the epoch [`BatteryView`] is honest: the bank
+    /// never delivers or draws more than the view it advertised.
+    #[test]
+    fn battery_audit_never_fires_across_specs(
+        capacity in 1000.0..20_000.0f64,
+        dod in 0.1..0.9f64,
+        eff in 0.5..1.0f64,
+        ops in proptest::collection::vec((any::<bool>(), 0.0..6000.0f64, 1u64..180), 1..60),
+    ) {
+        let spec = BatterySpec {
+            capacity: WattHours::new(capacity),
+            dod_limit: Ratio::saturating(dod),
+            efficiency: Ratio::saturating(eff),
+            max_discharge: Watts::new(4000.0),
+            max_charge: Watts::new(2400.0),
+            rated_cycles: 1300.0,
+            // Strictly above the DoD floor of 1 − dod.
+            recharge_target: Ratio::saturating(1.0 - dod / 2.0),
+        };
+        let mut bank = BatteryBank::new(spec).unwrap();
+        let floor = 1.0 - dod;
+        for (charge, power, minutes) in ops {
+            let dur = SimDuration::from_minutes(minutes);
+            let view = bank.view(dur);
+            if charge {
+                let drawn = bank.charge(Watts::new(power), dur);
+                prop_assert!(drawn.value() <= view.max_charge.value() + 1e-6);
+            } else {
+                let delivered = bank.discharge(Watts::new(power), dur);
+                prop_assert!(delivered.value() <= view.max_discharge.value() + 1e-6);
+            }
+            let soc = bank.soc().value();
+            prop_assert!(soc >= floor - 1e-6, "SoC {soc} below floor {floor}");
+            prop_assert!(soc <= 1.0 + 1e-9, "SoC {soc} above full");
+        }
+    }
+
     /// Cycle accounting is monotone and proportional to discharged energy.
     #[test]
     fn battery_cycles_monotone(

@@ -92,6 +92,7 @@ impl FrequencyLadder {
 /// Frequencies whose power lands below the platform's idle draw are
 /// clamped to idle (a powered server cannot draw less than idle).
 #[must_use]
+#[allow(clippy::expect_used)]
 pub fn power_state_set(truth: &GroundTruth, ladder: &FrequencyLadder) -> PowerStateSet {
     let mut states = Vec::with_capacity(ladder.len() + 1);
     states.push(PowerState {
@@ -107,6 +108,7 @@ pub fn power_state_set(truth: &GroundTruth, ladder: &FrequencyLadder) -> PowerSt
             power: idle + span * frac,
         });
     }
+    // greenhetero-lint: allow(GH001) the ladder yields monotone powers, so new() cannot fail
     PowerStateSet::new(states).expect("states are ordered by construction")
 }
 
@@ -139,7 +141,7 @@ mod tests {
         assert_eq!(l.len(), LADDER_STEPS);
         assert_eq!(l.max(), MegaHertz::from_ghz(2.0));
         assert!((l.freqs()[0].value() - 800.0).abs() < 1.0); // 40% of 2 GHz
-        // Ascending.
+                                                             // Ascending.
         for w in l.freqs().windows(2) {
             assert!(w[1] > w[0]);
         }
@@ -160,7 +162,9 @@ mod tests {
         assert_eq!(set.len(), LADDER_STEPS + 1);
         assert_eq!(set.min_power(), Watts::ZERO);
         // Top state draws the workload peak.
-        assert!(set.max_power().approx_eq(gt.envelope().peak(), Watts::new(0.5)));
+        assert!(set
+            .max_power()
+            .approx_eq(gt.envelope().peak(), Watts::new(0.5)));
         // All intermediate states lie within [idle, peak] (besides off).
         for s in &set.states()[1..] {
             assert!(s.power >= gt.envelope().idle());

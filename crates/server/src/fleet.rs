@@ -30,7 +30,7 @@ pub fn fraction_with_at_most(n: u32) -> f64 {
 /// Histogram of configuration counts: `(configurations, datacenters)`.
 #[must_use]
 pub fn histogram() -> Vec<(u32, usize)> {
-    let max = *GOOGLE_DC_CONFIG_COUNTS.iter().max().expect("non-empty");
+    let max = GOOGLE_DC_CONFIG_COUNTS.iter().copied().max().unwrap_or(0);
     (1..=max)
         .map(|n| {
             (
@@ -55,7 +55,11 @@ mod tests {
     #[test]
     fn eighty_percent_run_two_or_three() {
         assert!((fraction_with_at_most(3) - 0.8).abs() < 1e-12);
-        assert_eq!(fraction_with_at_most(1), 0.0);
+        // No config runs fewer than 2 platforms, so this is a literal 0.0.
+        #[allow(clippy::float_cmp)]
+        {
+            assert_eq!(fraction_with_at_most(1), 0.0);
+        }
     }
 
     #[test]

@@ -100,9 +100,7 @@ impl GroundTruth {
                     * f64::from(pspec.sockets).powf(wspec.memory_scaling)
                     * ghz
             }
-            PlatformClass::Gpu => {
-                wspec.gpu_affinity * Self::capability(GPU_REFERENCE, workload)
-            }
+            PlatformClass::Gpu => wspec.gpu_affinity * Self::capability(GPU_REFERENCE, workload),
         }
     }
 
@@ -197,10 +195,7 @@ impl GroundTruth {
 /// Convenience: ground truths for a whole platform set under one workload,
 /// skipping pairs that cannot run (CPU-only workloads on the GPU).
 #[must_use]
-pub fn catalog_for(
-    platforms: &[PlatformKind],
-    workload: WorkloadKind,
-) -> Vec<GroundTruth> {
+pub fn catalog_for(platforms: &[PlatformKind], workload: WorkloadKind) -> Vec<GroundTruth> {
     platforms
         .iter()
         .filter_map(|&p| GroundTruth::new(p, workload).ok())
@@ -258,7 +253,10 @@ mod tests {
         let stream = gt(PlatformKind::XeonE52620, WorkloadKind::Streamcluster);
         let mid_s = stream.envelope().idle() + stream.envelope().dynamic() * 0.5;
         let frac_s = stream.throughput(mid_s).value() / stream.t_max().value();
-        assert!(frac_s <= 0.5 + 1e-9, "streamcluster tracks the cap: {frac_s}");
+        assert!(
+            frac_s <= 0.5 + 1e-9,
+            "streamcluster tracks the cap: {frac_s}"
+        );
         assert!(frac_s < frac_m);
     }
 

@@ -32,10 +32,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// DVFS frequency ladders and per-state power modeling.
 pub mod dvfs;
+/// Fleet heterogeneity statistics from the Google datacenter survey.
 pub mod fleet;
+/// Measured (platform, workload) performance-power ground truth.
 pub mod ground_truth;
+/// Heterogeneous server platform models.
 pub mod platform;
+/// Racks aggregating servers into allocation groups.
 pub mod rack;
+/// Individual server state: power cap, frequency, utilization.
 pub mod server;
+/// The Table I workload catalog and workload behavior models.
 pub mod workload;

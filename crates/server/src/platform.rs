@@ -68,12 +68,66 @@ impl PlatformKind {
         use PlatformKind::*;
         let (name, ghz, sockets, cores, peak, idle, class, ipc) = match self {
             // name, base GHz, sockets, cores, peak W, idle W, class, ipc
-            XeonE52620 => ("Xeon E5-2620", 2.0, 2, 12, 178.0, 88.0, PlatformClass::Cpu, 1.00),
-            XeonE52650 => ("Xeon E5-2650", 2.0, 1, 8, 112.0, 66.0, PlatformClass::Cpu, 1.05),
-            XeonE52603 => ("Xeon E5-2603", 1.8, 1, 4, 79.0, 58.0, PlatformClass::Cpu, 0.95),
-            CoreI78700K => ("Core i7-8700K", 3.7, 1, 6, 88.0, 39.0, PlatformClass::Cpu, 1.45),
-            CoreI54460 => ("Core i5-4460", 3.2, 1, 4, 96.0, 47.0, PlatformClass::Cpu, 1.25),
-            TitanXp => ("Nvidia Titan Xp", 1.582, 1, 3840, 411.0, 149.0, PlatformClass::Gpu, 1.00),
+            XeonE52620 => (
+                "Xeon E5-2620",
+                2.0,
+                2,
+                12,
+                178.0,
+                88.0,
+                PlatformClass::Cpu,
+                1.00,
+            ),
+            XeonE52650 => (
+                "Xeon E5-2650",
+                2.0,
+                1,
+                8,
+                112.0,
+                66.0,
+                PlatformClass::Cpu,
+                1.05,
+            ),
+            XeonE52603 => (
+                "Xeon E5-2603",
+                1.8,
+                1,
+                4,
+                79.0,
+                58.0,
+                PlatformClass::Cpu,
+                0.95,
+            ),
+            CoreI78700K => (
+                "Core i7-8700K",
+                3.7,
+                1,
+                6,
+                88.0,
+                39.0,
+                PlatformClass::Cpu,
+                1.45,
+            ),
+            CoreI54460 => (
+                "Core i5-4460",
+                3.2,
+                1,
+                4,
+                96.0,
+                47.0,
+                PlatformClass::Cpu,
+                1.25,
+            ),
+            TitanXp => (
+                "Nvidia Titan Xp",
+                1.582,
+                1,
+                3840,
+                411.0,
+                149.0,
+                PlatformClass::Gpu,
+                1.00,
+            ),
         };
         PlatformSpec {
             kind: self,
@@ -174,8 +228,7 @@ mod tests {
                 > PlatformKind::CoreI54460.spec().ipc_factor
         );
         assert!(
-            PlatformKind::CoreI54460.spec().ipc_factor
-                > PlatformKind::XeonE52620.spec().ipc_factor
+            PlatformKind::CoreI54460.spec().ipc_factor > PlatformKind::XeonE52620.spec().ipc_factor
         );
     }
 

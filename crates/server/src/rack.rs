@@ -126,7 +126,10 @@ impl RackMeasurement {
     /// Total rack throughput.
     #[must_use]
     pub fn total_throughput(&self) -> Throughput {
-        self.groups.iter().map(GroupMeasurement::total_throughput).sum()
+        self.groups
+            .iter()
+            .map(GroupMeasurement::total_throughput)
+            .sum()
     }
 
     /// Total rack power draw.
@@ -170,10 +173,8 @@ impl Rack {
         composition: &[(PlatformKind, u32)],
         workload: WorkloadKind,
     ) -> Result<Self, CoreError> {
-        let mixed: Vec<(PlatformKind, u32, WorkloadKind)> = composition
-            .iter()
-            .map(|&(p, c)| (p, c, workload))
-            .collect();
+        let mixed: Vec<(PlatformKind, u32, WorkloadKind)> =
+            composition.iter().map(|&(p, c)| (p, c, workload)).collect();
         Rack::mixed(&mixed)
     }
 
@@ -188,9 +189,7 @@ impl Rack {
     /// [`CoreError::InvalidConfig`] for zero counts or duplicate
     /// (platform, workload) groups, and propagates workload/platform
     /// incompatibilities.
-    pub fn mixed(
-        composition: &[(PlatformKind, u32, WorkloadKind)],
-    ) -> Result<Self, CoreError> {
+    pub fn mixed(composition: &[(PlatformKind, u32, WorkloadKind)]) -> Result<Self, CoreError> {
         if composition.is_empty() {
             return Err(CoreError::EmptyProblem);
         }
@@ -206,9 +205,7 @@ impl Rack {
                 .any(|g| g.platform == platform && g.workload == workload)
             {
                 return Err(CoreError::InvalidConfig {
-                    reason: format!(
-                        "duplicate group: {platform} running {workload} appears twice"
-                    ),
+                    reason: format!("duplicate group: {platform} running {workload} appears twice"),
                 });
             }
             let server = SimServer::new(ServerId::new(i as u32), platform, workload)?;
@@ -233,11 +230,8 @@ impl Rack {
         per_type: u32,
         workload: WorkloadKind,
     ) -> Result<Self, CoreError> {
-        let composition: Vec<(PlatformKind, u32)> = comb
-            .platforms()
-            .iter()
-            .map(|&p| (p, per_type))
-            .collect();
+        let composition: Vec<(PlatformKind, u32)> =
+            comb.platforms().iter().map(|&p| (p, per_type)).collect();
         Rack::new(&composition, workload)
     }
 
@@ -303,16 +297,28 @@ impl Rack {
             self.groups.len(),
             "allocation length must match group count"
         );
-        let groups = self
+        let groups: Vec<GroupMeasurement> = self
             .groups
             .iter()
             .zip(per_server)
             .map(|(g, &alloc)| {
                 let mut server = g.server.clone();
                 server.apply_cap(alloc);
+                let sample = server.run(intensity);
+                // A capped server duty-cycles *at or below* its cap and
+                // can never report negative draw or throughput.
+                debug_assert!(
+                    sample.power <= alloc.non_negative() + Watts::new(1e-6),
+                    "measured draw exceeds the cap: {:?} vs {alloc:?}",
+                    sample.power
+                );
+                debug_assert!(
+                    sample.power.value() >= 0.0 && sample.throughput.value() >= 0.0,
+                    "measurement went negative: {sample:?}"
+                );
                 GroupMeasurement {
                     platform: g.platform,
-                    sample: server.run(intensity),
+                    sample,
                     count: g.count,
                 }
             })
@@ -476,7 +482,10 @@ mod tests {
         assert_eq!(spec.groups[0].workload, WorkloadKind::Streamcluster.id());
         assert_eq!(spec.groups[1].workload, WorkloadKind::Memcached.id());
         // Envelopes differ per workload even at equal counts.
-        assert_ne!(spec.groups[0].envelope.peak(), spec.groups[1].envelope.peak());
+        assert_ne!(
+            spec.groups[0].envelope.peak(),
+            spec.groups[1].envelope.peak()
+        );
     }
 
     #[test]

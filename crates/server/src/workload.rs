@@ -186,21 +186,156 @@ impl WorkloadKind {
         // gpu_affinity are the calibration knobs of the reproduction; see
         // DESIGN.md §6 for the target shapes they were tuned against.
         let (suite, metric, interactive, pf, kappa, par, mem, gpu) = match self {
-            SpecJbb => (Spec, "jops (99%-ile 500ms constrained)", true, 0.67, 1.15, 0.90, 0.10, 0.0),
-            WebSearch => (Cloudsuite, "ops (90%-ile 500ms constrained)", true, 0.55, 0.50, 0.88, 0.10, 0.0),
-            Memcached => (Cloudsuite, "rps (95%-ile 10ms constrained)", true, 0.40, 0.25, 0.92, 0.00, 0.0),
-            Streamcluster => (Parsec, "ips, execution time", false, 0.90, 1.10, 0.80, 0.95, 9.0),
-            Freqmine => (Parsec, "ips, execution time", false, 0.85, 0.85, 0.85, 0.20, 0.0),
-            Blackscholes => (Parsec, "ips, execution time", false, 0.88, 0.95, 0.95, 0.05, 0.0),
-            Bodytrack => (Parsec, "ips, execution time", false, 0.82, 0.85, 0.88, 0.15, 0.0),
-            Swaptions => (Parsec, "ips, execution time", false, 0.92, 0.98, 0.96, 0.00, 0.0),
-            Vips => (Parsec, "ips, execution time", false, 0.86, 0.88, 0.90, 0.20, 0.0),
-            X264 => (Parsec, "ips, execution time", false, 0.90, 0.90, 0.85, 0.15, 0.0),
-            Canneal => (Parsec, "ips, execution time", false, 0.75, 0.95, 0.60, 0.80, 0.0),
-            Mcf => (SpecCpu, "ips, execution time", false, 0.60, 0.80, 0.10, 0.35, 0.0),
-            SradV1 => (Rodinia, "ips, execution time", false, 0.88, 0.80, 0.85, 0.30, 20.0),
-            Particlefilter => (Rodinia, "ips, execution time", false, 0.85, 0.80, 0.82, 0.20, 7.0),
-            Cfd => (Rodinia, "ips, execution time", false, 0.90, 0.75, 0.85, 0.50, 1.6),
+            SpecJbb => (
+                Spec,
+                "jops (99%-ile 500ms constrained)",
+                true,
+                0.67,
+                1.15,
+                0.90,
+                0.10,
+                0.0,
+            ),
+            WebSearch => (
+                Cloudsuite,
+                "ops (90%-ile 500ms constrained)",
+                true,
+                0.55,
+                0.50,
+                0.88,
+                0.10,
+                0.0,
+            ),
+            Memcached => (
+                Cloudsuite,
+                "rps (95%-ile 10ms constrained)",
+                true,
+                0.40,
+                0.25,
+                0.92,
+                0.00,
+                0.0,
+            ),
+            Streamcluster => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.90,
+                1.10,
+                0.80,
+                0.95,
+                9.0,
+            ),
+            Freqmine => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.85,
+                0.85,
+                0.85,
+                0.20,
+                0.0,
+            ),
+            Blackscholes => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.88,
+                0.95,
+                0.95,
+                0.05,
+                0.0,
+            ),
+            Bodytrack => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.82,
+                0.85,
+                0.88,
+                0.15,
+                0.0,
+            ),
+            Swaptions => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.92,
+                0.98,
+                0.96,
+                0.00,
+                0.0,
+            ),
+            Vips => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.86,
+                0.88,
+                0.90,
+                0.20,
+                0.0,
+            ),
+            X264 => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.90,
+                0.90,
+                0.85,
+                0.15,
+                0.0,
+            ),
+            Canneal => (
+                Parsec,
+                "ips, execution time",
+                false,
+                0.75,
+                0.95,
+                0.60,
+                0.80,
+                0.0,
+            ),
+            Mcf => (
+                SpecCpu,
+                "ips, execution time",
+                false,
+                0.60,
+                0.80,
+                0.10,
+                0.35,
+                0.0,
+            ),
+            SradV1 => (
+                Rodinia,
+                "ips, execution time",
+                false,
+                0.88,
+                0.80,
+                0.85,
+                0.30,
+                20.0,
+            ),
+            Particlefilter => (
+                Rodinia,
+                "ips, execution time",
+                false,
+                0.85,
+                0.80,
+                0.82,
+                0.20,
+                7.0,
+            ),
+            Cfd => (
+                Rodinia,
+                "ips, execution time",
+                false,
+                0.90,
+                0.75,
+                0.85,
+                0.50,
+                1.6,
+            ),
         };
         WorkloadSpec {
             kind: self,
@@ -236,7 +371,10 @@ mod tests {
     fn all_workloads_have_valid_parameters() {
         for kind in WorkloadKind::ALL {
             let s = kind.spec();
-            assert!((0.0..=1.0).contains(&s.power_factor), "{kind}: power_factor");
+            assert!(
+                (0.0..=1.0).contains(&s.power_factor),
+                "{kind}: power_factor"
+            );
             assert!((0.2..=1.2).contains(&s.kappa), "{kind}: kappa");
             assert!((0.0..=1.0).contains(&s.parallel_scaling), "{kind}: scaling");
             assert!((0.0..=1.0).contains(&s.memory_scaling), "{kind}: memory");

@@ -20,7 +20,10 @@ proptest! {
     /// Ground-truth throughput is monotone non-decreasing in power, zero
     /// below idle, and saturates at the workload peak, for every valid
     /// (platform, workload) pair.
+    // Below idle the model returns a literal 0.0, so exact equality is
+    // the intended check.
     #[test]
+    #[allow(clippy::float_cmp)]
     fn throughput_monotone_everywhere(
         platform in arb_platform(),
         workload in arb_cpu_workload(),

@@ -143,9 +143,7 @@ impl Simulation {
                         .rack
                         .groups()
                         .iter()
-                        .position(|g| {
-                            g.platform.id() == *config && g.workload.id() == *workload
-                        })
+                        .position(|g| g.platform.id() == *config && g.workload.id() == *workload)
                         .ok_or_else(|| CoreError::InvalidConfig {
                             reason: format!("training requested for unknown pair {config}"),
                         })?;
@@ -234,11 +232,14 @@ impl Simulation {
                     .groups()
                     .iter()
                     .zip(&m.groups)
-                    .filter(|(g, gm)| {
-                        gm.sample.power >= g.server().truth().envelope().idle()
-                    })
+                    .filter(|(g, gm)| gm.sample.power >= g.server().truth().envelope().idle())
                     .map(|(g, gm)| {
-                        (g.platform.id(), g.workload.id(), gm.sample.power, gm.sample.throughput)
+                        (
+                            g.platform.id(),
+                            g.workload.id(),
+                            gm.sample.power,
+                            gm.sample.throughput,
+                        )
                     })
                     .collect();
                 let feedback: Vec<GroupFeedback> = raw

@@ -24,8 +24,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// The discrete-time epoch simulation engine.
 pub mod engine;
+/// Workload-intensity patterns driving the simulated load.
 pub mod intensity;
+/// Result collection and summary reporting.
 pub mod report;
+/// Experiment runner executing scenarios (optionally in parallel).
 pub mod runner;
+/// Scenario builder: datacenter composition, traces, and policy.
 pub mod scenario;

@@ -189,7 +189,13 @@ impl RunReport {
 mod tests {
     use super::*;
 
-    fn record(epoch: u64, training: bool, case: SupplyCase, thr: f64, par: Option<f64>) -> EpochRecord {
+    fn record(
+        epoch: u64,
+        training: bool,
+        case: SupplyCase,
+        thr: f64,
+        par: Option<f64>,
+    ) -> EpochRecord {
         EpochRecord {
             epoch: EpochId::new(epoch),
             time: SimTime::from_secs(epoch * 900),
@@ -250,6 +256,8 @@ mod tests {
     }
 
     #[test]
+    // Counting epochs times 0.25 h is exact in binary floating point.
+    #[allow(clippy::float_cmp)]
     fn case_hours() {
         let r = report();
         let (a, b, c) = r.case_hours(0.25);

@@ -74,7 +74,10 @@ pub fn run_all(scenarios: Vec<Scenario>) -> Result<Vec<RunReport>, CoreError> {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("simulation thread panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
     results.into_iter().collect()
@@ -149,9 +152,11 @@ mod tests {
 
     #[test]
     fn compare_policies_preserves_order() {
-        let outcomes =
-            compare_policies(&tiny(PolicyKind::Uniform), &[PolicyKind::Uniform, PolicyKind::GreenHetero])
-                .unwrap();
+        let outcomes = compare_policies(
+            &tiny(PolicyKind::Uniform),
+            &[PolicyKind::Uniform, PolicyKind::GreenHetero],
+        )
+        .unwrap();
         assert_eq!(outcomes.len(), 2);
         assert_eq!(outcomes[0].policy, PolicyKind::Uniform);
         assert_eq!(outcomes[1].policy, PolicyKind::GreenHetero);
@@ -165,7 +170,10 @@ mod tests {
             PolicyKind::Uniform,
         )
         .unwrap();
-        let uniform = rows.iter().find(|(p, _)| *p == PolicyKind::Uniform).unwrap();
+        let uniform = rows
+            .iter()
+            .find(|(p, _)| *p == PolicyKind::Uniform)
+            .unwrap();
         assert!((uniform.1 - 1.0).abs() < 1e-12);
     }
 
@@ -188,8 +196,6 @@ mod tests {
         .unwrap();
         assert_eq!(rows.len(), 2);
         // More grid budget never hurts throughput.
-        assert!(
-            rows[1].1.mean_throughput().value() >= rows[0].1.mean_throughput().value() - 1e-6
-        );
+        assert!(rows[1].1.mean_throughput().value() >= rows[0].1.mean_throughput().value() - 1e-6);
     }
 }

@@ -31,8 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\npolicy comparison on the GPU rack (Uniform = 1.0x):\n");
-    println!("{:<16} {:>9} {:>9} {:>14} {:>14} {:>12}",
-        "workload", "Uniform", "Manual", "GreenHetero-p", "GreenHetero-a", "GreenHetero");
+    println!(
+        "{:<16} {:>9} {:>9} {:>14} {:>14} {:>12}",
+        "workload", "Uniform", "Manual", "GreenHetero-p", "GreenHetero-a", "GreenHetero"
+    );
     for w in WorkloadKind::COMB6_SET {
         let base = Scenario {
             combination: Combination::Comb6,

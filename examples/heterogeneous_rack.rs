@@ -6,6 +6,10 @@
 //!   cargo run --release --example heterogeneous_rack [comb1..comb6] [workload]
 //! e.g. `cargo run --release --example heterogeneous_rack comb5 Canneal`
 
+// Examples are demo binaries: aborting with a message is the right
+// failure mode, so the workspace unwrap/expect lints are relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use greenhetero::core::policies::PolicyKind;
 use greenhetero::server::rack::Combination;
 use greenhetero::server::workload::WorkloadKind;
@@ -58,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .mean_scarce_throughput()
         .value();
 
-    println!("{:<15} {:>12} {:>10} {:>8} {:>12}", "policy", "throughput*", "speedup", "EPU", "grid cost $");
+    println!(
+        "{:<15} {:>12} {:>10} {:>8} {:>12}",
+        "policy", "throughput*", "speedup", "EPU", "grid cost $"
+    );
     for o in &outcomes {
         let thr = o.report.mean_scarce_throughput().value();
         println!(

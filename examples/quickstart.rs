@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ConfigId::new(0),
         1,
         PerfModel::new(
-            Quadratic { l: -3000.0, m: 60.0, n: -0.12 },
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
             PowerRange::new(Watts::new(88.0), Watts::new(147.0))?,
         ),
     )?;
@@ -30,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ConfigId::new(1),
         1,
         PerfModel::new(
-            Quadratic { l: -1200.0, m: 55.0, n: -0.18 },
+            Quadratic {
+                l: -1200.0,
+                m: 55.0,
+                n: -0.18,
+            },
             PowerRange::new(Watts::new(47.0), Watts::new(81.0))?,
         ),
     )?;
@@ -40,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== solver ==");
     println!(
         "optimal PAR: {} to the Xeon, {} to the i5 (projected {:.0} ops/s)",
-        allocation.shares[0], allocation.shares[1], allocation.projected.value()
+        allocation.shares[0],
+        allocation.shares[1],
+        allocation.projected.value()
     );
 
     // ---- 2. One simulated day ----------------------------------------------

@@ -46,15 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             e.load.value(),
             batt,
             e.soc.value() * 100.0,
-            e.par
-                .map_or("  —  ".to_string(), |p| format!("{:>4.0}%", p.as_percent())),
+            e.par.map_or("  —  ".to_string(), |p| format!(
+                "{:>4.0}%",
+                p.as_percent()
+            )),
             e.throughput.value(),
             if e.training { "  (training)" } else { "" },
         );
     }
 
     println!("\nsummary:");
-    println!("  mean throughput : {:.0}", report.mean_throughput().value());
+    println!(
+        "  mean throughput : {:.0}",
+        report.mean_throughput().value()
+    );
     println!("  EPU             : {}", report.epu());
     println!(
         "  mean PAR        : {}",

@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example trace_tools`
 
+use greenhetero::core::types::SimDuration;
 use greenhetero::core::types::{SimTime, Watts};
 use greenhetero::power::solar::{synthesize, SolarConfig};
 use greenhetero::power::trace::{demand_pattern, PowerTrace};
-use greenhetero::core::types::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let peak = Watts::new(1800.0);
@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let low = synthesize(&SolarConfig::low(peak, 42))?;
 
     println!("one-week synthetic solar traces (plant peak {peak}):\n");
-    println!("{:<12} {:>10} {:>10} {:>10} {:>12}", "trace", "mean", "max", "min", "kWh/day");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12}",
+        "trace", "mean", "max", "min", "kWh/day"
+    );
     for (name, t) in [("High", &high), ("Low", &low)] {
         let daily_kwh = t.mean().value() * 24.0 / 1000.0;
         println!(

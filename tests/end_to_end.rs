@@ -264,7 +264,6 @@ fn scarce_epochs_exist_and_are_where_greenhetero_wins() {
     let gh = &outcomes[1].report;
     let scarce_count = gh.epochs.iter().filter(|e| RunReport::is_scarce(e)).count();
     assert!(scarce_count > 10, "expected plenty of scarce epochs");
-    let gain =
-        gh.mean_scarce_throughput().value() / uni.mean_scarce_throughput().value();
+    let gain = gh.mean_scarce_throughput().value() / uni.mean_scarce_throughput().value();
     assert!(gain > 1.1, "scarce-epoch gain was only {gain:.2}");
 }

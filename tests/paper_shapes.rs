@@ -27,7 +27,10 @@ fn fig3_case_study_shape() {
         (epu.epu().value(), m.total_throughput().value())
     };
     let (epu_uniform, perf_uniform) = eval(50.0);
-    assert!((0.80..0.92).contains(&epu_uniform), "uniform EPU {epu_uniform}");
+    assert!(
+        (0.80..0.92).contains(&epu_uniform),
+        "uniform EPU {epu_uniform}"
+    );
 
     let mut best = (0.0, 0.0f64);
     for step in 0..=100 {
@@ -69,7 +72,10 @@ fn fig8_runtime_shape() {
         / uni
             .mean_throughput_where(|e| e.case == SupplyCase::A)
             .value();
-    assert!((0.95..=1.25).contains(&abundant), "abundant gain {abundant}");
+    assert!(
+        (0.95..=1.25).contains(&abundant),
+        "abundant gain {abundant}"
+    );
 
     let par = gh.mean_par().unwrap().as_percent();
     assert!((50.0..=70.0).contains(&par), "mean PAR {par}%");
@@ -96,15 +102,20 @@ fn fig9_workload_ordering_shape() {
     let gain = |w: WorkloadKind| {
         let base = Scenario::workload_study(w, PolicyKind::Uniform);
         let o = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero]).unwrap();
-        o[1].report.mean_scarce_throughput().value()
-            / o[0].report.mean_scarce_throughput().value()
+        o[1].report.mean_scarce_throughput().value() / o[0].report.mean_scarce_throughput().value()
     };
     let stream = gain(WorkloadKind::Streamcluster);
     let memcached = gain(WorkloadKind::Memcached);
     let jbb = gain(WorkloadKind::SpecJbb);
     assert!(stream > 1.5, "streamcluster gain {stream}");
-    assert!(stream > memcached && stream > jbb, "streamcluster must lead");
-    assert!((1.05..=1.45).contains(&memcached), "memcached gain {memcached}");
+    assert!(
+        stream > memcached && stream > jbb,
+        "streamcluster must lead"
+    );
+    assert!(
+        (1.05..=1.45).contains(&memcached),
+        "memcached gain {memcached}"
+    );
     assert!(jbb > 1.2, "SPECjbb gain {jbb}");
 }
 
@@ -118,8 +129,7 @@ fn fig13_combination_shape() {
             ..Scenario::workload_study(WorkloadKind::SpecJbb, PolicyKind::Uniform)
         };
         let o = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero]).unwrap();
-        o[1].report.mean_scarce_throughput().value()
-            / o[0].report.mean_scarce_throughput().value()
+        o[1].report.mean_scarce_throughput().value() / o[0].report.mean_scarce_throughput().value()
     };
     let c1 = gain(Combination::Comb1);
     let c2 = gain(Combination::Comb2);
@@ -141,8 +151,7 @@ fn fig14_gpu_shape() {
             ..Scenario::workload_study(w, PolicyKind::Uniform)
         };
         let o = compare_policies(&base, &[PolicyKind::Uniform, PolicyKind::GreenHetero]).unwrap();
-        o[1].report.mean_scarce_throughput().value()
-            / o[0].report.mean_scarce_throughput().value()
+        o[1].report.mean_scarce_throughput().value() / o[0].report.mean_scarce_throughput().value()
     };
     let srad = gain(WorkloadKind::SradV1);
     let cfd = gain(WorkloadKind::Cfd);

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. Unlike the `serde` stand-in (which is a no-op), this
+//! crate is a *working* property-test harness: strategies generate random
+//! values from a deterministic PRNG and every test body really runs against
+//! [`TestRunner::cases`] sampled inputs. What it deliberately omits is
+//! input *shrinking* — a failing case reports the exact generated input
+//! (plus the seed), which is enough to reproduce and debug, just less
+//! minimal than real proptest would produce.
+//!
+//! Supported surface (everything the GreenHetero tests use):
+//! `proptest!`, `prop_assert!`, `prop_assert_eq!`, [`Strategy`] with
+//! `prop_map`/`prop_flat_map`/`boxed`, range strategies over the common
+//! numeric types, [`any`] for primitives, [`Just`], tuple and `Vec`
+//! composition, [`collection::vec`], and [`sample::select`].
+//!
+//! Determinism: each test derives its seed from the test's module path and
+//! name, so runs are reproducible without a persisted regression file. Set
+//! `PROPTEST_SEED` to override the seed and `PROPTEST_CASES` to change the
+//! number of cases (default 256).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (only `Vec` is provided).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive lower / exclusive upper bound on a generated
+    /// collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range {r:?}");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for `Vec`s with lengths in `size` and elements
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that sample from explicit value sets.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt;
+
+    /// Strategy that picks uniformly from a fixed list of values.
+    #[derive(Debug)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Creates a strategy choosing uniformly among `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn select<T: Clone + fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.items.len() as u64) as usize;
+            self.items[idx].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for test modules, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Fails the current property case with a message unless `cond` holds.
+///
+/// Expands to an early `return Err(TestCaseError)`, so it is only usable
+/// inside a `proptest!` body (or any function returning
+/// `Result<_, TestCaseError>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` that runs the body against [`TestRunner::cases`] sampled
+/// inputs, reporting the failing input on error.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                runner.run(
+                    &strategy,
+                    |($($arg,)+)| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        let _: () = $body;
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )+
+    };
+}

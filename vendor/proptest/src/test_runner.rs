@@ -1,0 +1,181 @@
+//! The case-execution engine behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The PRNG handed to strategies. A thin newtype over the deterministic
+/// [`StdRng`] so strategy code does not depend on the generator choice.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngExt for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed property case: carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message (what `prop_assert!`
+    /// produces).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs one property against many sampled inputs.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+    cases: u32,
+    seed: u64,
+}
+
+/// Default number of cases per property, matching real proptest.
+const DEFAULT_CASES: u32 = 256;
+
+impl TestRunner {
+    /// Creates a runner whose seed is derived from `name` (typically the
+    /// test's module path + function name), so every property gets a
+    /// distinct but reproducible input stream. `PROPTEST_SEED` overrides
+    /// the seed, `PROPTEST_CASES` the case count.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        TestRunner {
+            rng: TestRng::from_seed(seed),
+            cases,
+            seed,
+        }
+    }
+
+    /// Number of cases this runner will execute.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// Draws `cases` inputs from `strategy` and runs `test` on each,
+    /// panicking (with the offending input and seed) on the first failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test` returns an error or itself panics; the failing
+    /// input's `Debug` rendering and the runner seed are included so the
+    /// case can be replayed with `PROPTEST_SEED`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.cases {
+            let value = strategy.new_value(&mut self.rng);
+            let rendered = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => panic!(
+                    "property failed at case {case}/{} (seed {}): {err}\n    input: {rendered}",
+                    self.cases, self.seed
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "property panicked at case {case}/{} (seed {})\n    input: {rendered}",
+                        self.cases, self.seed
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a: a tiny, stable string hash for deriving per-test seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{any, Just};
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = TestRunner::new("x::y");
+        let mut b = TestRunner::new("x::y");
+        let mut seen_a = Vec::new();
+        let mut seen_b = Vec::new();
+        a.run(&(0u32..1000), |v| {
+            seen_a.push(v);
+            Ok(())
+        });
+        b.run(&(0u32..1000), |v| {
+            seen_b.push(v);
+            Ok(())
+        });
+        assert_eq!(seen_a, seen_b);
+        assert!(seen_a.iter().any(|&v| v != seen_a[0]), "stream is constant");
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_case_panics_with_input() {
+        let mut runner = TestRunner::new("fail");
+        runner.run(&Just(3u32), |v| {
+            if v == 3 {
+                Err(TestCaseError::fail("three is right out"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn any_bool_hits_both_sides() {
+        let mut runner = TestRunner::new("bools");
+        let mut trues = 0u32;
+        let mut falses = 0u32;
+        runner.run(&any::<bool>(), |b| {
+            if b {
+                trues += 1;
+            } else {
+                falses += 1;
+            }
+            Ok(())
+        });
+        assert!(trues > 0 && falses > 0);
+    }
+}

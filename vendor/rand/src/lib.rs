@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access and an
+//! empty cargo registry, so the real `rand` cannot be fetched. This crate
+//! re-implements the *small* slice of the API that GreenHetero actually
+//! uses — `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and
+//! [`RngExt::random`] — on top of a deterministic xoshiro256++ generator.
+//!
+//! Determinism matters more than cryptographic quality here: simulations
+//! seed their RNGs explicitly so experiments are reproducible, and the
+//! property-test harness wants stable replays. xoshiro256++ is the same
+//! family the real `rand::rngs::StdRng` documentation reserves the right
+//! to use, has excellent statistical quality for simulation workloads, and
+//! is a handful of lines with no dependencies.
+
+/// A generator that can be constructed from integer seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion, the
+    /// standard way to turn one word of entropy into a full xoshiro state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a raw 64-bit word.
+pub trait Random {
+    /// Derives a value of `Self` from one uniformly random `u64`.
+    fn from_u64(word: u64) -> Self;
+}
+
+impl Random for u64 {
+    fn from_u64(word: u64) -> Self {
+        word
+    }
+}
+
+impl Random for u32 {
+    fn from_u64(word: u64) -> Self {
+        // Use the high bits: xoshiro's low bits are the weakest.
+        (word >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn from_u64(word: u64) -> Self {
+        word >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    fn from_u64(word: u64) -> Self {
+        // 53 high bits → uniform in [0, 1) with full double precision.
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Extension trait providing typed sampling, mirroring `rand::Rng::random`.
+pub trait RngExt {
+    /// The next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniformly distributed value of type `T`.
+    ///
+    /// For `f64` the result lies in `[0, 1)`; integer and boolean types
+    /// cover their whole domain uniformly.
+    fn random<T: Random>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator implementations (only [`StdRng`] is provided).
+
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, the stand-in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion; guarantees a non-zero xoshiro state for
+            // every seed, including 0.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_samples_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn bool_samples_both_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..1000).filter(|_| rng.random::<bool>()).count();
+        assert!((300..700).contains(&trues), "bias: {trues}/1000 true");
+    }
+}

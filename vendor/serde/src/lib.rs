@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. GreenHetero uses serde only as a forward-compatibility
+//! marker: types derive `Serialize`/`Deserialize` so a future wire format
+//! can be added, but nothing in the workspace serializes today. This crate
+//! therefore provides the two trait *names* and re-exports no-op derive
+//! macros of the same names, exactly mirroring how the real crate pairs a
+//! trait namespace with a macro namespace.
+//!
+//! If a future PR introduces actual serialization (a `serde_json`
+//! equivalent or a hand-rolled format), these traits are the place to grow
+//! real `serialize`/`deserialize` methods.
+
+/// Marker for types that could be serialized. The real trait's
+/// `serialize` method is intentionally absent — see the crate docs.
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized. The lifetime parameter
+/// mirrors the real trait so `use serde::Deserialize` call sites and
+/// future bounds keep their shape.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

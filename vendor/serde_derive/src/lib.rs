@@ -1,0 +1,25 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The real `serde_derive` generates `Serialize`/`Deserialize` impls; this
+//! stand-in intentionally generates *nothing*. GreenHetero only derives the
+//! traits so its public types are serialization-ready — no code in the
+//! workspace actually serializes today (there is no `serde_json` or other
+//! format crate in the dependency graph). Emitting an empty token stream
+//! keeps every `#[derive(Serialize, Deserialize)]` attribute compiling
+//! while avoiding a reimplementation of the serde data model, which would
+//! require a full `syn`-class parser that the offline registry cannot
+//! provide.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
