@@ -15,9 +15,19 @@ use crate::database::{PerfDatabase, PerfModel, ProfileSample};
 use crate::error::CoreError;
 use crate::policies::{AllocationOracle, AllocationPolicy, PolicyKind};
 use crate::predictor::{train_or_default, HoltParams, Predictor};
-use crate::solver::{Allocation, AllocationProblem, ServerGroup};
+use crate::solver::{
+    allocation_is_sound, solve_grid, solve_uniform, Allocation, AllocationProblem, ServerGroup,
+};
 use crate::sources::{select_sources, BatteryView, SourceInputs, SourcePlan};
-use crate::types::{ConfigId, EpochId, PowerRange, SimTime, Throughput, Watts, WorkloadId};
+use crate::types::{ConfigId, EpochId, PowerRange, Ratio, SimTime, Throughput, Watts, WorkloadId};
+
+/// Feedback whose residual against the fitted model exceeds this many
+/// sigmas of the entry's historical scatter is discarded as an outlier.
+const OUTLIER_SIGMAS: f64 = 5.0;
+
+/// Feedback claiming more than this multiple of the envelope peak is a
+/// meter glitch, not a server drawing power.
+const FEEDBACK_POWER_SLACK: f64 = 1.25;
 
 /// One homogeneous slice of the rack: `count` servers of one configuration
 /// all running one workload.
@@ -74,6 +84,57 @@ impl RackSpec {
     }
 }
 
+/// Rung of the degradation ladder the controller landed on this epoch.
+///
+/// Ordered from best to worst; the controller reports the worst rung it
+/// had to descend to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// The configured policy solved the full problem.
+    Nominal,
+    /// The policy's answer failed (or was unsound) and a fallback engine
+    /// (grid search, then uniform split) produced the allocation.
+    FallbackSolve,
+    /// The budget could not keep every server powered on: whole servers
+    /// were shed (worst energy efficiency first) until idle demand fit.
+    LoadShed,
+    /// Nothing could be kept on — every server is powered off this epoch.
+    SafeIdle,
+}
+
+/// How gracefully (or not) one epoch's decision was reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochResilience {
+    /// The worst degradation rung reached.
+    pub level: DegradeLevel,
+    /// Servers deliberately powered off per rack group, in rack order
+    /// (on top of any servers the caller already reported as crashed).
+    pub shed: Vec<u32>,
+}
+
+impl EpochResilience {
+    /// The fault-free resilience record for a rack of `groups` groups.
+    #[must_use]
+    pub fn nominal(groups: usize) -> Self {
+        EpochResilience {
+            level: DegradeLevel::Nominal,
+            shed: vec![0; groups],
+        }
+    }
+
+    /// Total servers shed across all groups.
+    #[must_use]
+    pub fn shed_total(&self) -> u32 {
+        self.shed.iter().sum()
+    }
+
+    /// `true` when the epoch ran below [`DegradeLevel::Nominal`].
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.level != DegradeLevel::Nominal
+    }
+}
+
 /// What the controller wants done this epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EpochDecision {
@@ -92,8 +153,11 @@ pub enum EpochDecision {
     Run {
         /// Power-source selection for the epoch.
         plan: SourcePlan,
-        /// The PAR decision to enforce.
+        /// The PAR decision to enforce (always one entry per rack group;
+        /// shed or crashed-out groups get zero watts).
         allocation: Allocation,
+        /// How the decision degraded, if at all.
+        resilience: EpochResilience,
     },
 }
 
@@ -234,11 +298,21 @@ impl Controller {
     /// Algorithm 1, top of the scheduling epoch: predict, select power
     /// sources, and either request training runs or produce an allocation.
     ///
-    /// `oracle` is forwarded to measurement-driven policies (Manual).
+    /// `oracle` is forwarded to measurement-driven policies (Manual); it is
+    /// dropped for epochs where shedding or crashed-out groups change the
+    /// problem shape, since a whole-rack measurement no longer matches.
+    ///
+    /// Recoverable trouble — a diverged predictor, an unsound policy
+    /// answer, a budget below idle demand, even a rack with every server
+    /// crashed — degrades the decision (see [`DegradeLevel`]) instead of
+    /// failing; the [`EpochResilience`] attached to
+    /// [`EpochDecision::Run`] says which rung was reached.
     ///
     /// # Errors
     ///
-    /// Propagates database and solver failures.
+    /// Propagates database lookups and problem-construction failures that
+    /// indicate caller bugs (an unknown pair slipping past the training
+    /// check, a negative budget).
     pub fn begin_epoch(
         &mut self,
         rack: &RackSpec,
@@ -247,14 +321,21 @@ impl Controller {
         oracle: Option<&dyn AllocationOracle>,
     ) -> Result<EpochDecision, CoreError> {
         // Prediction (Eqs. 2–4). Before any observation: assume no
-        // renewable (conservative) and peak demand (ample).
-        let predicted_renewable = Watts::new(self.renewable.predict_or(0.0).max(0.0));
+        // renewable (conservative) and peak demand (ample). A non-finite
+        // prediction (diverged predictor) falls back the same way.
+        let raw_renewable = self.renewable.predict_or(0.0);
+        let predicted_renewable = if raw_renewable.is_finite() {
+            Watts::new(raw_renewable.max(0.0))
+        } else {
+            Watts::ZERO
+        };
         let peak_demand = rack.peak_demand();
-        let predicted_demand = Watts::new(
-            self.demand
-                .predict_or(peak_demand.value())
-                .clamp(0.0, peak_demand.value()),
-        );
+        let raw_demand = self.demand.predict_or(peak_demand.value());
+        let predicted_demand = if raw_demand.is_finite() {
+            Watts::new(raw_demand.clamp(0.0, peak_demand.value()))
+        } else {
+            peak_demand
+        };
 
         let plan = select_sources(&SourceInputs {
             predicted_renewable,
@@ -264,11 +345,12 @@ impl Controller {
             renewable_negligible: self.config.renewable_negligible,
         });
 
-        // Algorithm 1 line 3: any pair missing from the database?
+        // Algorithm 1 line 3: any *present* pair missing from the database?
+        // (Groups crashed down to zero servers don't need a projection.)
         let missing: Vec<(ConfigId, WorkloadId)> = rack
             .groups
             .iter()
-            .filter(|g| !self.db.contains(g.config, g.workload))
+            .filter(|g| g.count > 0 && !self.db.contains(g.config, g.workload))
             .map(|g| (g.config, g.workload))
             .collect();
         if !missing.is_empty() {
@@ -278,18 +360,94 @@ impl Controller {
             });
         }
 
-        // Lines 7–8: build the problem from database projections and solve.
-        let groups: Vec<ServerGroup> = rack
-            .groups
-            .iter()
-            .map(|g| {
-                let model = self.db.model(g.config, g.workload)?;
-                ServerGroup::new(g.config, g.count, *model)
-            })
-            .collect::<Result<_, CoreError>>()?;
+        // Load shedding: when the plan budget cannot even keep the rack
+        // idling, power off whole servers — least energy-efficient first —
+        // until what remains fits.
+        let mut active: Vec<u32> = rack.groups.iter().map(|g| g.count).collect();
+        let mut shed = vec![0u32; rack.groups.len()];
+        let mut level = DegradeLevel::Nominal;
+        let idle_of = |active: &[u32]| -> Watts {
+            rack.groups
+                .iter()
+                .zip(active)
+                .map(|(g, &n)| g.envelope.idle() * f64::from(n))
+                .sum()
+        };
+        if plan.budget() < idle_of(&active) {
+            level = DegradeLevel::LoadShed;
+            let mut order: Vec<usize> = (0..rack.groups.len()).filter(|&i| active[i] > 0).collect();
+            order.sort_by(|&a, &b| {
+                let eff = |i: usize| {
+                    self.db
+                        .model(rack.groups[i].config, rack.groups[i].workload)
+                        .map(PerfModel::peak_efficiency)
+                        .unwrap_or(0.0)
+                };
+                eff(a).total_cmp(&eff(b))
+            });
+            for &i in &order {
+                while active[i] > 0 && plan.budget() < idle_of(&active) {
+                    active[i] -= 1;
+                    shed[i] += 1;
+                }
+            }
+        }
+
+        // Safe idle: nothing can stay on (all crashed, or budget below a
+        // single idle draw). Still a decision, not an error.
+        if active.iter().all(|&n| n == 0) {
+            let groups = rack.groups.len();
+            let allocation = Allocation {
+                per_server: vec![Watts::ZERO; groups],
+                shares: vec![Ratio::ZERO; groups],
+                projected: Throughput::ZERO,
+            };
+            return Ok(EpochDecision::Run {
+                plan,
+                allocation,
+                resilience: EpochResilience {
+                    level: DegradeLevel::SafeIdle,
+                    shed,
+                },
+            });
+        }
+
+        // Lines 7–8: build the problem over the groups still powered and
+        // solve. `map` translates problem indices back to rack indices.
+        let mut map = Vec::with_capacity(rack.groups.len());
+        let mut groups = Vec::with_capacity(rack.groups.len());
+        for (i, g) in rack.groups.iter().enumerate() {
+            if active[i] == 0 {
+                continue;
+            }
+            let model = self.db.model(g.config, g.workload)?;
+            groups.push(ServerGroup::new(g.config, active[i], *model)?);
+            map.push(i);
+        }
         let problem = AllocationProblem::new(groups, plan.budget())?;
-        let allocation = self.policy.allocate(&problem, oracle)?;
-        // Policies are pluggable; re-audit their answer against the
+
+        // A whole-rack oracle only matches a whole-rack problem.
+        let effective_oracle = if map.len() == rack.groups.len() && shed.iter().all(|&s| s == 0) {
+            oracle
+        } else {
+            None
+        };
+
+        // Fallback chain: policy → grid search → uniform split. Each
+        // rung's answer is gated on soundness; the uniform split at the
+        // bottom cannot fail.
+        let (allocation, solve_level) = match self.policy.allocate(&problem, effective_oracle) {
+            Ok(a) if allocation_is_sound(&problem, &a) => (a, DegradeLevel::Nominal),
+            _ => {
+                let grid = solve_grid(&problem);
+                if allocation_is_sound(&problem, &grid) {
+                    (grid, DegradeLevel::FallbackSolve)
+                } else {
+                    (solve_uniform(&problem), DegradeLevel::FallbackSolve)
+                }
+            }
+        };
+        // Policies are pluggable; re-audit the chosen answer against the
         // problem the controller actually posed.
         crate::solver::audit_allocation(&problem, &allocation);
         debug_assert!(
@@ -297,7 +455,25 @@ impl Controller {
                 <= predicted_renewable + battery.max_discharge + grid_budget + Watts::new(1e-6),
             "source plan budget exceeds what the sources can jointly supply"
         );
-        Ok(EpochDecision::Run { plan, allocation })
+        let level = level.max(solve_level);
+
+        // Expand back to one entry per rack group (zero for powered-off
+        // groups) so enforcement stays positional.
+        let mut per_server = vec![Watts::ZERO; rack.groups.len()];
+        let mut shares = vec![Ratio::ZERO; rack.groups.len()];
+        for (slot, &i) in map.iter().enumerate() {
+            per_server[i] = allocation.per_server[slot];
+            shares[i] = allocation.shares[slot];
+        }
+        Ok(EpochDecision::Run {
+            plan,
+            allocation: Allocation {
+                per_server,
+                shares,
+                projected: allocation.projected,
+            },
+            resilience: EpochResilience { level, shed },
+        })
     }
 
     /// Stores the samples of a completed training run (Algorithm 1,
@@ -321,6 +497,12 @@ impl Controller {
     /// End of epoch: feed the monitor's observations back (Algorithm 1,
     /// lines 8–10) and advance the epoch counter.
     ///
+    /// Observations are sanitized before use: non-finite renewable/demand
+    /// readings are dropped (the predictors hold their last state), and
+    /// feedback samples that are non-finite, negative, physically
+    /// impossible, or >5σ off the fitted curve are rejected so a glitching
+    /// meter cannot poison a refit.
+    ///
     /// `feedback` entries for pairs without a database entry are ignored
     /// (they belong to a training run that reports via
     /// [`complete_training`]); database updates only happen under policies
@@ -333,13 +515,18 @@ impl Controller {
         observed_demand: Watts,
         feedback: &[GroupFeedback],
     ) {
-        self.renewable
-            .observe(observed_renewable.value(), &self.config);
-        self.demand.observe(observed_demand.value(), &self.config);
+        let renewable = observed_renewable.value();
+        if renewable.is_finite() {
+            self.renewable.observe(renewable.max(0.0), &self.config);
+        }
+        let demand = observed_demand.value();
+        if demand.is_finite() {
+            self.demand.observe(demand.max(0.0), &self.config);
+        }
 
         if self.policy.updates_database() {
             for fb in feedback {
-                if self.db.contains(fb.config, fb.workload) {
+                if self.db.contains(fb.config, fb.workload) && self.feedback_is_sane(fb) {
                     let sample = ProfileSample::new(fb.per_server_power, fb.per_server_perf, fb.at);
                     // A failed refit keeps the previous model; nothing to do.
                     let _ = self.db.record_feedback(fb.config, fb.workload, sample);
@@ -347,6 +534,30 @@ impl Controller {
             }
         }
         self.epoch = self.epoch.next();
+    }
+
+    /// End of an epoch spent under a telemetry outage: no trustworthy
+    /// observations exist, so the predictors hold their last value and
+    /// the database stays untouched — only the epoch counter advances.
+    pub fn end_epoch_stale(&mut self) {
+        self.epoch = self.epoch.next();
+    }
+
+    /// The monitor's plausibility gate for one feedback sample.
+    fn feedback_is_sane(&self, fb: &GroupFeedback) -> bool {
+        let power = fb.per_server_power.value();
+        let perf = fb.per_server_perf.value();
+        if !(power.is_finite() && perf.is_finite() && power >= 0.0 && perf >= 0.0) {
+            return false;
+        }
+        let Some(entry) = self.db.entry(fb.config, fb.workload) else {
+            return false;
+        };
+        if power > entry.model().range().peak().value() * FEEDBACK_POWER_SLACK {
+            return false;
+        }
+        let residual = (perf - entry.model().eval(fb.per_server_power).value()).abs();
+        residual <= OUTLIER_SIGMAS * entry.residual_sigma().value()
     }
 
     /// Direct read access to a projection (useful for reporting).
@@ -460,12 +671,17 @@ mod tests {
             .begin_epoch(&rack(), &battery(), Watts::ZERO, None)
             .unwrap();
         match decision {
-            EpochDecision::Run { plan, allocation } => {
+            EpochDecision::Run {
+                plan,
+                allocation,
+                resilience,
+            } => {
                 assert_eq!(plan.case, SupplyCase::B); // 220 predicted < 228 demand
                 assert!(allocation.projected.value() > 0.0);
                 // PAR near the case-study optimum (Xeon share ≈ 65 %).
                 let par = allocation.shares[0].value();
                 assert!((0.5..0.8).contains(&par), "par = {par}");
+                assert!(!resilience.is_degraded());
             }
             other => panic!("expected Run, got {other:?}"),
         }
@@ -549,7 +765,9 @@ mod tests {
             .begin_epoch(&rack(), &battery(), Watts::new(1000.0), None)
             .unwrap();
         match decision {
-            EpochDecision::Run { plan, allocation } => {
+            EpochDecision::Run {
+                plan, allocation, ..
+            } => {
                 assert_eq!(plan.case, SupplyCase::A);
                 // Case A puts the full renewable supply on the bus.
                 assert!(plan.budget() >= Watts::new(228.0));
@@ -559,6 +777,257 @@ mod tests {
             }
             other => panic!("expected Run, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn budget_below_idle_sheds_the_least_efficient_group() {
+        // Inert battery, no renewable history, 100 W grid: the plan budget
+        // (100 W) cannot cover the 135 W idle demand. The i5 group has the
+        // lower peak efficiency under these fits, so it is shed first,
+        // leaving the Xeon (88 W idle) running alone.
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        let xeon_eff = c
+            .model(ConfigId::new(0), WorkloadId::new(0))
+            .unwrap()
+            .peak_efficiency();
+        let i5_eff = c
+            .model(ConfigId::new(1), WorkloadId::new(0))
+            .unwrap()
+            .peak_efficiency();
+        assert!(xeon_eff > i5_eff, "test premise: Xeon fit more efficient");
+        let decision = c
+            .begin_epoch(&rack(), &BatteryView::inert(), Watts::new(100.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run {
+                allocation,
+                resilience,
+                ..
+            } => {
+                assert_eq!(resilience.level, DegradeLevel::LoadShed);
+                assert_eq!(resilience.shed, vec![0, 1]);
+                assert_eq!(resilience.shed_total(), 1);
+                assert!(resilience.is_degraded());
+                assert_eq!(allocation.per_server.len(), 2);
+                assert!(allocation.per_server[0] >= Watts::new(88.0));
+                assert_eq!(allocation.per_server[1], Watts::ZERO);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hopeless_budget_degrades_to_safe_idle() {
+        // 10 W cannot idle even a single server: everything is shed and
+        // the decision is a zero allocation, not an error.
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        let decision = c
+            .begin_epoch(&rack(), &BatteryView::inert(), Watts::new(10.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run {
+                allocation,
+                resilience,
+                ..
+            } => {
+                assert_eq!(resilience.level, DegradeLevel::SafeIdle);
+                assert_eq!(resilience.shed_total(), 2);
+                assert!(allocation.per_server.iter().all(|w| w.is_zero()));
+                assert_eq!(allocation.projected, Throughput::ZERO);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_servers_crashed_degrades_to_safe_idle() {
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        let mut spec = rack();
+        for g in &mut spec.groups {
+            g.count = 0;
+        }
+        let decision = c
+            .begin_epoch(&spec, &battery(), Watts::new(1000.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run { resilience, .. } => {
+                assert_eq!(resilience.level, DegradeLevel::SafeIdle);
+                // Nothing was *shed* — the servers were already gone.
+                assert_eq!(resilience.shed_total(), 0);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_out_group_is_skipped_not_retrained() {
+        // Group 1 crashed to zero servers; its pair being untrained must
+        // not trigger a training run for ghosts.
+        let mut c = Controller::new(ControllerConfig::default(), PolicyKind::GreenHetero).unwrap();
+        c.complete_training(
+            ConfigId::new(0),
+            WorkloadId::new(0),
+            envelope(88.0, 147.0),
+            &training_samples(
+                |p| 60.0 * p - 0.12 * p * p - 3000.0,
+                &[95.0, 108.0, 121.0, 134.0, 147.0],
+            ),
+        )
+        .unwrap();
+        let mut spec = rack();
+        spec.groups[1].count = 0;
+        let decision = c
+            .begin_epoch(&spec, &battery(), Watts::new(1000.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run { allocation, .. } => {
+                assert_eq!(allocation.per_server.len(), 2);
+                assert_eq!(allocation.per_server[1], Watts::ZERO);
+                assert!(allocation.per_server[0] > Watts::ZERO);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failing_policy_falls_back_to_a_sound_solve() {
+        #[derive(Debug)]
+        struct BrokenPolicy;
+        impl AllocationPolicy for BrokenPolicy {
+            fn kind(&self) -> PolicyKind {
+                PolicyKind::Manual
+            }
+            fn allocate(
+                &self,
+                _problem: &AllocationProblem,
+                _oracle: Option<&dyn AllocationOracle>,
+            ) -> Result<Allocation, CoreError> {
+                Err(CoreError::EmptyProblem)
+            }
+        }
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        c.policy = Box::new(BrokenPolicy);
+        let decision = c
+            .begin_epoch(&rack(), &battery(), Watts::new(1000.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run {
+                allocation,
+                resilience,
+                ..
+            } => {
+                assert_eq!(resilience.level, DegradeLevel::FallbackSolve);
+                assert!(allocation.projected.value() > 0.0);
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insane_feedback_never_reaches_the_database() {
+        let base = |power: f64, perf: f64| GroupFeedback {
+            config: ConfigId::new(0),
+            workload: WorkloadId::new(0),
+            per_server_power: Watts::new(power),
+            per_server_perf: Throughput::new(perf),
+            at: SimTime::from_secs(900),
+        };
+        let truth = |p: f64| 60.0 * p - 0.12 * p * p - 3000.0;
+        let nan_power = GroupFeedback {
+            per_server_power: Watts::new(1.0) * f64::NAN,
+            ..base(120.0, truth(120.0))
+        };
+        let nan_perf = GroupFeedback {
+            per_server_perf: Throughput::new(1.0) * f64::NAN,
+            ..base(120.0, truth(120.0))
+        };
+        let negative_power = GroupFeedback {
+            per_server_power: Watts::new(120.0) - Watts::new(240.0),
+            ..base(120.0, truth(120.0))
+        };
+        let negative_perf = base(120.0, -50.0);
+        let impossible_power = base(500.0, truth(147.0));
+        let outlier_perf = base(120.0, truth(120.0) + 2000.0);
+        for (name, fb) in [
+            ("nan power", nan_power),
+            ("nan perf", nan_perf),
+            ("negative power", negative_power),
+            ("negative perf", negative_perf),
+            ("impossible power", impossible_power),
+            (">5 sigma outlier", outlier_perf),
+        ] {
+            let mut c = trained_controller(PolicyKind::GreenHetero);
+            c.end_epoch(Watts::new(200.0), Watts::new(228.0), &[fb]);
+            let refits = c
+                .database()
+                .entry(ConfigId::new(0), WorkloadId::new(0))
+                .unwrap()
+                .refit_count();
+            assert_eq!(refits, 0, "{name} must not trigger a refit");
+        }
+        // The control: an on-curve sample still refits.
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        c.end_epoch(
+            Watts::new(200.0),
+            Watts::new(228.0),
+            &[base(120.0, truth(120.0))],
+        );
+        let refits = c
+            .database()
+            .entry(ConfigId::new(0), WorkloadId::new(0))
+            .unwrap()
+            .refit_count();
+        assert_eq!(refits, 1, "sane feedback must refit");
+    }
+
+    #[test]
+    fn non_finite_observations_hold_the_predictors() {
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        for _ in 0..4 {
+            c.end_epoch(Watts::new(220.0), Watts::new(228.0), &[]);
+        }
+        let params_before = c.predictor_params();
+        let nan = Watts::new(1.0) * f64::NAN;
+        c.end_epoch(nan, nan, &[]);
+        assert_eq!(c.predictor_params(), params_before);
+        // begin_epoch still produces a finite plan.
+        let decision = c
+            .begin_epoch(&rack(), &battery(), Watts::new(1000.0), None)
+            .unwrap();
+        match decision {
+            EpochDecision::Run { plan, .. } => {
+                assert!(plan.budget().value().is_finite());
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_epoch_advances_the_clock_but_nothing_else() {
+        let mut c = trained_controller(PolicyKind::GreenHetero);
+        for _ in 0..4 {
+            c.end_epoch(Watts::new(220.0), Watts::new(228.0), &[]);
+        }
+        let budget_before = match c
+            .begin_epoch(&rack(), &battery(), Watts::ZERO, None)
+            .unwrap()
+        {
+            EpochDecision::Run { plan, .. } => plan.budget(),
+            other => panic!("expected Run, got {other:?}"),
+        };
+        let epoch_before = c.epoch();
+        c.end_epoch_stale();
+        c.end_epoch_stale();
+        assert_eq!(c.epoch(), EpochId::new(epoch_before.raw() + 2));
+        // Predictions held: the same plan comes out after the outage.
+        let budget_after = match c
+            .begin_epoch(&rack(), &battery(), Watts::ZERO, None)
+            .unwrap()
+        {
+            EpochDecision::Run { plan, .. } => plan.budget(),
+            other => panic!("expected Run, got {other:?}"),
+        };
+        assert_eq!(budget_before, budget_after);
     }
 
     #[test]

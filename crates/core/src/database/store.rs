@@ -44,6 +44,15 @@ pub struct ProfileEntry {
     model: PerfModel,
     refits: usize,
     training_len: usize,
+    /// Fit error of the original training run, the yardstick a refit is
+    /// judged against (floored so a perfect fit doesn't make any later
+    /// noise look divergent).
+    baseline_rmse: f64,
+    /// Consecutive refits whose error blew past the baseline.
+    diverging_refits: u32,
+    /// Set when refits diverged repeatedly: the model is no longer
+    /// trusted and the pair should be retrained.
+    quarantined: bool,
 }
 
 impl ProfileEntry {
@@ -63,6 +72,33 @@ impl ProfileEntry {
     #[must_use]
     pub fn refit_count(&self) -> usize {
         self.refits
+    }
+
+    /// `true` once repeated divergent refits got this entry quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// The standard deviation of the model's residuals over the retained
+    /// samples, floored at [`RESIDUAL_SIGMA_FLOOR`] of the mean absolute
+    /// throughput — the monitor's yardstick for spotting outlier feedback.
+    #[must_use]
+    pub fn residual_sigma(&self) -> Throughput {
+        let n = self.samples.len() as f64;
+        if n == 0.0 {
+            return Throughput::ZERO;
+        }
+        let mut sq_sum = 0.0;
+        let mut abs_sum = 0.0;
+        for s in &self.samples {
+            let residual = s.perf.value() - self.model.eval(s.power).value();
+            sq_sum += residual * residual;
+            abs_sum += s.perf.value().abs();
+        }
+        let rms = (sq_sum / n).sqrt();
+        let floor = RESIDUAL_SIGMA_FLOOR * (abs_sum / n);
+        Throughput::new(rms.max(floor))
     }
 }
 
@@ -103,6 +139,18 @@ pub struct PerfDatabase {
 /// roughly a day of 15-minute epoch feedback.
 const DEFAULT_MAX_SAMPLES: usize = 128;
 
+/// A refit counts as divergent when its error exceeds this multiple of the
+/// training baseline. Generous on purpose: ordinary monitor noise (≈1 %)
+/// must never trip it, only a fit being dragged off the curve.
+const DIVERGENCE_FACTOR: f64 = 8.0;
+
+/// Consecutive divergent refits before an entry is quarantined.
+const QUARANTINE_STRIKES: u32 = 3;
+
+/// Residual-sigma floor as a fraction of the mean absolute throughput,
+/// so a near-perfect training fit still tolerates realistic noise.
+const RESIDUAL_SIGMA_FLOOR: f64 = 0.02;
+
 impl PerfDatabase {
     /// Creates an empty database with the default sample-retention cap.
     #[must_use]
@@ -127,17 +175,27 @@ impl PerfDatabase {
         }
     }
 
-    /// `true` if a projection exists for this (configuration, workload)
-    /// pair — Algorithm 1's `c & w == 0` check, inverted.
+    /// `true` if a *trusted* projection exists for this (configuration,
+    /// workload) pair — Algorithm 1's `c & w == 0` check, inverted. A
+    /// quarantined entry counts as missing, which is exactly what
+    /// schedules its retraining run.
     #[must_use]
     pub fn contains(&self, config: ConfigId, workload: WorkloadId) -> bool {
-        self.entries.contains_key(&(config, workload))
+        self.entries
+            .get(&(config, workload))
+            .is_some_and(|e| !e.quarantined)
     }
 
     /// Number of (configuration, workload) entries.
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of entries currently quarantined (awaiting retraining).
+    #[must_use]
+    pub fn quarantined_len(&self) -> usize {
+        self.entries.values().filter(|e| e.quarantined).count()
     }
 
     /// `true` if the database has no entries.
@@ -182,6 +240,8 @@ impl PerfDatabase {
         samples: &[ProfileSample],
     ) -> Result<FitResult, CoreError> {
         let fit = Self::fit(samples)?;
+        let mean_abs_perf =
+            samples.iter().map(|s| s.perf.value().abs()).sum::<f64>() / samples.len() as f64;
         self.entries.insert(
             (config, workload),
             ProfileEntry {
@@ -189,6 +249,9 @@ impl PerfDatabase {
                 model: PerfModel::new(fit.curve, range),
                 refits: 0,
                 training_len: samples.len(),
+                baseline_rmse: fit.rmse.max(RESIDUAL_SIGMA_FLOOR * mean_abs_perf),
+                diverging_refits: 0,
+                quarantined: false,
             },
         );
         Ok(fit)
@@ -203,7 +266,8 @@ impl PerfDatabase {
     /// # Errors
     ///
     /// Returns [`CoreError::ProfileMissing`] when the pair has no training
-    /// entry, and propagates fit failures (the previous model is kept in
+    /// entry or the entry is quarantined (a retraining run must replace it
+    /// first), and propagates fit failures (the previous model is kept in
     /// that case).
     pub fn record_feedback(
         &mut self,
@@ -215,6 +279,7 @@ impl PerfDatabase {
         let entry = self
             .entries
             .get_mut(&(config, workload))
+            .filter(|e| !e.quarantined)
             .ok_or(CoreError::ProfileMissing { config, workload })?;
 
         entry.samples.push(sample);
@@ -228,6 +293,17 @@ impl PerfDatabase {
         let fit = Self::fit(&entry.samples)?;
         entry.model = PerfModel::new(fit.curve, entry.model.range());
         entry.refits += 1;
+        // Divergence watchdog: a refit drifting far above the training
+        // baseline means the samples no longer describe one curve. Three
+        // strikes quarantine the entry so the scheduler retrains it.
+        if fit.rmse > DIVERGENCE_FACTOR * entry.baseline_rmse {
+            entry.diverging_refits += 1;
+            if entry.diverging_refits >= QUARANTINE_STRIKES {
+                entry.quarantined = true;
+            }
+        } else {
+            entry.diverging_refits = 0;
+        }
         Ok(fit)
     }
 
@@ -405,6 +481,84 @@ mod tests {
     #[should_panic(expected = "max_samples must be at least 2")]
     fn tiny_cap_panics() {
         let _ = PerfDatabase::with_max_samples(1);
+    }
+
+    #[test]
+    fn divergent_refits_quarantine_the_entry() {
+        let mut db = PerfDatabase::new();
+        let (c, w) = ids();
+        db.insert_training(c, w, range(), &training_samples())
+            .unwrap();
+        // Wildly inconsistent feedback: alternating ±2000 around the curve
+        // drags every refit far past the divergence threshold.
+        let mut strikes = 0;
+        for i in 0u32..10 {
+            let p = 55.0 + f64::from(i) * 2.0;
+            let noise = if i % 2 == 0 { 2000.0 } else { -2000.0 };
+            let s = ProfileSample::new(
+                Watts::new(p),
+                Throughput::new(40.0 * p - 0.2 * p * p + noise),
+                SimTime::from_secs(1000 + u64::from(i) * 900),
+            );
+            match db.record_feedback(c, w, s) {
+                Ok(_) => strikes += 1,
+                Err(CoreError::ProfileMissing { .. }) => break,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        assert_eq!(strikes, 3, "quarantine should trip on the third strike");
+        let entry = db.entry(c, w).unwrap();
+        assert!(entry.is_quarantined());
+        // A quarantined pair reads as missing → Algorithm 1 retrains it.
+        assert!(!db.contains(c, w));
+        assert_eq!(db.quarantined_len(), 1);
+        let s = ProfileSample::new(Watts::new(60.0), Throughput::new(1000.0), SimTime::ZERO);
+        assert!(matches!(
+            db.record_feedback(c, w, s),
+            Err(CoreError::ProfileMissing { .. })
+        ));
+        // Retraining replaces the entry and clears the quarantine.
+        db.insert_training(c, w, range(), &training_samples())
+            .unwrap();
+        assert!(db.contains(c, w));
+        assert_eq!(db.quarantined_len(), 0);
+    }
+
+    #[test]
+    fn consistent_feedback_never_quarantines() {
+        let mut db = PerfDatabase::new();
+        let (c, w) = ids();
+        db.insert_training(c, w, range(), &training_samples())
+            .unwrap();
+        // Realistic 1 % monitor noise must never look divergent.
+        for i in 0u32..50 {
+            let p = 50.0 + f64::from(i % 11) * 3.0;
+            let truth = 40.0 * p - 0.2 * p * p;
+            let noise = truth * 0.01 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            db.record_feedback(
+                c,
+                w,
+                ProfileSample::new(
+                    Watts::new(p),
+                    Throughput::new(truth + noise),
+                    SimTime::from_secs(1000 + u64::from(i) * 900),
+                ),
+            )
+            .unwrap();
+        }
+        assert!(db.contains(c, w));
+        assert_eq!(db.quarantined_len(), 0);
+    }
+
+    #[test]
+    fn residual_sigma_tracks_scatter() {
+        let mut db = PerfDatabase::new();
+        let (c, w) = ids();
+        db.insert_training(c, w, range(), &training_samples())
+            .unwrap();
+        // A perfect fit still reports the floor, not zero.
+        let sigma = db.entry(c, w).unwrap().residual_sigma();
+        assert!(sigma.value() > 0.0);
     }
 
     #[test]

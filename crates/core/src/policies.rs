@@ -17,7 +17,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
-use crate::solver::{enumerate_shares, solve, Allocation, AllocationProblem};
+use crate::solver::{enumerate_shares, solve, solve_uniform, Allocation, AllocationProblem};
 use crate::types::{Ratio, Throughput, Watts};
 
 /// Measures the *actual* throughput of a per-server assignment by running
@@ -155,10 +155,7 @@ impl AllocationPolicy for Uniform {
         problem: &AllocationProblem,
         _oracle: Option<&dyn AllocationOracle>,
     ) -> Result<Allocation, CoreError> {
-        let total_servers: u32 = problem.groups().iter().map(|g| g.count).sum();
-        let per_server = problem.budget() / f64::from(total_servers.max(1));
-        let assignment = vec![per_server; problem.groups().len()];
-        Ok(Allocation::from_assignment(problem, assignment))
+        Ok(solve_uniform(problem))
     }
 }
 

@@ -81,6 +81,55 @@ pub fn solve(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
     best
 }
 
+/// The degenerate engine at the bottom of the fallback chain: an even
+/// per-server split of the budget, ignoring the performance models
+/// entirely. It cannot fail and never consults a (possibly poisoned)
+/// projection, which is exactly what makes it a safe last resort — and it
+/// is also what the Uniform baseline policy enforces by definition.
+///
+/// # Examples
+///
+/// ```
+/// use greenhetero_core::database::{PerfModel, Quadratic};
+/// use greenhetero_core::solver::{solve_uniform, AllocationProblem, ServerGroup};
+/// use greenhetero_core::types::{ConfigId, PowerRange, Watts};
+///
+/// let g = ServerGroup::new(
+///     ConfigId::new(0),
+///     2,
+///     PerfModel::new(
+///         Quadratic { l: 0.0, m: 50.0, n: -0.1 },
+///         PowerRange::new(Watts::new(47.0), Watts::new(81.0))?,
+///     ),
+/// )?;
+/// let alloc = solve_uniform(&AllocationProblem::new(vec![g], Watts::new(120.0))?);
+/// assert_eq!(alloc.per_server[0], Watts::new(60.0));
+/// # Ok::<(), greenhetero_core::error::CoreError>(())
+/// ```
+#[must_use]
+pub fn solve_uniform(problem: &AllocationProblem) -> Allocation {
+    let total_servers: u32 = problem.groups().iter().map(|g| g.count).sum();
+    let per_server = problem.budget() / f64::from(total_servers.max(1));
+    let assignment = vec![per_server; problem.groups().len()];
+    Allocation::from_assignment(problem, assignment)
+}
+
+/// Release-build sanity check of a solver answer, the gate of the
+/// controller's fallback chain: `true` only when the allocation covers
+/// every group with finite, non-negative watts inside the budget and a
+/// finite projection. Unlike [`audit_allocation`] this never panics — a
+/// `false` sends the controller down to the next engine.
+#[must_use]
+pub fn allocation_is_sound(problem: &AllocationProblem, allocation: &Allocation) -> bool {
+    allocation.per_server.len() == problem.groups().len()
+        && allocation
+            .per_server
+            .iter()
+            .all(|p| p.value().is_finite() && p.value() >= 0.0)
+        && problem.is_feasible(&allocation.per_server)
+        && allocation.projected.value().is_finite()
+}
+
 /// Debug-build conservation audit of a solver answer: the allocation must
 /// be budget-feasible, non-negative, and its PAR vector plus the surplus
 /// share must account for exactly the whole budget.
@@ -173,6 +222,70 @@ mod tests {
         assert!(combined.projected >= exact.projected);
         assert!(combined.projected >= grid.projected);
         assert!(p.is_feasible(&combined.per_server));
+    }
+
+    #[test]
+    fn solve_uniform_splits_the_budget_evenly() {
+        let a = group(
+            0,
+            2,
+            88.0,
+            147.0,
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
+        );
+        let b = group(
+            1,
+            3,
+            47.0,
+            81.0,
+            Quadratic {
+                l: -1200.0,
+                m: 50.0,
+                n: -0.18,
+            },
+        );
+        let p = AllocationProblem::new(vec![a, b], Watts::new(500.0)).unwrap();
+        let alloc = solve_uniform(&p);
+        assert_eq!(alloc.per_server, vec![Watts::new(100.0); 2]);
+        assert!(p.is_feasible(&alloc.per_server));
+        assert!(allocation_is_sound(&p, &alloc));
+    }
+
+    #[test]
+    fn allocation_soundness_rejects_broken_answers() {
+        let g = group(
+            0,
+            1,
+            47.0,
+            81.0,
+            Quadratic {
+                l: 0.0,
+                m: 50.0,
+                n: -0.1,
+            },
+        );
+        let p = AllocationProblem::new(vec![g], Watts::new(100.0)).unwrap();
+        let good = solve_uniform(&p);
+        assert!(allocation_is_sound(&p, &good));
+
+        // Wrong length.
+        let mut broken = good.clone();
+        broken.per_server.push(Watts::ZERO);
+        assert!(!allocation_is_sound(&p, &broken));
+
+        // Over budget.
+        let mut broken = good.clone();
+        broken.per_server[0] = Watts::new(500.0);
+        assert!(!allocation_is_sound(&p, &broken));
+
+        // Non-finite watts (constructible only through arithmetic).
+        let mut broken = good.clone();
+        broken.per_server[0] = Watts::new(1.0) * f64::NAN;
+        assert!(!allocation_is_sound(&p, &broken));
     }
 
     #[test]

@@ -312,6 +312,27 @@ impl BatteryBank {
         self.total_discharged = WattHours::ZERO;
         self.recharging = false;
     }
+
+    /// Permanently derates the bank to `surviving` of its current size —
+    /// a battery string failing open, or capacity fade discovered by a
+    /// maintenance check. Capacity, stored energy and both C-rate limits
+    /// scale together (fewer strings = proportionally less of everything);
+    /// cycle accounting is untouched. The fraction is clamped to at least
+    /// 1 % so a degenerate event cannot zero the spec out entirely (a
+    /// zero-capacity spec is invalid by construction).
+    pub fn derate(&mut self, surviving: Ratio) {
+        let f = surviving.value().max(0.01);
+        self.spec.capacity = self.spec.capacity * f;
+        self.spec.max_discharge = self.spec.max_discharge * f;
+        self.spec.max_charge = self.spec.max_charge * f;
+        self.energy = self.energy * f;
+        if self.usable().value() <= 1e-9 {
+            // What survives sits at (or below) the DoD floor: the bank
+            // must recharge before serving as a source again.
+            self.recharging = true;
+        }
+        self.audit();
+    }
 }
 
 #[cfg(test)]
@@ -488,6 +509,57 @@ mod tests {
         }
         assert!((b.cycles() - 2.0).abs() < 1e-6);
         assert!(b.lifetime_used().value() < 0.002);
+    }
+
+    #[test]
+    fn derate_scales_capacity_energy_and_rates_together() {
+        let mut b = bank();
+        b.derate(Ratio::saturating(0.9));
+        assert!((b.spec().capacity.value() - 10_800.0).abs() < 1e-9);
+        assert!((b.spec().max_discharge.value() - 3600.0).abs() < 1e-9);
+        assert!((b.spec().max_charge.value() - 2160.0).abs() < 1e-9);
+        // SoC is preserved: the surviving strings were as full as the rest.
+        assert_eq!(b.soc(), Ratio::ONE);
+        assert!(b.spec().validate().is_ok());
+        // The derated bank still obeys its (smaller) physics.
+        let p = b.discharge(Watts::new(4000.0), SimDuration::from_minutes(15));
+        assert!((p.value() - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derate_preserves_soc_and_scales_usable_energy() {
+        let mut b = bank();
+        // Drain 4600 of the 4800 usable Wh, stopping above the floor.
+        let _ = b.discharge(Watts::new(2300.0), SimDuration::from_hours(2));
+        let soc_before = b.soc();
+        assert!((b.usable().value() - 200.0).abs() < 1e-6);
+        b.derate(Ratio::saturating(0.5));
+        // The failed strings take their energy with them: SoC holds and
+        // the usable band halves along with everything else.
+        assert!((b.soc().value() - soc_before.value()).abs() < 1e-9);
+        assert!((b.usable().value() - 100.0).abs() < 1e-6);
+        assert!(!b.is_recharging());
+    }
+
+    #[test]
+    fn derate_while_recharging_stays_offline_as_a_source() {
+        let mut b = bank();
+        let _ = b.discharge(Watts::new(4000.0), SimDuration::from_hours(2));
+        assert!(b.is_recharging());
+        b.derate(Ratio::saturating(0.9));
+        assert!(b.is_recharging());
+        assert_eq!(
+            b.view(SimDuration::from_minutes(15)).max_discharge,
+            Watts::ZERO
+        );
+    }
+
+    #[test]
+    fn derate_clamps_degenerate_fractions() {
+        let mut b = bank();
+        b.derate(Ratio::ZERO);
+        assert!(b.spec().capacity.value() > 0.0);
+        assert!(b.spec().validate().is_ok());
     }
 
     #[test]

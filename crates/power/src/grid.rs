@@ -79,6 +79,14 @@ impl GridFeed {
         self.budget
     }
 
+    /// Changes the power budget mid-run — a utility brownout cutting the
+    /// feed, or the cut being lifted. Negative values clamp to zero;
+    /// billing accumulators are untouched (the utility still bills for
+    /// what was drawn before the cut).
+    pub fn set_budget(&mut self, budget: Watts) {
+        self.budget = budget.non_negative();
+    }
+
     /// Draws up to `power` for `duration`; returns the power actually
     /// granted (clamped to the budget) and records it for billing.
     #[must_use = "the granted power may be less than requested"]
@@ -152,6 +160,27 @@ mod tests {
             g.draw(Watts::new(500.0), SimDuration::from_hours(1)),
             Watts::ZERO
         );
+    }
+
+    #[test]
+    fn brownout_budget_cut_and_restore() {
+        let mut g = GridFeed::new(Watts::new(1000.0), GridTariff::paper()).unwrap();
+        let _ = g.draw(Watts::new(800.0), SimDuration::from_hours(1));
+        g.set_budget(Watts::new(400.0));
+        assert_eq!(
+            g.draw(Watts::new(800.0), SimDuration::from_hours(1)),
+            Watts::new(400.0)
+        );
+        // Billing memory survives the cut.
+        assert_eq!(g.peak_draw(), Watts::new(800.0));
+        g.set_budget(Watts::new(1000.0));
+        assert_eq!(
+            g.draw(Watts::new(800.0), SimDuration::from_hours(1)),
+            Watts::new(800.0)
+        );
+        // Negative budgets clamp to zero.
+        g.set_budget(Watts::new(100.0) - Watts::new(200.0));
+        assert_eq!(g.budget(), Watts::ZERO);
     }
 
     #[test]

@@ -53,6 +53,16 @@ impl PowerFlows {
     pub fn load_energy(&self, duration: SimDuration) -> WattHours {
         self.to_load * duration
     }
+
+    /// Load power that went unserved this epoch — the resilience ledger's
+    /// name for [`shortfall`](PowerFlows::shortfall): what the servers
+    /// wanted (within plan) but no source could deliver. Conservation
+    /// holds as `renewable + battery + grid = load`, with
+    /// `load + unserved` equal to the planned draw.
+    #[must_use]
+    pub fn unserved(&self) -> Watts {
+        self.shortfall
+    }
 }
 
 /// The rack PDU: applies plans to the physical sources.
@@ -306,6 +316,53 @@ mod tests {
         assert_eq!(flows.from_renewable, Watts::new(1000.0));
         assert_eq!(flows.charging, Watts::ZERO);
         assert_eq!(flows.curtailed, Watts::new(1000.0));
+    }
+
+    #[test]
+    fn unserved_power_conserves_energy() {
+        // The plan was drawn up against a healthy battery, but by dispatch
+        // time the bank sits at its DoD floor and the grid is browned out
+        // to 300 W: 700 W of the planned 1000 W load goes unserved.
+        let healthy = battery();
+        let p = plan(0.0, 1000.0, &healthy, 1000.0);
+        assert_eq!(p.budget(), Watts::new(1000.0));
+
+        let mut drained = battery();
+        let _ = drained.discharge(Watts::new(4000.0), SimDuration::from_hours(2));
+        let mut g = grid(300.0);
+        let flows = Pdu::new().apply(&p, Watts::ZERO, &mut drained, &mut g, epoch());
+
+        assert_eq!(flows.from_battery, Watts::ZERO);
+        assert_eq!(flows.from_grid, Watts::new(300.0));
+        assert_eq!(flows.unserved(), Watts::new(700.0));
+        // Conservation: sources sum to the delivered load...
+        assert_eq!(
+            flows.from_renewable + flows.from_battery + flows.from_grid,
+            flows.to_load
+        );
+        // ...and delivered + unserved accounts for the whole planned draw.
+        assert_eq!(flows.to_load + flows.unserved(), p.budget());
+    }
+
+    #[test]
+    fn conservation_holds_without_faults_too() {
+        let mut bank = battery();
+        let mut g = grid(1000.0);
+        let p = plan(800.0, 1000.0, &bank, 1000.0);
+        let flows = Pdu::new().dispatch(
+            &p,
+            Watts::new(650.0),
+            Watts::new(950.0),
+            &mut bank,
+            &mut g,
+            epoch(),
+        );
+        assert_eq!(flows.unserved(), Watts::ZERO);
+        assert_eq!(
+            flows.from_renewable + flows.from_battery + flows.from_grid,
+            flows.to_load
+        );
+        assert_eq!(flows.to_load + flows.unserved(), Watts::new(950.0));
     }
 
     #[test]

@@ -284,6 +284,27 @@ impl Rack {
             .sum()
     }
 
+    /// Demand as [`Rack::demand_at`], but counting only `active[i]` servers
+    /// per group (crashed or powered-off machines draw nothing). Counts
+    /// above the group size clamp to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` differs from the group count.
+    #[must_use]
+    pub fn demand_at_active(&self, active: &[u32], intensity: Ratio) -> Watts {
+        assert_eq!(
+            active.len(),
+            self.groups.len(),
+            "active-count length must match group count"
+        );
+        self.groups
+            .iter()
+            .zip(active)
+            .map(|(g, &n)| g.server.truth().demand_at(intensity) * f64::from(n.min(g.count)))
+            .sum()
+    }
+
     /// Runs one epoch with `per_server` watts allocated to each group's
     /// servers (rack group order) and measures the outcome.
     ///
@@ -292,24 +313,53 @@ impl Rack {
     /// Panics if `per_server.len()` differs from the group count.
     #[must_use]
     pub fn measure(&self, per_server: &[Watts], intensity: Ratio) -> RackMeasurement {
+        let full: Vec<u32> = self.groups.iter().map(|g| g.count).collect();
+        self.measure_active(per_server, &full, intensity)
+    }
+
+    /// Measures as [`Rack::measure`], but with only `active[i]` servers per
+    /// group online. Offline groups (`active[i] == 0`) report a zero sample
+    /// — a dark machine draws nothing and serves nothing — and the group's
+    /// `count` in the measurement reflects the online servers, so
+    /// [`GroupMeasurement::total_power`] already excludes dark machines.
+    /// Counts above the group size clamp to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_server.len()` or `active.len()` differs from the
+    /// group count.
+    #[must_use]
+    pub fn measure_active(
+        &self,
+        per_server: &[Watts],
+        active: &[u32],
+        intensity: Ratio,
+    ) -> RackMeasurement {
         assert_eq!(
             per_server.len(),
             self.groups.len(),
             "allocation length must match group count"
         );
+        assert_eq!(
+            active.len(),
+            self.groups.len(),
+            "active-count length must match group count"
+        );
         let groups: Vec<GroupMeasurement> = self
             .groups
             .iter()
-            .zip(per_server)
-            .map(|(g, &alloc)| {
+            .zip(per_server.iter().zip(active))
+            .map(|(g, (&alloc, &online))| {
+                let count = online.min(g.count);
+                let cap = if count == 0 { Watts::ZERO } else { alloc };
                 let mut server = g.server.clone();
-                server.apply_cap(alloc);
+                server.apply_cap(cap);
                 let sample = server.run(intensity);
                 // A capped server duty-cycles *at or below* its cap and
                 // can never report negative draw or throughput.
                 debug_assert!(
-                    sample.power <= alloc.non_negative() + Watts::new(1e-6),
-                    "measured draw exceeds the cap: {:?} vs {alloc:?}",
+                    sample.power <= cap.non_negative() + Watts::new(1e-6),
+                    "measured draw exceeds the cap: {:?} vs {cap:?}",
                     sample.power
                 );
                 debug_assert!(
@@ -319,7 +369,7 @@ impl Rack {
                 GroupMeasurement {
                     platform: g.platform,
                     sample,
-                    count: g.count,
+                    count,
                 }
             })
             .collect();
@@ -427,6 +477,39 @@ mod tests {
         assert_eq!(m.groups[0].sample.power, Watts::ZERO);
         assert_eq!(m.groups[0].total_throughput(), Throughput::ZERO);
         assert!(m.groups[1].total_throughput() > Throughput::ZERO);
+    }
+
+    #[test]
+    fn measure_active_darkens_offline_servers() {
+        let r = Rack::combination(Combination::Comb1, 5, WorkloadKind::SpecJbb).unwrap();
+        let alloc = [Watts::new(120.0), Watts::new(75.0)];
+        let full = r.measure(&alloc, Ratio::ONE);
+        // Two i5s crashed: the group's sample is unchanged per-server but
+        // the measurement counts only the three survivors.
+        let partial = r.measure_active(&alloc, &[5, 3], Ratio::ONE);
+        assert_eq!(partial.groups[1].count, 3);
+        assert_eq!(partial.groups[1].sample, full.groups[1].sample);
+        assert!(partial.total_power() < full.total_power());
+        // A fully-dark group reports a zero sample, not idle draw.
+        let dark = r.measure_active(&alloc, &[5, 0], Ratio::ONE);
+        assert_eq!(dark.groups[1].count, 0);
+        assert_eq!(dark.groups[1].sample.power, Watts::ZERO);
+        assert_eq!(dark.groups[1].total_throughput(), Throughput::ZERO);
+        // Counts above the group size clamp to it.
+        let clamped = r.measure_active(&alloc, &[9, 9], Ratio::ONE);
+        assert_eq!(clamped, full);
+    }
+
+    #[test]
+    fn demand_at_active_counts_only_online_servers() {
+        let r = Rack::combination(Combination::Comb1, 5, WorkloadKind::SpecJbb).unwrap();
+        let full = r.demand_at(Ratio::ONE);
+        assert_eq!(r.demand_at_active(&[5, 5], Ratio::ONE), full);
+        let partial = r.demand_at_active(&[5, 3], Ratio::ONE);
+        assert!(partial < full);
+        assert_eq!(r.demand_at_active(&[0, 0], Ratio::ONE), Watts::ZERO);
+        // Clamped to the group size.
+        assert_eq!(r.demand_at_active(&[9, 9], Ratio::ONE), full);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use greenhetero_core::database::ProfileSample;
 use greenhetero_core::error::CoreError;
 use greenhetero_core::metrics::EpuAccumulator;
 use greenhetero_core::policies::PolicyKind;
-use greenhetero_core::types::{SimTime, Throughput, Watts};
+use greenhetero_core::types::{Ratio, SimTime, Throughput, WattHours, Watts};
 use greenhetero_power::battery::BatteryBank;
 use greenhetero_power::grid::GridFeed;
 use greenhetero_power::meter::PowerMeter;
@@ -39,6 +39,8 @@ pub struct Simulation {
     meter: PowerMeter,
     perf_rng: StdRng,
     time: SimTime,
+    /// Scheduled battery string failures, with a fired flag per event.
+    battery_faults: Vec<(SimTime, Ratio, bool)>,
 }
 
 impl Simulation {
@@ -57,6 +59,12 @@ impl Simulation {
         let solar = synthesize(&scenario.solar_config()?)?;
         let meter = PowerMeter::new(scenario.meter_noise, scenario.seed ^ 0x4d45_5445);
         let perf_rng = StdRng::seed_from_u64(scenario.seed ^ 0x5045_5246);
+        let battery_faults = scenario
+            .faults
+            .battery_failures()
+            .into_iter()
+            .map(|(at, surviving)| (at, surviving, false))
+            .collect();
         Ok(Simulation {
             scenario,
             controller,
@@ -69,6 +77,7 @@ impl Simulation {
             meter,
             perf_rng,
             time: SimTime::ZERO,
+            battery_faults,
         })
     }
 
@@ -94,6 +103,21 @@ impl Simulation {
             self.step_epoch(&mut records, &mut epu)?;
         }
 
+        let mut unserved_energy = WattHours::ZERO;
+        for e in &records {
+            unserved_energy += e.unserved * epoch_len;
+        }
+        let degraded_epochs = records.iter().filter(|e| e.degraded).count() as u64;
+        // Recovery latency: epochs from the last injected fault clearing to
+        // the first subsequent non-degraded epoch.
+        let recovery_latency_epochs = self.scenario.faults.last_clear().and_then(|clear| {
+            let first = records.iter().position(|e| e.time >= clear)?;
+            records[first..]
+                .iter()
+                .position(|e| !e.degraded)
+                .map(|d| d as u64)
+        });
+
         Ok(RunReport {
             epochs: records,
             epu,
@@ -101,6 +125,9 @@ impl Simulation {
             grid_peak: self.grid.peak_draw(),
             grid_cost: self.grid.cost(),
             battery_cycles: self.bank.cycles(),
+            unserved_energy,
+            degraded_epochs,
+            recovery_latency_epochs,
         })
     }
 
@@ -111,13 +138,70 @@ impl Simulation {
     ) -> Result<(), CoreError> {
         let epoch_len = self.controller.config().epoch_len;
         let intensity = self.scenario.intensity.at(self.time);
-        let actual_solar = self.solar.mean_over(self.time, epoch_len);
+        let faults = self
+            .scenario
+            .faults
+            .state_at(self.time, self.rack.groups().len());
+
+        // Battery string failures strike once, at their scheduled instant,
+        // and the capacity loss persists for the rest of the run.
+        for (at, surviving, fired) in &mut self.battery_faults {
+            if !*fired && *at <= self.time {
+                self.bank.derate(*surviving);
+                *fired = true;
+            }
+        }
+
+        // An inverter dropout takes the whole PV feed offline; a brownout
+        // caps the utility feed. Both are invisible to the controller until
+        // the epoch's observations come back — exactly like the plant.
+        let actual_solar = if faults.solar_out {
+            Watts::ZERO
+        } else {
+            self.solar.mean_over(self.time, epoch_len)
+        };
+        let grid_budget = self.scenario.grid_budget * faults.grid_factor;
+        self.grid.set_budget(grid_budget);
         let view = self.bank.view(epoch_len);
+
+        // Servers still up after injected crashes, per group.
+        let online: Vec<u32> = self
+            .rack
+            .groups()
+            .iter()
+            .zip(&faults.crashed)
+            .map(|(g, &c)| g.count.saturating_sub(c))
+            .collect();
+        let offline_servers: u32 = self
+            .rack
+            .groups()
+            .iter()
+            .zip(&online)
+            .map(|(g, &o)| g.count - o)
+            .sum();
+
+        // The controller schedules over what the monitor reports as alive.
+        let spec = RackSpec::new(
+            self.rack_spec
+                .groups
+                .iter()
+                .zip(&online)
+                .map(|(g, &o)| {
+                    let mut g = *g;
+                    g.count = o;
+                    g
+                })
+                .collect(),
+        )?;
 
         // The Manual policy physically tries candidate allocations; other
         // policies are model-driven and get no oracle.
         let rack = &self.rack;
-        let oracle_fn = move |per_server: &[Watts]| rack.measured_throughput(per_server, intensity);
+        let oracle_online = online.clone();
+        let oracle_fn = move |per_server: &[Watts]| {
+            rack.measure_active(per_server, &oracle_online, intensity)
+                .total_throughput()
+        };
         let oracle: Option<&dyn greenhetero_core::policies::AllocationOracle> =
             if self.scenario.policy == PolicyKind::Manual {
                 Some(&oracle_fn)
@@ -125,43 +209,46 @@ impl Simulation {
                 None
             };
 
-        let decision = self.controller.begin_epoch(
-            &self.rack_spec,
-            &view,
-            self.scenario.grid_budget,
-            oracle,
-        )?;
+        let decision = self
+            .controller
+            .begin_epoch(&spec, &view, grid_budget, oracle)?;
 
         let epoch_id = self.controller.epoch();
         let record = match decision {
             EpochDecision::Train { pairs, plan } => {
                 // Training run: ondemand governor with ample power. Every
-                // group gets its full workload envelope.
-                let sample_count = self.controller.config().samples_per_training() as usize;
-                for (config, workload) in &pairs {
-                    let group_idx = self
-                        .rack
-                        .groups()
-                        .iter()
-                        .position(|g| g.platform.id() == *config && g.workload.id() == *workload)
-                        .ok_or_else(|| CoreError::InvalidConfig {
-                            reason: format!("training requested for unknown pair {config}"),
-                        })?;
-                    let envelope = self.rack.groups()[group_idx].server().truth().envelope();
-                    let sweep = self.rack.training_sweep(group_idx, sample_count, intensity);
-                    let samples: Vec<ProfileSample> = sweep
-                        .iter()
-                        .enumerate()
-                        .map(|(i, s)| {
-                            ProfileSample::new(
-                                self.meter.read(s.power),
-                                self.noisy_perf(s.throughput),
-                                self.time + self.controller.config().sample_period * i as u64,
-                            )
-                        })
-                        .collect();
-                    self.controller
-                        .complete_training(*config, *workload, envelope, &samples)?;
+                // group gets its full workload envelope. A telemetry outage
+                // makes the sweep unreadable: the controller will simply
+                // ask again next epoch.
+                if !faults.telemetry_out {
+                    let sample_count = self.controller.config().samples_per_training() as usize;
+                    for (config, workload) in &pairs {
+                        let group_idx = self
+                            .rack
+                            .groups()
+                            .iter()
+                            .position(|g| {
+                                g.platform.id() == *config && g.workload.id() == *workload
+                            })
+                            .ok_or_else(|| CoreError::InvalidConfig {
+                                reason: format!("training requested for unknown pair {config}"),
+                            })?;
+                        let envelope = self.rack.groups()[group_idx].server().truth().envelope();
+                        let sweep = self.rack.training_sweep(group_idx, sample_count, intensity);
+                        let samples: Vec<ProfileSample> = sweep
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| {
+                                ProfileSample::new(
+                                    self.meter.read(s.power),
+                                    self.noisy_perf(s.throughput),
+                                    self.time + self.controller.config().sample_period * i as u64,
+                                )
+                            })
+                            .collect();
+                        self.controller
+                            .complete_training(*config, *workload, envelope, &samples)?;
+                    }
                 }
 
                 // The rack itself runs unconstrained during training.
@@ -171,7 +258,7 @@ impl Simulation {
                     .iter()
                     .map(|g| g.server().truth().envelope().peak())
                     .collect();
-                let m = self.rack.measure(&full, intensity);
+                let m = self.rack.measure_active(&full, &online, intensity);
                 let flows = self.pdu.dispatch(
                     &plan,
                     actual_solar,
@@ -180,17 +267,22 @@ impl Simulation {
                     &mut self.grid,
                     epoch_len,
                 );
-                let supplied = plan.budget().min(self.rack.demand_at(intensity));
+                let demand = self.rack.demand_at_active(&online, intensity);
+                let supplied = plan.budget().min(demand);
                 epu.record(m.total_power().min(supplied), supplied);
-                self.controller
-                    .end_epoch(actual_solar, self.rack.demand_at(intensity), &[]);
+                if faults.telemetry_out {
+                    self.controller.end_epoch_stale();
+                } else {
+                    self.controller.end_epoch(actual_solar, demand, &[]);
+                }
+                let unserved = flows.unserved();
                 EpochRecord {
                     epoch: epoch_id,
                     time: self.time,
                     training: true,
                     case: plan.case,
                     budget: plan.budget(),
-                    demand: self.rack.demand_at(intensity),
+                    demand,
                     solar: actual_solar,
                     load: m.total_power(),
                     battery_discharge: flows.from_battery,
@@ -207,10 +299,26 @@ impl Simulation {
                     intensity,
                     throughput: m.total_throughput(),
                     par: None,
+                    unserved,
+                    shed_servers: 0,
+                    offline_servers,
+                    degraded: faults.telemetry_out || unserved.value() > 1e-6,
                 }
             }
-            EpochDecision::Run { plan, allocation } => {
-                let m = self.rack.measure(&allocation.per_server, intensity);
+            EpochDecision::Run {
+                plan,
+                allocation,
+                resilience,
+            } => {
+                // Shed servers come out of the online population.
+                let active: Vec<u32> = online
+                    .iter()
+                    .zip(&resilience.shed)
+                    .map(|(&o, &s)| o.saturating_sub(s))
+                    .collect();
+                let m = self
+                    .rack
+                    .measure_active(&allocation.per_server, &active, intensity);
                 let flows = self.pdu.dispatch(
                     &plan,
                     actual_solar,
@@ -220,48 +328,58 @@ impl Simulation {
                     epoch_len,
                 );
                 // EPU (Eq. 1): of the power genuinely offered for compute
-                // (never more than the rack could demand), how much was
-                // productively consumed.
-                let supplied = plan.budget().min(self.rack.demand_at(intensity));
+                // (never more than the surviving rack could demand), how
+                // much was productively consumed.
+                let demand = self.rack.demand_at_active(&online, intensity);
+                let supplied = plan.budget().min(demand);
                 epu.record(m.total_power().min(supplied), supplied);
 
-                // Monitor feedback: only on-curve observations (a stranded,
-                // powered-off server is not a point of Perf = f(Power)).
-                let raw: Vec<_> = self
-                    .rack
-                    .groups()
-                    .iter()
-                    .zip(&m.groups)
-                    .filter(|(g, gm)| gm.sample.power >= g.server().truth().envelope().idle())
-                    .map(|(g, gm)| {
-                        (
-                            g.platform.id(),
-                            g.workload.id(),
-                            gm.sample.power,
-                            gm.sample.throughput,
-                        )
-                    })
-                    .collect();
-                let feedback: Vec<GroupFeedback> = raw
-                    .into_iter()
-                    .map(|(config, workload, power, perf)| GroupFeedback {
-                        config,
-                        workload,
-                        per_server_power: self.meter.read(power),
-                        per_server_perf: self.noisy_perf(perf),
-                        at: self.time,
-                    })
-                    .collect();
-                self.controller
-                    .end_epoch(actual_solar, self.rack.demand_at(intensity), &feedback);
+                if faults.telemetry_out {
+                    // Meters dark: the controller holds its predictors and
+                    // models, only the epoch clock advances.
+                    self.controller.end_epoch_stale();
+                } else {
+                    // Monitor feedback: only on-curve observations from
+                    // groups with live servers (a stranded, powered-off
+                    // server is not a point of Perf = f(Power)).
+                    let raw: Vec<_> = self
+                        .rack
+                        .groups()
+                        .iter()
+                        .zip(m.groups.iter().zip(&active))
+                        .filter(|(g, (gm, a))| {
+                            **a > 0 && gm.sample.power >= g.server().truth().envelope().idle()
+                        })
+                        .map(|(g, (gm, _))| {
+                            (
+                                g.platform.id(),
+                                g.workload.id(),
+                                gm.sample.power,
+                                gm.sample.throughput,
+                            )
+                        })
+                        .collect();
+                    let feedback: Vec<GroupFeedback> = raw
+                        .into_iter()
+                        .map(|(config, workload, power, perf)| GroupFeedback {
+                            config,
+                            workload,
+                            per_server_power: self.meter.read(power),
+                            per_server_perf: self.noisy_perf(perf),
+                            at: self.time,
+                        })
+                        .collect();
+                    self.controller.end_epoch(actual_solar, demand, &feedback);
+                }
 
+                let unserved = flows.unserved();
                 EpochRecord {
                     epoch: epoch_id,
                     time: self.time,
                     training: false,
                     case: plan.case,
                     budget: plan.budget(),
-                    demand: self.rack.demand_at(intensity),
+                    demand,
                     solar: actual_solar,
                     load: m.total_power(),
                     battery_discharge: flows.from_battery,
@@ -278,6 +396,12 @@ impl Simulation {
                     intensity,
                     throughput: m.total_throughput(),
                     par: allocation.shares.first().copied(),
+                    unserved,
+                    shed_servers: resilience.shed_total(),
+                    offline_servers,
+                    degraded: resilience.is_degraded()
+                        || faults.telemetry_out
+                        || unserved.value() > 1e-6,
                 }
             }
         };
@@ -397,10 +521,26 @@ mod tests {
 
     #[test]
     fn grid_usage_respects_budget() {
-        let report = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
-        assert!(report.grid_peak <= Watts::new(1000.0));
+        let scenario = quick_scenario(PolicyKind::GreenHetero);
+        let budget = scenario.grid_budget;
+        let report = run_scenario(scenario).unwrap();
+        assert!(report.grid_peak <= budget);
         for e in &report.epochs {
-            assert!(e.grid_load + e.grid_charge <= Watts::new(1000.0 + 1e-6));
+            assert!(e.grid_load + e.grid_charge <= budget + Watts::new(1e-6));
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_degradation() {
+        let report = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        assert_eq!(report.degraded_epochs, 0);
+        // Dispatch arithmetic may leave sub-nanowatt-hour float residue.
+        assert!(report.unserved_energy.value() < 1e-9);
+        assert_eq!(report.recovery_latency_epochs, None);
+        for e in &report.epochs {
+            assert_eq!(e.shed_servers, 0);
+            assert_eq!(e.offline_servers, 0);
+            assert!(!e.degraded);
         }
     }
 }

@@ -7,6 +7,8 @@
 //! * [`scenario`] — experiment descriptions with paper-faithful defaults;
 //! * [`engine`] — the epoch loop (predict → select sources → allocate →
 //!   enforce → advance physics → observe);
+//! * [`faults`] — deterministic fault schedules (crashes, dropouts,
+//!   brownouts, telemetry gaps) the engine injects mid-run;
 //! * [`intensity`] — offered-load profiles (constant / diurnal);
 //! * [`runner`] — parallel policy comparisons and parameter sweeps;
 //! * [`report`] — per-epoch records, run summaries and CSV export.
@@ -26,6 +28,8 @@
 
 /// The discrete-time epoch simulation engine.
 pub mod engine;
+/// Deterministic fault injection: timed disruption schedules.
+pub mod faults;
 /// Workload-intensity patterns driving the simulated load.
 pub mod intensity;
 /// Result collection and summary reporting.

@@ -43,6 +43,15 @@ pub struct EpochRecord {
     /// Power allocation ratio of the first group (the paper's PAR view in
     /// Fig. 8), when an allocation ran.
     pub par: Option<Ratio>,
+    /// Planned power the sources could not actually deliver this epoch.
+    pub unserved: Watts,
+    /// Servers the controller powered off to fit the budget (load shedding).
+    pub shed_servers: u32,
+    /// Servers offline due to injected crashes (not controller decisions).
+    pub offline_servers: u32,
+    /// `true` when the epoch ran in any degraded mode: a fallback or
+    /// load-shedding decision, a telemetry outage, or unserved power.
+    pub degraded: bool,
 }
 
 /// The outcome of one simulated run.
@@ -60,6 +69,14 @@ pub struct RunReport {
     pub grid_cost: f64,
     /// Battery cycles consumed.
     pub battery_cycles: f64,
+    /// Total planned energy the sources failed to deliver.
+    pub unserved_energy: WattHours,
+    /// Number of epochs that ran degraded (see [`EpochRecord::degraded`]).
+    pub degraded_epochs: u64,
+    /// Epochs between the last injected fault clearing and the first
+    /// non-degraded epoch after it; `None` when no fault was injected or
+    /// the run ended still degraded.
+    pub recovery_latency_epochs: Option<u64>,
 }
 
 impl RunReport {
@@ -157,12 +174,13 @@ impl RunReport {
         writeln!(
             writer,
             "epoch,seconds,training,case,budget_w,demand_w,solar_w,load_w,battery_discharge_w,\
-             battery_charge_w,grid_load_w,grid_charge_w,soc,intensity,throughput,par"
+             battery_charge_w,grid_load_w,grid_charge_w,soc,intensity,throughput,par,\
+             unserved_w,shed,offline,degraded"
         )?;
         for e in &self.epochs {
             writeln!(
                 writer,
-                "{},{},{},{:?},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.4},{:.4},{:.2},{}",
+                "{},{},{},{:?},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.4},{:.4},{:.2},{},{:.2},{},{},{}",
                 e.epoch.raw(),
                 e.time.as_secs(),
                 e.training,
@@ -179,6 +197,10 @@ impl RunReport {
                 e.intensity.value(),
                 e.throughput.value(),
                 e.par.map_or(String::new(), |p| format!("{:.4}", p.value())),
+                e.unserved.value(),
+                e.shed_servers,
+                e.offline_servers,
+                e.degraded,
             )?;
         }
         Ok(())
@@ -213,6 +235,10 @@ mod tests {
             intensity: Ratio::ONE,
             throughput: Throughput::new(thr),
             par: par.map(Ratio::saturating),
+            unserved: Watts::ZERO,
+            shed_servers: 0,
+            offline_servers: 0,
+            degraded: false,
         }
     }
 
@@ -229,6 +255,9 @@ mod tests {
             grid_peak: Watts::new(400.0),
             grid_cost: 5.0,
             battery_cycles: 0.5,
+            unserved_energy: WattHours::ZERO,
+            degraded_epochs: 0,
+            recovery_latency_epochs: None,
         }
     }
 
@@ -285,6 +314,9 @@ mod tests {
             grid_peak: Watts::ZERO,
             grid_cost: 0.0,
             battery_cycles: 0.0,
+            unserved_energy: WattHours::ZERO,
+            degraded_epochs: 0,
+            recovery_latency_epochs: None,
         };
         assert_eq!(r.mean_throughput(), Throughput::ZERO);
         assert_eq!(r.mean_par(), None);

@@ -11,6 +11,7 @@ use greenhetero_server::platform::PlatformKind;
 use greenhetero_server::rack::{Combination, Rack};
 use greenhetero_server::workload::WorkloadKind;
 
+use crate::faults::FaultSchedule;
 use crate::intensity::IntensityProfile;
 
 /// A complete experiment description.
@@ -67,6 +68,8 @@ pub struct Scenario {
     pub perf_noise: f64,
     /// Master RNG seed (traces, meters).
     pub seed: u64,
+    /// Timed disruptions injected during the run (empty = fault-free).
+    pub faults: FaultSchedule,
 }
 
 impl Scenario {
@@ -91,6 +94,19 @@ impl Scenario {
             meter_noise: Watts::new(0.8),
             perf_noise: 0.01,
             seed: 42,
+            faults: FaultSchedule::none(),
+        }
+    }
+
+    /// The acceptance chaos experiment: the paper runtime plus
+    /// [`FaultSchedule::chaos_day`] — a midday solar dropout, a battery
+    /// string failure, a server crash/recovery, and a 2-hour telemetry
+    /// outage, all clearing by 20:00.
+    #[must_use]
+    pub fn chaos_runtime(policy: PolicyKind) -> Self {
+        Scenario {
+            faults: FaultSchedule::chaos_day(),
+            ..Scenario::paper_runtime(policy)
         }
     }
 
@@ -169,7 +185,8 @@ impl Scenario {
         }
         self.controller.validate()?;
         self.battery.validate()?;
-        self.build_rack()?;
+        let rack = self.build_rack()?;
+        self.faults.validate(rack.groups().len())?;
         Ok(())
     }
 }
@@ -203,6 +220,30 @@ mod tests {
         // GPU combination with a CPU-only workload.
         let mut s = Scenario::paper_runtime(PolicyKind::Uniform);
         s.combination = Combination::Comb6;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn chaos_runtime_is_valid() {
+        let s = Scenario::chaos_runtime(PolicyKind::GreenHetero);
+        assert!(!s.faults.is_empty());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn faults_are_validated_against_the_rack() {
+        use crate::faults::{FaultKind, FaultSchedule, FaultWindow};
+        use greenhetero_core::types::{SimDuration, SimTime};
+
+        let mut s = Scenario::paper_runtime(PolicyKind::GreenHetero);
+        s.faults = FaultSchedule::new(vec![FaultWindow {
+            start: SimTime::ZERO,
+            len: SimDuration::from_hours(1),
+            kind: FaultKind::ServerCrash {
+                group: 99,
+                count: 1,
+            },
+        }]);
         assert!(s.validate().is_err());
     }
 
