@@ -1,0 +1,230 @@
+//! `bench_snapshot` — one-shot performance snapshot of the telemetry-
+//! instrumented simulator, written as a single flat JSON object
+//! (`BENCH_telemetry.json`) so CI can validate and archive it.
+//!
+//! The snapshot runs the paper's Fig. 8 runtime scenario (GreenHetero,
+//! High solar) with a collecting telemetry sink and reports:
+//!
+//! * per-epoch wall-time p50/p99/mean from the run's own
+//!   `greenhetero_epoch_wall_seconds` histogram;
+//! * exact solver-latency p50/p99 from a timed hot loop over a 3-type
+//!   allocation problem (sorted samples, not histogram buckets);
+//! * telemetry event throughput (epoch events per second of run wall
+//!   time).
+//!
+//! Flags (all optional): `--days N` (default 1), `--servers N` servers
+//! per type (default 5), `--out PATH` (default `BENCH_telemetry.json`),
+//! and `--validate PATH` to schema-check an existing snapshot instead of
+//! benchmarking.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use greenhetero_core::database::{PerfModel, Quadratic};
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::solver::{solve, AllocationProblem, ServerGroup};
+use greenhetero_core::telemetry::{names, CollectingSink, EventLine};
+use greenhetero_core::types::{ConfigId, PowerRange, Watts};
+use greenhetero_sim::engine::run_scenario;
+use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
+
+/// Keys every snapshot must carry, all with finite numeric values.
+const SCHEMA_KEYS: &[&str] = &[
+    "schema_version",
+    "days",
+    "servers_per_type",
+    "epochs",
+    "epoch_wall_p50_us",
+    "epoch_wall_p99_us",
+    "epoch_wall_mean_us",
+    "solver_p50_us",
+    "solver_p99_us",
+    "solver_calls",
+    "events_per_sec",
+    "run_wall_ms",
+];
+
+struct Args {
+    days: u64,
+    servers: u32,
+    out: PathBuf,
+    validate: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        days: 1,
+        servers: 5,
+        out: PathBuf::from("BENCH_telemetry.json"),
+        validate: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--days" => parsed.days = value("--days").parse().expect("--days takes an integer"),
+            "--servers" => {
+                parsed.servers = value("--servers")
+                    .parse()
+                    .expect("--servers takes an integer");
+            }
+            "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--validate" => parsed.validate = Some(PathBuf::from(value("--validate"))),
+            other => panic!("unknown flag {other}; see the module docs for usage"),
+        }
+    }
+    parsed
+}
+
+/// Validates an existing snapshot file against [`SCHEMA_KEYS`]. Returns
+/// an error message on the first violation.
+fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let line = text.trim();
+    let event = EventLine::parse(line).ok_or("snapshot is not a flat JSON object")?;
+    for key in SCHEMA_KEYS {
+        let value = event
+            .num(key)
+            .ok_or_else(|| format!("missing or non-numeric key {key}"))?;
+        if !value.is_finite() {
+            return Err(format!("key {key} is not finite: {value}"));
+        }
+        if value < 0.0 {
+            return Err(format!("key {key} is negative: {value}"));
+        }
+    }
+    Ok(())
+}
+
+/// The 3-type allocation problem the solver hot loop exercises (matches
+/// the `solver` micro-benchmark's mid-size case).
+fn solver_problem() -> AllocationProblem {
+    let groups: Vec<ServerGroup> = (0..3u32)
+        .map(|i| {
+            let idle = 40.0 + f64::from(i) * 12.0;
+            let peak = 90.0 + f64::from(i) * 22.0;
+            ServerGroup::new(
+                ConfigId::new(i),
+                5,
+                PerfModel::new(
+                    Quadratic {
+                        l: -500.0 - f64::from(i) * 100.0,
+                        m: 30.0 + f64::from(i) * 5.0,
+                        n: -0.06 - f64::from(i) * 0.01,
+                    },
+                    PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap(),
+                ),
+            )
+            .unwrap()
+        })
+        .collect();
+    let budget: f64 = groups.iter().map(|g| g.group_peak().value()).sum::<f64>() * 0.7;
+    AllocationProblem::new(groups, Watts::new(budget)).unwrap()
+}
+
+/// Exact quantile from a sorted sample vector (nearest-rank).
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.validate {
+        match validate_snapshot(path) {
+            Ok(()) => {
+                println!("{} matches the bench_snapshot schema", path.display());
+                return;
+            }
+            Err(reason) => {
+                eprintln!("{} failed validation: {reason}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // 1. The Fig. 8 runtime scenario with a collecting sink.
+    let sink = Arc::new(CollectingSink::new());
+    let scenario = Scenario {
+        days: args.days,
+        servers_per_type: args.servers,
+        telemetry: TelemetrySpec::Sink(sink.clone()),
+        ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+    };
+    let started = Instant::now();
+    let report = run_scenario(scenario).expect("Fig. 8 scenario runs");
+    let run_wall = started.elapsed();
+
+    let epochs = report.epochs.len();
+    let events = sink.epochs().len();
+    assert_eq!(events, epochs, "one telemetry event per epoch");
+    let events_per_sec = events as f64 / run_wall.as_secs_f64().max(1e-9);
+
+    let wall_hist = report
+        .ledger
+        .histogram(names::EPOCH_WALL_SECONDS)
+        .expect("epoch wall-time histogram registered");
+    let epoch_mean_us = if wall_hist.count > 0 {
+        wall_hist.sum / wall_hist.count as f64 * 1e6
+    } else {
+        0.0
+    };
+
+    // 2. Solver hot loop: exact percentiles over individually timed calls.
+    let problem = solver_problem();
+    let solver_calls = 2_000usize;
+    let mut samples_us = Vec::with_capacity(solver_calls);
+    for _ in 0..solver_calls {
+        let t = Instant::now();
+        let allocation = solve(std::hint::black_box(&problem)).expect("solver succeeds");
+        std::hint::black_box(allocation);
+        samples_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples_us.sort_by(f64::total_cmp);
+
+    // 3. The flat JSON snapshot, keys in SCHEMA_KEYS order.
+    let mut json = String::from("{");
+    let push = |json: &mut String, key: &str, value: f64| {
+        if json.len() > 1 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{key}\": {value}");
+    };
+    push(&mut json, "schema_version", 1.0);
+    push(&mut json, "days", args.days as f64);
+    push(&mut json, "servers_per_type", f64::from(args.servers));
+    push(&mut json, "epochs", epochs as f64);
+    push(&mut json, "epoch_wall_p50_us", wall_hist.p50 * 1e6);
+    push(&mut json, "epoch_wall_p99_us", wall_hist.p99 * 1e6);
+    push(&mut json, "epoch_wall_mean_us", epoch_mean_us);
+    push(&mut json, "solver_p50_us", percentile_us(&samples_us, 0.50));
+    push(&mut json, "solver_p99_us", percentile_us(&samples_us, 0.99));
+    push(&mut json, "solver_calls", solver_calls as f64);
+    push(&mut json, "events_per_sec", events_per_sec);
+    push(&mut json, "run_wall_ms", run_wall.as_secs_f64() * 1e3);
+    json.push_str("}\n");
+
+    std::fs::write(&args.out, &json).expect("snapshot file is writable");
+    println!("wrote {}", args.out.display());
+    println!(
+        "{} epochs in {:.0} ms; epoch wall p50 {:.0} us, p99 {:.0} us; \
+         solver p50 {:.1} us, p99 {:.1} us; {:.0} events/s",
+        epochs,
+        run_wall.as_secs_f64() * 1e3,
+        wall_hist.p50 * 1e6,
+        wall_hist.p99 * 1e6,
+        percentile_us(&samples_us, 0.50),
+        percentile_us(&samples_us, 0.99),
+        events_per_sec
+    );
+}

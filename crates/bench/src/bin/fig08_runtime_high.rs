@@ -6,12 +6,27 @@
 //! (Cases B/C), ≈ 1× when abundant; mean PAR ≈ 58 %; the battery carries
 //! Case C for ≈ 4.2 h before the grid takes over and recharges it.
 
+use std::path::PathBuf;
+
 use greenhetero_bench::{banner, table_header, table_row};
 use greenhetero_core::policies::PolicyKind;
 use greenhetero_core::sources::SupplyCase;
 use greenhetero_sim::engine::run_scenario;
 use greenhetero_sim::report::RunReport;
-use greenhetero_sim::scenario::Scenario;
+use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
+
+/// Parses `--telemetry <out.jsonl>` from the command line; without the
+/// flag the run exports nothing.
+fn telemetry_from_args() -> TelemetrySpec {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--telemetry" {
+            let path = args.next().expect("--telemetry requires a file path");
+            return TelemetrySpec::Jsonl(PathBuf::from(path));
+        }
+    }
+    TelemetrySpec::Off
+}
 
 fn main() {
     banner(
@@ -19,8 +34,12 @@ fn main() {
         "Runtime results of SPECjbb using the High solar trace (24 h, Comb1 x5, 1000 W grid)",
     );
 
-    let gh =
-        run_scenario(Scenario::paper_runtime(PolicyKind::GreenHetero)).expect("simulation runs");
+    let mut gh_scenario = Scenario::paper_runtime(PolicyKind::GreenHetero);
+    gh_scenario.telemetry = telemetry_from_args();
+    if let TelemetrySpec::Jsonl(path) = &gh_scenario.telemetry {
+        println!("streaming per-epoch telemetry to {}", path.display());
+    }
+    let gh = run_scenario(gh_scenario).expect("simulation runs");
     let uni = run_scenario(Scenario::paper_runtime(PolicyKind::Uniform)).expect("simulation runs");
 
     println!("\n(a) hourly performance (normalized to Uniform) and PAR");

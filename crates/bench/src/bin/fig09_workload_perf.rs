@@ -33,6 +33,10 @@ fn main() {
             .expect("uniform always runs")
             .1
             .mean_scarce_throughput();
+        assert!(
+            baseline.value() > 0.0,
+            "Uniform baseline produced zero scarce throughput for {workload}; cannot normalize"
+        );
         let mut cells = vec![workload.to_string()];
         for (i, (_, report)) in outcomes.iter().enumerate() {
             let speedup = report.mean_scarce_throughput().value() / baseline.value();

@@ -51,6 +51,10 @@ fn main() {
                 .expect("uniform always runs")
                 .1,
         );
+        assert!(
+            baseline > 0.0,
+            "Uniform baseline produced zero scarce EPU for {workload}; cannot normalize"
+        );
         let mut cells = vec![workload.to_string()];
         let mut gh_abs = 0.0;
         for (p, report) in outcomes {

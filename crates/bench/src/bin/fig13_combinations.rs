@@ -37,6 +37,10 @@ fn main() {
         };
         let outcomes = compare_policies(&base, &policies).expect("simulations run");
         let baseline = outcomes[0].report.mean_scarce_throughput().value();
+        assert!(
+            baseline > 0.0,
+            "Uniform baseline produced zero scarce throughput for {comb}; cannot normalize"
+        );
         let mut cells = vec![
             comb.to_string(),
             comb.platforms()

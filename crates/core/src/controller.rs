@@ -9,6 +9,8 @@
 //! crate drives exactly this loop against the simulation substrates.
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::config::ControllerConfig;
 use crate::database::{PerfDatabase, PerfModel, ProfileSample};
@@ -17,8 +19,10 @@ use crate::policies::{AllocationOracle, AllocationPolicy, PolicyKind};
 use crate::predictor::{train_or_default, HoltParams, Predictor};
 use crate::solver::{
     allocation_is_sound, solve_grid, solve_uniform, Allocation, AllocationProblem, ServerGroup,
+    SolveEngine,
 };
 use crate::sources::{select_sources, BatteryView, SourceInputs, SourcePlan};
+use crate::telemetry::{names, Counter, Histogram, SpanRecord, Telemetry};
 use crate::types::{ConfigId, EpochId, PowerRange, Ratio, SimTime, Throughput, Watts, WorkloadId};
 
 /// Feedback whose residual against the fitted model exceeds this many
@@ -88,9 +92,10 @@ impl RackSpec {
 ///
 /// Ordered from best to worst; the controller reports the worst rung it
 /// had to descend to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DegradeLevel {
     /// The configured policy solved the full problem.
+    #[default]
     Nominal,
     /// The policy's answer failed (or was unsound) and a fallback engine
     /// (grid search, then uniform split) produced the allocation.
@@ -100,6 +105,19 @@ pub enum DegradeLevel {
     LoadShed,
     /// Nothing could be kept on — every server is powered off this epoch.
     SafeIdle,
+}
+
+impl DegradeLevel {
+    /// The stable snake-case name used in telemetry schemas.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeLevel::Nominal => "nominal",
+            DegradeLevel::FallbackSolve => "fallback_solve",
+            DegradeLevel::LoadShed => "load_shed",
+            DegradeLevel::SafeIdle => "safe_idle",
+        }
+    }
 }
 
 /// How gracefully (or not) one epoch's decision was reached.
@@ -176,6 +194,91 @@ pub struct GroupFeedback {
     pub at: SimTime,
 }
 
+/// What telemetry observed about the most recent epoch's decision: phase
+/// wall times, the engine that produced the allocation, and the monitor
+/// counts from feedback processing. The simulation engine reads this
+/// after [`Controller::end_epoch`] to build the epoch's event record.
+#[derive(Debug, Clone, Default)]
+pub struct EpochTrace {
+    /// Prediction-phase wall time.
+    pub predict: Duration,
+    /// Source-selection wall time.
+    pub select_sources: Duration,
+    /// Solve-phase wall time (zero for training / safe-idle epochs).
+    pub solve: Duration,
+    /// Which engine produced the allocation (`"exact"`, `"grid"`,
+    /// `"uniform"`, `"greedy"`, `"manual"`, `"training"`, `"none"`).
+    pub engine: &'static str,
+    /// The degradation rung the decision landed on.
+    pub degrade: DegradeLevel,
+    /// Feedback samples the sanity gate rejected this epoch.
+    pub rejected_feedback: u32,
+    /// Profile entries quarantined this epoch.
+    pub quarantines: u32,
+    /// Successful database refits this epoch.
+    pub refits: u32,
+}
+
+/// The controller's registered instrument handles, resolved once per
+/// telemetry handle so the epoch loop never takes the registry lock.
+#[derive(Debug)]
+struct ControllerMetrics {
+    degrade_to: [Arc<Counter>; 4],
+    feedback_rejected: Arc<Counter>,
+    profile_quarantined: Arc<Counter>,
+    solver_exact_wins: Arc<Counter>,
+    solver_grid_wins: Arc<Counter>,
+    training_runs: Arc<Counter>,
+    predict_seconds: Arc<Histogram>,
+    select_sources_seconds: Arc<Histogram>,
+    solve_seconds: Arc<Histogram>,
+    refit_rmse: Arc<Histogram>,
+}
+
+impl ControllerMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        let r = telemetry.registry();
+        ControllerMetrics {
+            degrade_to: [
+                r.counter(names::DEGRADE_TO_NOMINAL),
+                r.counter(names::DEGRADE_TO_FALLBACK),
+                r.counter(names::DEGRADE_TO_LOAD_SHED),
+                r.counter(names::DEGRADE_TO_SAFE_IDLE),
+            ],
+            feedback_rejected: r.counter(names::FEEDBACK_REJECTED),
+            profile_quarantined: r.counter(names::PROFILE_QUARANTINED),
+            solver_exact_wins: r.counter(names::SOLVER_EXACT_WINS),
+            solver_grid_wins: r.counter(names::SOLVER_GRID_WINS),
+            training_runs: r.counter(names::TRAINING_RUNS),
+            predict_seconds: r.histogram(names::PREDICT_SECONDS),
+            select_sources_seconds: r.histogram(names::SELECT_SOURCES_SECONDS),
+            solve_seconds: r.histogram(names::SOLVE_SECONDS),
+            refit_rmse: r.histogram(names::REFIT_RMSE),
+        }
+    }
+
+    fn degrade_counter(&self, level: DegradeLevel) -> &Counter {
+        let index = match level {
+            DegradeLevel::Nominal => 0,
+            DegradeLevel::FallbackSolve => 1,
+            DegradeLevel::LoadShed => 2,
+            DegradeLevel::SafeIdle => 3,
+        };
+        &self.degrade_to[index]
+    }
+}
+
+/// The engine label for policies that solve without reporting an engine:
+/// their strategy *is* the engine.
+fn policy_engine_label(kind: PolicyKind) -> &'static str {
+    match kind {
+        PolicyKind::Uniform => "uniform",
+        PolicyKind::Manual => "manual",
+        PolicyKind::GreenHeteroP => "greedy",
+        PolicyKind::GreenHeteroA | PolicyKind::GreenHetero => "solver",
+    }
+}
+
 /// The GreenHetero controller (one per rack, matching the paper's
 /// distributed rack-level deployment).
 pub struct Controller {
@@ -185,6 +288,10 @@ pub struct Controller {
     renewable: PredictorLane,
     demand: PredictorLane,
     epoch: EpochId,
+    telemetry: Telemetry,
+    metrics: ControllerMetrics,
+    trace: EpochTrace,
+    last_level: DegradeLevel,
 }
 
 impl fmt::Debug for Controller {
@@ -253,6 +360,8 @@ impl Controller {
     /// Propagates [`ControllerConfig::validate`] failures.
     pub fn new(config: ControllerConfig, policy: PolicyKind) -> Result<Self, CoreError> {
         config.validate()?;
+        let telemetry = Telemetry::default();
+        let metrics = ControllerMetrics::new(&telemetry);
         Ok(Controller {
             config,
             policy: policy.build(),
@@ -260,7 +369,28 @@ impl Controller {
             renewable: PredictorLane::new(),
             demand: PredictorLane::new(),
             epoch: EpochId::FIRST,
+            telemetry,
+            metrics,
+            trace: EpochTrace::default(),
+            last_level: DegradeLevel::Nominal,
         })
+    }
+
+    /// Replaces the telemetry handle (default: a disabled one), re-resolving
+    /// every instrument against the new registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = ControllerMetrics::new(&telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// What telemetry observed about the most recent epoch (valid between
+    /// a [`begin_epoch`]/[`end_epoch`] pair and the next [`begin_epoch`]).
+    ///
+    /// [`begin_epoch`]: Controller::begin_epoch
+    /// [`end_epoch`]: Controller::end_epoch
+    #[must_use]
+    pub fn epoch_trace(&self) -> &EpochTrace {
+        &self.trace
     }
 
     /// The policy being run.
@@ -320,6 +450,8 @@ impl Controller {
         grid_budget: Watts,
         oracle: Option<&dyn AllocationOracle>,
     ) -> Result<EpochDecision, CoreError> {
+        self.trace = EpochTrace::default();
+        let predict_started = Instant::now();
         // Prediction (Eqs. 2–4). Before any observation: assume no
         // renewable (conservative) and peak demand (ample). A non-finite
         // prediction (diverged predictor) falls back the same way.
@@ -336,7 +468,12 @@ impl Controller {
         } else {
             peak_demand
         };
+        self.trace.predict = predict_started.elapsed();
+        self.metrics
+            .predict_seconds
+            .record_duration(self.trace.predict);
 
+        let sources_started = Instant::now();
         let plan = select_sources(&SourceInputs {
             predicted_renewable,
             predicted_demand,
@@ -344,6 +481,10 @@ impl Controller {
             grid_budget,
             renewable_negligible: self.config.renewable_negligible,
         });
+        self.trace.select_sources = sources_started.elapsed();
+        self.metrics
+            .select_sources_seconds
+            .record_duration(self.trace.select_sources);
 
         // Algorithm 1 line 3: any *present* pair missing from the database?
         // (Groups crashed down to zero servers don't need a projection.)
@@ -354,6 +495,8 @@ impl Controller {
             .map(|g| (g.config, g.workload))
             .collect();
         if !missing.is_empty() {
+            self.note_decision(DegradeLevel::Nominal, "training");
+            self.metrics.training_runs.inc();
             return Ok(EpochDecision::Train {
                 pairs: missing,
                 plan,
@@ -402,6 +545,7 @@ impl Controller {
                 shares: vec![Ratio::ZERO; groups],
                 projected: Throughput::ZERO,
             };
+            self.note_decision(DegradeLevel::SafeIdle, "none");
             return Ok(EpochDecision::Run {
                 plan,
                 allocation,
@@ -436,17 +580,31 @@ impl Controller {
         // Fallback chain: policy → grid search → uniform split. Each
         // rung's answer is gated on soundness; the uniform split at the
         // bottom cannot fail.
-        let (allocation, solve_level) = match self.policy.allocate(&problem, effective_oracle) {
-            Ok(a) if allocation_is_sound(&problem, &a) => (a, DegradeLevel::Nominal),
-            _ => {
-                let grid = solve_grid(&problem);
-                if allocation_is_sound(&problem, &grid) {
-                    (grid, DegradeLevel::FallbackSolve)
-                } else {
-                    (solve_uniform(&problem), DegradeLevel::FallbackSolve)
+        let solve_started = Instant::now();
+        let (allocation, solve_level, engine) =
+            match self.policy.allocate_traced(&problem, effective_oracle) {
+                Ok((a, traced)) if allocation_is_sound(&problem, &a) => {
+                    let engine = traced.map_or_else(
+                        || policy_engine_label(self.policy.kind()),
+                        SolveEngine::name,
+                    );
+                    (a, DegradeLevel::Nominal, engine)
                 }
-            }
-        };
+                _ => {
+                    let grid = solve_grid(&problem);
+                    if allocation_is_sound(&problem, &grid) {
+                        (grid, DegradeLevel::FallbackSolve, SolveEngine::Grid.name())
+                    } else {
+                        (
+                            solve_uniform(&problem),
+                            DegradeLevel::FallbackSolve,
+                            SolveEngine::Uniform.name(),
+                        )
+                    }
+                }
+            };
+        self.trace.solve = solve_started.elapsed();
+        self.metrics.solve_seconds.record_duration(self.trace.solve);
         // Policies are pluggable; re-audit the chosen answer against the
         // problem the controller actually posed.
         crate::solver::audit_allocation(&problem, &allocation);
@@ -456,6 +614,7 @@ impl Controller {
             "source plan budget exceeds what the sources can jointly supply"
         );
         let level = level.max(solve_level);
+        self.note_decision(level, engine);
 
         // Expand back to one entry per rack group (zero for powered-off
         // groups) so enforcement stays positional.
@@ -526,13 +685,33 @@ impl Controller {
 
         if self.policy.updates_database() {
             for fb in feedback {
-                if self.db.contains(fb.config, fb.workload) && self.feedback_is_sane(fb) {
-                    let sample = ProfileSample::new(fb.per_server_power, fb.per_server_perf, fb.at);
-                    // A failed refit keeps the previous model; nothing to do.
-                    let _ = self.db.record_feedback(fb.config, fb.workload, sample);
+                if !self.db.contains(fb.config, fb.workload) {
+                    continue;
+                }
+                if !self.feedback_is_sane(fb) {
+                    self.trace.rejected_feedback += 1;
+                    self.metrics.feedback_rejected.inc();
+                    continue;
+                }
+                let sample = ProfileSample::new(fb.per_server_power, fb.per_server_perf, fb.at);
+                // A failed refit keeps the previous model; nothing to do.
+                if let Ok(fit) = self.db.record_feedback(fb.config, fb.workload, sample) {
+                    self.trace.refits += 1;
+                    self.metrics.refit_rmse.record(fit.rmse);
+                    // The divergence watchdog trips inside the Ok path: a
+                    // transition shows up on the entry, not the result.
+                    let now_quarantined = self
+                        .db
+                        .entry(fb.config, fb.workload)
+                        .is_some_and(crate::database::ProfileEntry::is_quarantined);
+                    if now_quarantined {
+                        self.trace.quarantines += 1;
+                        self.metrics.profile_quarantined.inc();
+                    }
                 }
             }
         }
+        self.emit_phase_spans();
         self.epoch = self.epoch.next();
     }
 
@@ -540,7 +719,49 @@ impl Controller {
     /// observations exist, so the predictors hold their last value and
     /// the database stays untouched — only the epoch counter advances.
     pub fn end_epoch_stale(&mut self) {
+        self.emit_phase_spans();
         self.epoch = self.epoch.next();
+    }
+
+    /// Records the epoch's degradation rung and engine label, counting a
+    /// degrade transition whenever the rung differs from the previous
+    /// epoch's, and an engine win for the solver engines.
+    fn note_decision(&mut self, level: DegradeLevel, engine: &'static str) {
+        self.trace.degrade = level;
+        self.trace.engine = engine;
+        if level != self.last_level {
+            self.metrics.degrade_counter(level).inc();
+            self.last_level = level;
+        }
+        match engine {
+            "exact" => self.metrics.solver_exact_wins.inc(),
+            "grid" => self.metrics.solver_grid_wins.inc(),
+            _ => {}
+        }
+    }
+
+    /// Sends the epoch's phase timings to the sink (skipped entirely when
+    /// the sink is disabled, keeping the hot path allocation-free).
+    fn emit_phase_spans(&self) {
+        if !self.telemetry.sink_enabled() {
+            return;
+        }
+        let sink = self.telemetry.sink();
+        sink.record_span(&SpanRecord::new(
+            "controller.predict",
+            self.epoch,
+            self.trace.predict,
+        ));
+        sink.record_span(&SpanRecord::new(
+            "controller.select_sources",
+            self.epoch,
+            self.trace.select_sources,
+        ));
+        sink.record_span(&SpanRecord::new(
+            "controller.solve",
+            self.epoch,
+            self.trace.solve,
+        ));
     }
 
     /// The monitor's plausibility gate for one feedback sample.

@@ -78,5 +78,7 @@ pub mod predictor;
 pub mod solver;
 /// Power-source selection across renewable, battery, and grid.
 pub mod sources;
+/// Epoch telemetry: metrics registry, span/event sinks, and exporters.
+pub mod telemetry;
 /// Unit newtypes (`Watts`, `Ratio`, …) shared by every layer.
 pub mod types;

@@ -17,7 +17,10 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
-use crate::solver::{enumerate_shares, solve, solve_uniform, Allocation, AllocationProblem};
+use crate::solver::{
+    enumerate_shares, solve, solve_uniform, solve_with_engine, Allocation, AllocationProblem,
+    SolveEngine,
+};
 use crate::types::{Ratio, Throughput, Watts};
 
 /// Measures the *actual* throughput of a per-server assignment by running
@@ -60,6 +63,22 @@ pub trait AllocationPolicy: fmt::Debug + Send {
     /// epoch feedback while running this policy (only full GreenHetero).
     fn updates_database(&self) -> bool {
         false
+    }
+
+    /// Like [`allocate`](AllocationPolicy::allocate), but also reports
+    /// which solver engine produced the answer, when the policy knows.
+    /// The default delegates to `allocate` and reports `None` — correct
+    /// for policies that do not run a solver engine.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`allocate`](AllocationPolicy::allocate).
+    fn allocate_traced(
+        &self,
+        problem: &AllocationProblem,
+        oracle: Option<&dyn AllocationOracle>,
+    ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
+        self.allocate(problem, oracle).map(|a| (a, None))
     }
 }
 
@@ -156,6 +175,14 @@ impl AllocationPolicy for Uniform {
         _oracle: Option<&dyn AllocationOracle>,
     ) -> Result<Allocation, CoreError> {
         Ok(solve_uniform(problem))
+    }
+
+    fn allocate_traced(
+        &self,
+        problem: &AllocationProblem,
+        _oracle: Option<&dyn AllocationOracle>,
+    ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
+        Ok((solve_uniform(problem), Some(SolveEngine::Uniform)))
     }
 }
 
@@ -276,6 +303,14 @@ impl AllocationPolicy for GreenHeteroA {
     ) -> Result<Allocation, CoreError> {
         solve(problem)
     }
+
+    fn allocate_traced(
+        &self,
+        problem: &AllocationProblem,
+        _oracle: Option<&dyn AllocationOracle>,
+    ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
+        solve_with_engine(problem).map(|(a, e)| (a, Some(e)))
+    }
 }
 
 /// Full GreenHetero: the Solver, with the controller refitting the
@@ -294,6 +329,14 @@ impl AllocationPolicy for GreenHetero {
         _oracle: Option<&dyn AllocationOracle>,
     ) -> Result<Allocation, CoreError> {
         solve(problem)
+    }
+
+    fn allocate_traced(
+        &self,
+        problem: &AllocationProblem,
+        _oracle: Option<&dyn AllocationOracle>,
+    ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
+        solve_with_engine(problem).map(|(a, e)| (a, Some(e)))
     }
 
     fn updates_database(&self) -> bool {

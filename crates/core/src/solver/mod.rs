@@ -27,6 +27,30 @@ pub use problem::{Allocation, AllocationProblem, ServerGroup};
 
 use crate::error::CoreError;
 
+/// Which engine produced an allocation — the label telemetry exports so
+/// exact-vs-grid win rates are observable per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveEngine {
+    /// The exact KKT water-filling engine.
+    Exact,
+    /// The hierarchical grid-lattice search.
+    Grid,
+    /// The even per-server split ([`solve_uniform`]).
+    Uniform,
+}
+
+impl SolveEngine {
+    /// The stable snake-case name used in telemetry schemas.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveEngine::Exact => "exact",
+            SolveEngine::Grid => "grid",
+            SolveEngine::Uniform => "uniform",
+        }
+    }
+}
+
 /// Solves the allocation problem with the best available engine.
 ///
 /// Runs the exact engine when the group count permits and cross-checks it
@@ -67,15 +91,27 @@ use crate::error::CoreError;
 /// # Ok::<(), greenhetero_core::error::CoreError>(())
 /// ```
 pub fn solve(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
+    solve_with_engine(problem).map(|(allocation, _)| allocation)
+}
+
+/// Like [`solve`], but also reports which engine's answer won — the
+/// hook telemetry uses to count exact-vs-grid wins.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with_engine(
+    problem: &AllocationProblem,
+) -> Result<(Allocation, SolveEngine), CoreError> {
     let grid = solve_grid(problem);
     let best = match solve_exact(problem) {
-        Ok(exact) if exact.projected >= grid.projected => Ok(exact),
-        Ok(_) => Ok(grid),
+        Ok(exact) if exact.projected >= grid.projected => Ok((exact, SolveEngine::Exact)),
+        Ok(_) => Ok((grid, SolveEngine::Grid)),
         // Too many groups for the exact engine: grid stands alone.
-        Err(CoreError::InvalidConfig { .. }) => Ok(grid),
+        Err(CoreError::InvalidConfig { .. }) => Ok((grid, SolveEngine::Grid)),
         Err(other) => Err(other),
     };
-    if let Ok(allocation) = &best {
+    if let Ok((allocation, _)) = &best {
         audit_allocation(problem, allocation);
     }
     best

@@ -1,0 +1,127 @@
+//! The run ledger: a point-in-time summary of every registered metric,
+//! attached to run reports so a finished simulation carries its own
+//! telemetry totals.
+
+use serde::{Deserialize, Serialize};
+
+/// A counter's final value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Final count.
+    pub value: u64,
+}
+
+/// A gauge's last reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last recorded reading.
+    pub value: f64,
+}
+
+/// A histogram's summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`0.0` when empty).
+    pub min: f64,
+    /// Largest observation (`0.0` when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// Every metric the run recorded, sorted by name.
+///
+/// An empty ledger (the default) means telemetry never registered an
+/// instrument — the state of a run built without a telemetry handle.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunLedger {
+    /// Final counter values.
+    pub counters: Vec<CounterSnapshot>,
+    /// Last gauge readings.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Histogram summaries.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RunLedger {
+    /// `true` when no instrument was ever registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The final value of the counter called `name`, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The last reading of the gauge called `name`, if registered.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) gauges carry heterogeneous quantities; units live in the metric name
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The summary of the histogram called `name`, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ledger_is_empty() {
+        let ledger = RunLedger::default();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.counter("x"), None);
+        assert_eq!(ledger.gauge("x"), None);
+        assert!(ledger.histogram("x").is_none());
+    }
+
+    #[test]
+    fn lookups_find_by_name() {
+        let ledger = RunLedger {
+            counters: vec![CounterSnapshot {
+                name: "a_total".into(),
+                value: 3,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "g".into(),
+                value: 1.5,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "h_seconds".into(),
+                count: 2,
+                sum: 3.0,
+                min: 1.0,
+                max: 2.0,
+                p50: 1.0,
+                p99: 2.0,
+            }],
+        };
+        assert!(!ledger.is_empty());
+        assert_eq!(ledger.counter("a_total"), Some(3));
+        assert_eq!(ledger.gauge("g").map(f64::to_bits), Some(1.5f64.to_bits()));
+        assert_eq!(ledger.histogram("h_seconds").map(|h| h.count), Some(2));
+    }
+}

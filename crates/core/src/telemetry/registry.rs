@@ -1,0 +1,455 @@
+//! The metric registry: lock-free counters, gauges, and log-bucketed
+//! histograms, registered by name.
+//!
+//! Every instrument is a thin wrapper around atomics so the hot path
+//! (one epoch of the controller loop) pays a handful of relaxed atomic
+//! operations and zero allocations. Handles are `Arc`s: instrumented code
+//! registers once, stores the handle, and updates it without ever taking
+//! the registry lock again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::telemetry::ledger::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, RunLedger};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous reading (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Overwrites the gauge with a new reading.
+    // greenhetero-lint: allow(GH002) gauges carry heterogeneous quantities; units live in the metric name
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last recorded reading.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) gauges carry heterogeneous quantities; units live in the metric name
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Buckets per factor-of-two of value range (quantile resolution ≈ 19 %).
+const BUCKETS_PER_OCTAVE: i32 = 4;
+/// Smallest resolvable value: `2^MIN_EXP` ≈ 1 ns (in seconds).
+const MIN_EXP: i32 = -30;
+/// Largest resolvable value: `2^MAX_EXP` ≈ 1.7e10.
+const MAX_EXP: i32 = 34;
+/// Bucket count: one underflow bucket plus the log-spaced lattice.
+const NUM_BUCKETS: usize = ((MAX_EXP - MIN_EXP) * BUCKETS_PER_OCTAVE) as usize + 1;
+
+/// A log₂-bucketed histogram of non-negative values.
+///
+/// Recording is lock-free (relaxed atomics); quantiles are estimated from
+/// the bucket lattice (geometric bucket midpoint, clamped to the observed
+/// min/max), with relative error bounded by the bucket width (≈ 19 %).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Running sum, min, and max, stored as `f64` bits.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+/// Atomically folds `value` into an `f64`-bits cell with `combine`.
+fn update_f64(cell: &AtomicU64, value: f64, combine: impl Fn(f64, f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = combine(f64::from_bits(current), value).to_bits();
+        // Min/max usually stabilize after a few observations; skip the
+        // read-modify-write entirely once the combine is a no-op.
+        if next == current {
+            return;
+        }
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation. Non-finite or negative values are clamped
+    /// into the underflow bucket so a glitch cannot poison the statistics.
+    // greenhetero-lint: allow(GH002) histograms carry heterogeneous quantities; units live in the metric name
+    pub fn record(&self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        update_f64(&self.sum, v, |a, b| a + b);
+        update_f64(&self.min, v, f64::min);
+        update_f64(&self.max, v, f64::max);
+    }
+
+    /// Records a wall-clock duration, in seconds.
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(duration.as_secs_f64());
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) histograms carry heterogeneous quantities; units live in the metric name
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// Smallest observation, or `0.0` before any observation.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) histograms carry heterogeneous quantities; units live in the metric name
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation, or `0.0` before any observation.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) histograms carry heterogeneous quantities; units live in the metric name
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Arithmetic mean of the observations, or `0.0` before any.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) histograms carry heterogeneous quantities; units live in the metric name
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket lattice,
+    /// clamped to the observed min/max. Returns `0.0` before any
+    /// observation.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) quantile rank and estimate are dimensionless/heterogeneous
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_estimate(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The bucket an observation lands in.
+    fn bucket_index(v: f64) -> usize {
+        if v <= 2.0f64.powi(MIN_EXP) {
+            return 0;
+        }
+        let pos = (v.log2() - f64::from(MIN_EXP)) * f64::from(BUCKETS_PER_OCTAVE);
+        (pos.floor() as usize + 1).min(NUM_BUCKETS - 1)
+    }
+
+    /// The representative value of a bucket (geometric midpoint).
+    fn bucket_estimate(index: usize) -> f64 {
+        if index == 0 {
+            return 2.0f64.powi(MIN_EXP);
+        }
+        let mid = f64::from(MIN_EXP) + (index as f64 - 0.5) / f64::from(BUCKETS_PER_OCTAVE);
+        mid.exp2()
+    }
+
+    /// A point-in-time summary of this histogram under `name`.
+    #[must_use]
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Recovers the guarded data even if another thread panicked mid-update;
+/// metric tables hold plain data, so no invariant can be torn.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The instrument registry: name → handle tables for counters, gauges,
+/// and histograms.
+///
+/// Registration is register-or-get: asking twice for the same name
+/// returns the same underlying instrument, so independent components can
+/// share a metric without coordination.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(&'static str, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(&'static str, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(&'static str, Arc<Histogram>)>>,
+}
+
+fn register_or_get<T: Default>(
+    table: &Mutex<Vec<(&'static str, Arc<T>)>>,
+    name: &'static str,
+) -> Arc<T> {
+    let mut table = lock(table);
+    if let Some((_, handle)) = table.iter().find(|(n, _)| *n == name) {
+        return Arc::clone(handle);
+    }
+    let handle = Arc::new(T::default());
+    table.push((name, Arc::clone(&handle)));
+    handle
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or fetches) the counter called `name`.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        register_or_get(&self.counters, name)
+    }
+
+    /// Registers (or fetches) the gauge called `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        register_or_get(&self.gauges, name)
+    }
+
+    /// Registers (or fetches) the histogram called `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        register_or_get(&self.histograms, name)
+    }
+
+    /// Snapshots every instrument into a [`RunLedger`], sorted by metric
+    /// name so the output is independent of registration order.
+    #[must_use]
+    pub fn ledger(&self) -> RunLedger {
+        let mut counters: Vec<CounterSnapshot> = lock(&self.counters)
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: (*name).to_owned(),
+                value: c.get(),
+            })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut gauges: Vec<GaugeSnapshot> = lock(&self.gauges)
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: (*name).to_owned(),
+                value: g.get(),
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSnapshot> = lock(&self.histograms)
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        RunLedger {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Renders every instrument in Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as summaries
+    /// (`{quantile="0.5"|"0.99"}`, `_sum`, `_count`).
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let ledger = self.ledger();
+        let mut out = String::new();
+        for c in &ledger.counters {
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            let _ = writeln!(out, "{} {}", c.name, c.value);
+        }
+        for g in &ledger.gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", g.name);
+            let _ = writeln!(out, "{} {}", g.name, g.value);
+        }
+        for h in &ledger.histograms {
+            let _ = writeln!(out, "# TYPE {} summary", h.name);
+            let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", h.name, h.p50);
+            let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", h.name, h.p99);
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let r = Registry::new();
+        let c = r.counter("test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Register-or-get: the same handle comes back.
+        assert_eq!(r.counter("test_total").get(), 5);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::default();
+        assert_eq!(g.get().to_bits(), 0.0f64.to_bits());
+        g.set(42.5);
+        g.set(-3.0);
+        assert!((g.get() + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5).to_bits(), 0.0f64.to_bits());
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 110.0).abs() < 1e-9);
+        assert!((h.min() - 1.0).abs() < 1e-12);
+        assert!((h.max() - 100.0).abs() < 1e-12);
+        assert!((h.mean() - 22.0).abs() < 1e-9);
+        // Log buckets give ~19 % resolution: the median lands near 3.
+        let p50 = h.quantile(0.5);
+        assert!((2.0..=4.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 50.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_clamps_garbage() {
+        let h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(-5.0);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert!(h.sum().is_finite());
+        assert!(h.quantile(0.5).is_finite());
+    }
+
+    #[test]
+    fn histogram_quantiles_track_latency_scales() {
+        let h = Histogram::default();
+        // 90 fast observations around 10 µs, 10 slow 10 ms outliers: the
+        // p99 rank lands among the outliers, the median among the fast.
+        for _ in 0..90 {
+            h.record(10e-6);
+        }
+        for _ in 0..10 {
+            h.record(10e-3);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((5e-6..20e-6).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 5e-3, "p99 = {p99}");
+        assert!(h.quantile(1.0) >= 5e-3);
+    }
+
+    #[test]
+    fn ledger_is_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("z_total").inc();
+        r.counter("a_total").inc();
+        r.histogram("m_seconds").record(1.0);
+        let ledger = r.ledger();
+        assert_eq!(ledger.counters[0].name, "a_total");
+        assert_eq!(ledger.counters[1].name, "z_total");
+        assert_eq!(ledger.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn prometheus_render_has_all_series() {
+        let r = Registry::new();
+        r.counter("events_total").add(7);
+        r.gauge("soc_ratio").set(0.5);
+        r.histogram("lat_seconds").record(0.001);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE events_total counter"));
+        assert!(text.contains("events_total 7"));
+        assert!(text.contains("# TYPE soc_ratio gauge"));
+        assert!(text.contains("soc_ratio 0.5"));
+        assert!(text.contains("lat_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_seconds_count 1"));
+    }
+}

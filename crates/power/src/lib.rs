@@ -27,6 +27,8 @@
 
 /// Lead-acid battery bank with DoD-limited state of charge.
 pub mod battery;
+/// Telemetry gauges for per-source energy flows.
+pub mod gauges;
 /// Budget-capped grid feed and its tariff accounting.
 pub mod grid;
 /// Power metering and per-epoch energy accounting.

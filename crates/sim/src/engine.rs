@@ -6,16 +6,21 @@
 //! physical power flows through the PDU, and reports the observations
 //! back — exactly the loop of the paper's Fig. 4.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use greenhetero_core::controller::{Controller, EpochDecision, GroupFeedback, RackSpec};
 use greenhetero_core::database::ProfileSample;
 use greenhetero_core::error::CoreError;
 use greenhetero_core::metrics::EpuAccumulator;
 use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::telemetry::{names, EpochEvent, Histogram, SpanRecord, Telemetry};
 use greenhetero_core::types::{Ratio, SimTime, Throughput, WattHours, Watts};
 use greenhetero_power::battery::BatteryBank;
+use greenhetero_power::gauges::FlowGauges;
 use greenhetero_power::grid::GridFeed;
 use greenhetero_power::meter::PowerMeter;
-use greenhetero_power::pdu::Pdu;
+use greenhetero_power::pdu::{Pdu, PowerFlows};
 use greenhetero_power::solar::synthesize;
 use greenhetero_power::trace::PowerTrace;
 use greenhetero_server::rack::Rack;
@@ -41,6 +46,11 @@ pub struct Simulation {
     time: SimTime,
     /// Scheduled battery string failures, with a fired flag per event.
     battery_faults: Vec<(SimTime, Ratio, bool)>,
+    telemetry: Telemetry,
+    flow_gauges: FlowGauges,
+    epoch_wall_seconds: Arc<Histogram>,
+    enforce_seconds: Arc<Histogram>,
+    queue_wait_seconds: Arc<Histogram>,
 }
 
 impl Simulation {
@@ -53,7 +63,15 @@ impl Simulation {
         scenario.validate()?;
         let rack = scenario.build_rack()?;
         let rack_spec = rack.controller_spec()?;
-        let controller = Controller::new(scenario.controller.clone(), scenario.policy)?;
+        let mut controller = Controller::new(scenario.controller.clone(), scenario.policy)?;
+        let telemetry = scenario.telemetry.build()?;
+        controller.set_telemetry(telemetry.clone());
+        let flow_gauges = FlowGauges::register(telemetry.registry());
+        let epoch_wall_seconds = telemetry.registry().histogram(names::EPOCH_WALL_SECONDS);
+        let enforce_seconds = telemetry.registry().histogram(names::ENFORCE_SECONDS);
+        let queue_wait_seconds = telemetry
+            .registry()
+            .histogram(names::RUNNER_QUEUE_WAIT_SECONDS);
         let bank = BatteryBank::new(scenario.battery)?;
         let grid = GridFeed::new(scenario.grid_budget, scenario.tariff)?;
         let solar = synthesize(&scenario.solar_config()?)?;
@@ -78,6 +96,11 @@ impl Simulation {
             perf_rng,
             time: SimTime::ZERO,
             battery_faults,
+            telemetry,
+            flow_gauges,
+            epoch_wall_seconds,
+            enforce_seconds,
+            queue_wait_seconds,
         })
     }
 
@@ -85,6 +108,18 @@ impl Simulation {
     #[must_use]
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// The run's telemetry handle (shared with the controller).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Records how long this run sat in a sweep runner's queue before a
+    /// worker picked it up.
+    pub fn note_queue_wait(&self, wait: Duration) {
+        self.queue_wait_seconds.record_duration(wait);
     }
 
     /// Runs the full scenario and reports.
@@ -128,6 +163,7 @@ impl Simulation {
             unserved_energy,
             degraded_epochs,
             recovery_latency_epochs,
+            ledger: self.telemetry.ledger(),
         })
     }
 
@@ -136,6 +172,7 @@ impl Simulation {
         records: &mut Vec<EpochRecord>,
         epu: &mut EpuAccumulator,
     ) -> Result<(), CoreError> {
+        let epoch_started = Instant::now();
         let epoch_len = self.controller.config().epoch_len;
         let intensity = self.scenario.intensity.at(self.time);
         let faults = self
@@ -214,7 +251,7 @@ impl Simulation {
             .begin_epoch(&spec, &view, grid_budget, oracle)?;
 
         let epoch_id = self.controller.epoch();
-        let record = match decision {
+        let (record, flows, enforce) = match decision {
             EpochDecision::Train { pairs, plan } => {
                 // Training run: ondemand governor with ample power. Every
                 // group gets its full workload envelope. A telemetry outage
@@ -258,6 +295,7 @@ impl Simulation {
                     .iter()
                     .map(|g| g.server().truth().envelope().peak())
                     .collect();
+                let enforce_started = Instant::now();
                 let m = self.rack.measure_active(&full, &online, intensity);
                 let flows = self.pdu.dispatch(
                     &plan,
@@ -267,6 +305,7 @@ impl Simulation {
                     &mut self.grid,
                     epoch_len,
                 );
+                let enforce = enforce_started.elapsed();
                 let demand = self.rack.demand_at_active(&online, intensity);
                 let supplied = plan.budget().min(demand);
                 epu.record(m.total_power().min(supplied), supplied);
@@ -276,7 +315,7 @@ impl Simulation {
                     self.controller.end_epoch(actual_solar, demand, &[]);
                 }
                 let unserved = flows.unserved();
-                EpochRecord {
+                let record = EpochRecord {
                     epoch: epoch_id,
                     time: self.time,
                     training: true,
@@ -303,7 +342,8 @@ impl Simulation {
                     shed_servers: 0,
                     offline_servers,
                     degraded: faults.telemetry_out || unserved.value() > 1e-6,
-                }
+                };
+                (record, flows, enforce)
             }
             EpochDecision::Run {
                 plan,
@@ -316,6 +356,7 @@ impl Simulation {
                     .zip(&resilience.shed)
                     .map(|(&o, &s)| o.saturating_sub(s))
                     .collect();
+                let enforce_started = Instant::now();
                 let m = self
                     .rack
                     .measure_active(&allocation.per_server, &active, intensity);
@@ -327,6 +368,7 @@ impl Simulation {
                     &mut self.grid,
                     epoch_len,
                 );
+                let enforce = enforce_started.elapsed();
                 // EPU (Eq. 1): of the power genuinely offered for compute
                 // (never more than the surviving rack could demand), how
                 // much was productively consumed.
@@ -373,7 +415,7 @@ impl Simulation {
                 }
 
                 let unserved = flows.unserved();
-                EpochRecord {
+                let record = EpochRecord {
                     epoch: epoch_id,
                     time: self.time,
                     training: false,
@@ -402,13 +444,67 @@ impl Simulation {
                     degraded: resilience.is_degraded()
                         || faults.telemetry_out
                         || unserved.value() > 1e-6,
-                }
+                };
+                (record, flows, enforce)
             }
         };
+
+        self.enforce_seconds.record_duration(enforce);
+        let epoch_wall = epoch_started.elapsed();
+        self.epoch_wall_seconds.record_duration(epoch_wall);
+        self.flow_gauges.record(&flows, record.soc);
+        if self.telemetry.sink_enabled() {
+            self.emit_epoch_event(&record, &flows, enforce, epoch_wall);
+        }
 
         records.push(record);
         self.time += epoch_len;
         Ok(())
+    }
+
+    /// Builds and sends the epoch's event (and the enforcement span).
+    /// Only called when the sink is enabled — the disabled path never
+    /// allocates.
+    fn emit_epoch_event(
+        &self,
+        record: &EpochRecord,
+        flows: &PowerFlows,
+        enforce: Duration,
+        epoch_wall: Duration,
+    ) {
+        let trace = self.controller.epoch_trace();
+        let sink = self.telemetry.sink();
+        sink.record_span(&SpanRecord::new("sim.enforce", record.epoch, enforce));
+        sink.record_epoch(&EpochEvent {
+            epoch: record.epoch,
+            time: record.time,
+            training: record.training,
+            case: record.case,
+            degrade: trace.degrade,
+            engine: trace.engine,
+            predict: trace.predict,
+            sources: trace.select_sources,
+            solve: trace.solve,
+            enforce,
+            epoch_wall,
+            budget: record.budget,
+            demand: record.demand,
+            solar: record.solar,
+            load: record.load,
+            renewable_to_load: flows.from_renewable,
+            battery_to_load: flows.from_battery,
+            grid_to_load: flows.from_grid,
+            charging: flows.charging,
+            curtailed: flows.curtailed,
+            unserved: record.unserved,
+            soc: record.soc,
+            intensity: record.intensity,
+            throughput: record.throughput,
+            shed: record.shed_servers,
+            offline: record.offline_servers,
+            rejected_feedback: trace.rejected_feedback,
+            quarantines: trace.quarantines,
+        });
     }
 
     /// Applies relative gaussian noise to a throughput counter.

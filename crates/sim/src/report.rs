@@ -4,6 +4,7 @@ use std::io::Write;
 
 use greenhetero_core::metrics::{EpuAccumulator, SeriesSummary};
 use greenhetero_core::sources::SupplyCase;
+use greenhetero_core::telemetry::RunLedger;
 use greenhetero_core::types::{EpochId, Ratio, SimTime, Throughput, WattHours, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +78,8 @@ pub struct RunReport {
     /// non-degraded epoch after it; `None` when no fault was injected or
     /// the run ended still degraded.
     pub recovery_latency_epochs: Option<u64>,
+    /// Final snapshot of every telemetry instrument the run registered.
+    pub ledger: RunLedger,
 }
 
 impl RunReport {
@@ -178,9 +181,9 @@ impl RunReport {
              unserved_w,shed,offline,degraded"
         )?;
         for e in &self.epochs {
-            writeln!(
+            write!(
                 writer,
-                "{},{},{},{:?},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.4},{:.4},{:.2},{},{:.2},{},{},{}",
+                "{},{},{},{:?},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.4},{:.4},{:.2},",
                 e.epoch.raw(),
                 e.time.as_secs(),
                 e.training,
@@ -196,7 +199,15 @@ impl RunReport {
                 e.soc.value(),
                 e.intensity.value(),
                 e.throughput.value(),
-                e.par.map_or(String::new(), |p| format!("{:.4}", p.value())),
+            )?;
+            // The optional PAR field streams too: empty when absent, no
+            // intermediate String either way.
+            if let Some(p) = e.par {
+                write!(writer, "{:.4}", p.value())?;
+            }
+            writeln!(
+                writer,
+                ",{:.2},{},{},{}",
                 e.unserved.value(),
                 e.shed_servers,
                 e.offline_servers,
@@ -258,6 +269,7 @@ mod tests {
             unserved_energy: WattHours::ZERO,
             degraded_epochs: 0,
             recovery_latency_epochs: None,
+            ledger: RunLedger::default(),
         }
     }
 
@@ -295,6 +307,22 @@ mod tests {
         assert_eq!(c, 0.25);
     }
 
+    /// Byte-exact golden output captured before `write_csv` was
+    /// refactored to stream fields: the refactor must not change a byte.
+    #[test]
+    fn csv_bytes_match_golden_output() {
+        let golden = "\
+epoch,seconds,training,case,budget_w,demand_w,solar_w,load_w,battery_discharge_w,battery_charge_w,grid_load_w,grid_charge_w,soc,intensity,throughput,par,unserved_w,shed,offline,degraded
+0,0,true,A,1000.00,1200.00,500.00,900.00,0.00,0.00,400.00,0.00,1.0000,1.0000,10.00,,0.00,0,0,false
+1,900,false,A,1000.00,1200.00,500.00,900.00,0.00,0.00,400.00,0.00,1.0000,1.0000,100.00,0.6000,0.00,0,0,false
+2,1800,false,B,1000.00,1200.00,500.00,900.00,0.00,0.00,400.00,0.00,1.0000,1.0000,200.00,0.7000,0.00,0,0,false
+3,2700,false,C,1000.00,1200.00,500.00,900.00,0.00,0.00,400.00,0.00,1.0000,1.0000,300.00,0.5000,0.00,0,0,false
+";
+        let mut buf = Vec::new();
+        report().write_csv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), golden);
+    }
+
     #[test]
     fn csv_has_one_row_per_epoch_plus_header() {
         let r = report();
@@ -317,6 +345,7 @@ mod tests {
             unserved_energy: WattHours::ZERO,
             degraded_epochs: 0,
             recovery_latency_epochs: None,
+            ledger: RunLedger::default(),
         };
         assert_eq!(r.mean_throughput(), Throughput::ZERO);
         assert_eq!(r.mean_par(), None);

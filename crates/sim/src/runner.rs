@@ -5,11 +5,16 @@
 //! cross-products, in parallel across OS threads (each simulation is
 //! independent and seeded).
 
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
 use greenhetero_core::error::CoreError;
 use greenhetero_core::policies::PolicyKind;
 use greenhetero_core::types::Watts;
 
-use crate::engine::run_scenario;
+use crate::engine::Simulation;
 use crate::report::RunReport;
 use crate::scenario::Scenario;
 
@@ -61,26 +66,96 @@ pub fn compare_policies(
         .collect())
 }
 
-/// Runs each scenario on its own thread and collects the reports in order.
+/// Runs every scenario on a bounded worker pool and collects the reports
+/// in input order.
+///
+/// The pool holds [`std::thread::available_parallelism`] workers (capped
+/// at the scenario count), not one thread per scenario: a 500-cell sweep
+/// on an 8-core box runs 8 simulations at a time instead of spawning 500
+/// OS threads. Each run's telemetry records how long it waited in the
+/// queue before a worker picked it up
+/// ([`names::RUNNER_QUEUE_WAIT_SECONDS`](greenhetero_core::telemetry::names::RUNNER_QUEUE_WAIT_SECONDS)).
 ///
 /// # Errors
 ///
-/// Propagates the first simulation failure encountered.
+/// Propagates the first simulation failure (in input order). A worker
+/// panic is resumed on the calling thread.
 pub fn run_all(scenarios: Vec<Scenario>) -> Result<Vec<RunReport>, CoreError> {
-    let results: Vec<Result<RunReport, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .into_iter()
-            .map(|s| scope.spawn(move || run_scenario(s)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-            })
-            .collect()
+    let queued_at = Instant::now();
+    let results = run_bounded(scenarios, worker_count(), |scenario| {
+        let waited = queued_at.elapsed();
+        let sim = Simulation::new(scenario)?;
+        sim.note_queue_wait(waited);
+        sim.run()
     });
-    results.into_iter().collect()
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(CoreError::InvalidConfig {
+                    reason: "sweep worker pool dropped a scenario result".into(),
+                })
+            })
+        })
+        .collect()
+}
+
+/// The worker-pool width: the machine's available parallelism, or one
+/// worker when that cannot be determined.
+fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Runs `f` over `items` on at most `workers` scoped threads, returning
+/// per-item results in input order.
+///
+/// Workers claim items through a shared atomic cursor, so ordering of
+/// *execution* is first-come-first-served while ordering of *results* is
+/// positional. A panicking `f` is resumed on the calling thread once the
+/// pool unwinds. A `None` slot can only result from such a panic (the
+/// claimed item never finished).
+fn run_bounded<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let total = items.len();
+    let workers = workers.clamp(1, total.max(1));
+    let cursor = AtomicUsize::new(0);
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let item = items[index]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take();
+                    if let Some(item) = item {
+                        let result = f(item);
+                        *results[index]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner) = Some(result);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect()
 }
 
 /// Normalized performance of each policy relative to a baseline policy
@@ -89,13 +164,25 @@ pub fn run_all(scenarios: Vec<Scenario>) -> Result<Vec<RunReport>, CoreError> {
 /// # Errors
 ///
 /// Propagates simulation failures; returns [`CoreError::InvalidConfig`]
-/// if `baseline` is not among `policies`.
+/// if `baseline` is not among `policies`, or if the baseline run produced
+/// zero (or non-finite) mean throughput — a 0-throughput baseline would
+/// make every ratio meaningless, so it is an error rather than a silent
+/// `1.0`.
 pub fn normalized_performance(
     base: &Scenario,
     policies: &[PolicyKind],
     baseline: PolicyKind,
 ) -> Result<Vec<(PolicyKind, f64)>, CoreError> {
     let outcomes = compare_policies(base, policies)?;
+    normalize_outcomes(&outcomes, baseline)
+}
+
+/// Divides every outcome's mean throughput by the baseline's, rejecting a
+/// missing or zero-throughput baseline.
+fn normalize_outcomes(
+    outcomes: &[PolicyOutcome],
+    baseline: PolicyKind,
+) -> Result<Vec<(PolicyKind, f64)>, CoreError> {
     let base_thr = outcomes
         .iter()
         .find(|o| o.policy == baseline)
@@ -103,17 +190,18 @@ pub fn normalized_performance(
             reason: format!("baseline {baseline} not among compared policies"),
         })?
         .report
-        .mean_throughput();
+        .mean_throughput()
+        .value();
+    if !base_thr.is_finite() || base_thr <= 0.0 {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "baseline {baseline} produced mean throughput {base_thr}; cannot normalize"
+            ),
+        });
+    }
     Ok(outcomes
         .iter()
-        .map(|o| {
-            let speedup = if base_thr.value() > 0.0 {
-                o.report.mean_throughput().value() / base_thr.value()
-            } else {
-                1.0
-            };
-            (o.policy, speedup)
-        })
+        .map(|o| (o.policy, o.report.mean_throughput().value() / base_thr))
         .collect())
 }
 
@@ -185,6 +273,98 @@ mod tests {
             PolicyKind::Uniform,
         );
         assert!(err.is_err());
+    }
+
+    /// An empty report: zero epochs, zero mean throughput.
+    fn empty_report() -> RunReport {
+        RunReport {
+            epochs: Vec::new(),
+            epu: greenhetero_core::metrics::EpuAccumulator::new(),
+            grid_energy: greenhetero_core::types::WattHours::new(0.0),
+            grid_peak: Watts::new(0.0),
+            grid_cost: 0.0,
+            battery_cycles: 0.0,
+            unserved_energy: greenhetero_core::types::WattHours::new(0.0),
+            degraded_epochs: 0,
+            recovery_latency_epochs: None,
+            ledger: greenhetero_core::telemetry::RunLedger::default(),
+        }
+    }
+
+    #[test]
+    fn zero_throughput_baseline_is_an_error() {
+        let outcomes = vec![PolicyOutcome {
+            policy: PolicyKind::Uniform,
+            report: empty_report(),
+        }];
+        let err = normalize_outcomes(&outcomes, PolicyKind::Uniform).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("Uniform"),
+            "error should name the baseline: {msg}"
+        );
+        assert!(
+            msg.contains("cannot normalize"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn pool_preserves_order_with_more_items_than_workers() {
+        let items: Vec<usize> = (0..23).collect();
+        let results = run_bounded(items, 3, |x| x * 2);
+        let got: Vec<usize> = results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(got, (0..23).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_with_single_worker_completes_everything() {
+        let results = run_bounded((0..7).collect(), 1, |x: u32| x + 1);
+        assert!(results.iter().all(Option::is_some));
+        assert_eq!(results.len(), 7);
+    }
+
+    #[test]
+    fn run_all_completes_more_scenarios_than_cores() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let n = cores + 2;
+        let scenarios: Vec<Scenario> = (0..n).map(|_| tiny(PolicyKind::Uniform)).collect();
+        let reports = run_all(scenarios).unwrap();
+        assert_eq!(reports.len(), n);
+        // Every run passed through the pool, so each ledger holds one
+        // queue-wait observation.
+        for report in &reports {
+            let hist = report
+                .ledger
+                .histogram(greenhetero_core::telemetry::names::RUNNER_QUEUE_WAIT_SECONDS)
+                .expect("queue-wait histogram registered");
+            assert_eq!(hist.count, 1);
+        }
+    }
+
+    #[test]
+    fn first_error_in_input_order_propagates() {
+        let mut bad_days = tiny(PolicyKind::Uniform);
+        bad_days.days = 0;
+        let mut bad_servers = tiny(PolicyKind::Uniform);
+        bad_servers.servers_per_type = 0;
+        let scenarios = vec![tiny(PolicyKind::Uniform), bad_days, bad_servers];
+        let err = run_all(scenarios).unwrap_err();
+        assert!(
+            err.to_string().contains("day"),
+            "expected the earlier (days=0) failure, got: {err}"
+        );
+    }
+
+    #[test]
+    fn worker_panic_is_resumed_on_the_caller() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_bounded((0..5).collect(), 2, |x: u32| {
+                assert!(x != 3, "boom on item 3");
+                x
+            })
+        }));
+        assert!(caught.is_err(), "pool should resume the worker panic");
     }
 
     #[test]

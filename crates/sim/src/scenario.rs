@@ -1,8 +1,12 @@
 //! Scenario description: everything needed to reproduce one experiment.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use greenhetero_core::config::ControllerConfig;
 use greenhetero_core::error::CoreError;
 use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::telemetry::{JsonlSink, Telemetry, TelemetrySink};
 use greenhetero_core::types::Watts;
 use greenhetero_power::battery::BatterySpec;
 use greenhetero_power::grid::GridTariff;
@@ -13,6 +17,44 @@ use greenhetero_server::workload::WorkloadKind;
 
 use crate::faults::FaultSchedule;
 use crate::intensity::IntensityProfile;
+
+/// How (and whether) a run exports telemetry.
+///
+/// The default is [`TelemetrySpec::Off`]: counters still accumulate (they
+/// are a handful of relaxed atomics) but no spans or per-epoch events are
+/// built, keeping the hot path allocation-free. Telemetry never feeds
+/// back into the simulation, so seeded runs produce bit-identical
+/// [`EpochRecord`](crate::report::EpochRecord) streams whichever variant
+/// is selected.
+#[derive(Debug, Clone, Default)]
+pub enum TelemetrySpec {
+    /// No telemetry export (the default).
+    #[default]
+    Off,
+    /// Stream one JSON event line per epoch to this file.
+    Jsonl(PathBuf),
+    /// Send spans and events to a caller-provided sink (tests use
+    /// [`CollectingSink`](greenhetero_core::telemetry::CollectingSink)).
+    Sink(Arc<dyn TelemetrySink>),
+}
+
+impl TelemetrySpec {
+    /// Builds the telemetry handle this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when a JSONL log file cannot
+    /// be created.
+    pub fn build(&self) -> Result<Telemetry, CoreError> {
+        match self {
+            TelemetrySpec::Off => Ok(Telemetry::disabled()),
+            TelemetrySpec::Jsonl(path) => {
+                Ok(Telemetry::with_sink(Arc::new(JsonlSink::create(path)?)))
+            }
+            TelemetrySpec::Sink(sink) => Ok(Telemetry::with_sink(Arc::clone(sink))),
+        }
+    }
+}
 
 /// A complete experiment description.
 ///
@@ -70,6 +112,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Timed disruptions injected during the run (empty = fault-free).
     pub faults: FaultSchedule,
+    /// Telemetry export for the run (default: off).
+    pub telemetry: TelemetrySpec,
 }
 
 impl Scenario {
@@ -95,6 +139,7 @@ impl Scenario {
             perf_noise: 0.01,
             seed: 42,
             faults: FaultSchedule::none(),
+            telemetry: TelemetrySpec::Off,
         }
     }
 

@@ -1,0 +1,188 @@
+//! End-to-end telemetry tests: JSONL export schema, determinism under
+//! telemetry, and ledger/replay agreement.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::telemetry::{names, replay_totals, CollectingSink, EventLine, JsonlSink};
+use greenhetero_sim::engine::run_scenario;
+use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
+
+/// An in-memory `Write` target shareable between the sink and the test.
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        let bytes = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn tiny(policy: PolicyKind) -> Scenario {
+    Scenario {
+        servers_per_type: 1,
+        days: 1,
+        ..Scenario::paper_runtime(policy)
+    }
+}
+
+#[test]
+fn jsonl_run_emits_one_line_per_epoch() {
+    let buf = SharedBuf::default();
+    let mut scenario = tiny(PolicyKind::GreenHetero);
+    scenario.telemetry = TelemetrySpec::Sink(Arc::new(JsonlSink::from_writer(buf.clone())));
+    let report = run_scenario(scenario).expect("simulation runs");
+
+    let output = buf.contents();
+    let lines: Vec<&str> = output.lines().collect();
+    assert_eq!(
+        lines.len(),
+        report.epochs.len(),
+        "one JSON line per simulated epoch"
+    );
+
+    const REQUIRED: &[&str] = &[
+        "epoch",
+        "time_s",
+        "training",
+        "case",
+        "degrade",
+        "engine",
+        "predict_us",
+        "sources_us",
+        "solve_us",
+        "enforce_us",
+        "epoch_us",
+        "budget_w",
+        "demand_w",
+        "solar_w",
+        "load_w",
+        "renewable_w",
+        "battery_w",
+        "grid_w",
+        "charge_w",
+        "curtailed_w",
+        "unserved_w",
+        "soc",
+        "intensity",
+        "throughput",
+        "shed",
+        "offline",
+        "rejected_feedback",
+        "quarantines",
+    ];
+    for (i, line) in lines.iter().enumerate() {
+        let event = EventLine::parse(line)
+            .unwrap_or_else(|| panic!("line {i} is not a flat JSON object: {line}"));
+        for key in REQUIRED {
+            assert!(
+                event.get(key).is_some(),
+                "line {i} is missing key {key}: {line}"
+            );
+        }
+    }
+
+    // Epoch ids count up from zero; the last line's flows mirror the
+    // final epoch record.
+    let first = EventLine::parse(lines[0]).expect("parses");
+    assert_eq!(first.num("epoch"), Some(0.0));
+    assert_eq!(first.flag("training"), Some(true));
+    let last = EventLine::parse(lines[lines.len() - 1]).expect("parses");
+    let last_record = report.epochs.last().expect("non-empty run");
+    assert_eq!(last.num("soc"), Some(last_record.soc.value()));
+    assert_eq!(last.num("throughput"), Some(last_record.throughput.value()));
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let off = run_scenario(tiny(PolicyKind::GreenHetero)).expect("telemetry-off run");
+
+    let mut with_sink = tiny(PolicyKind::GreenHetero);
+    with_sink.telemetry = TelemetrySpec::Sink(Arc::new(CollectingSink::new()));
+    let on = run_scenario(with_sink).expect("telemetry-on run");
+
+    assert_eq!(
+        off.epochs, on.epochs,
+        "equal seeds must produce identical epoch streams with telemetry on or off"
+    );
+    assert_eq!(off.grid_cost.to_bits(), on.grid_cost.to_bits());
+    assert_eq!(off.battery_cycles.to_bits(), on.battery_cycles.to_bits());
+}
+
+#[test]
+fn jsonl_replay_matches_ledger_counters() {
+    let buf = SharedBuf::default();
+    let mut scenario = tiny(PolicyKind::GreenHetero);
+    scenario.telemetry = TelemetrySpec::Sink(Arc::new(JsonlSink::from_writer(buf.clone())));
+    let report = run_scenario(scenario).expect("simulation runs");
+
+    let output = buf.contents();
+    let totals = replay_totals(output.lines());
+    let counter = |name: &str| report.ledger.counter(name).unwrap_or(0);
+
+    assert_eq!(totals.events as usize, report.epochs.len());
+    assert_eq!(totals.training_epochs, counter(names::TRAINING_RUNS));
+    assert_eq!(totals.rejected_feedback, counter(names::FEEDBACK_REJECTED));
+    assert_eq!(totals.quarantines, counter(names::PROFILE_QUARANTINED));
+    assert_eq!(totals.engine_exact, counter(names::SOLVER_EXACT_WINS));
+    assert_eq!(totals.engine_grid, counter(names::SOLVER_GRID_WINS));
+    assert_eq!(
+        totals.degrade_to_nominal,
+        counter(names::DEGRADE_TO_NOMINAL)
+    );
+    assert_eq!(
+        totals.degrade_to_fallback,
+        counter(names::DEGRADE_TO_FALLBACK)
+    );
+    assert_eq!(
+        totals.degrade_to_load_shed,
+        counter(names::DEGRADE_TO_LOAD_SHED)
+    );
+    assert_eq!(
+        totals.degrade_to_safe_idle,
+        counter(names::DEGRADE_TO_SAFE_IDLE)
+    );
+    // A solver policy resolves at least one epoch through an engine.
+    assert!(totals.engine_exact + totals.engine_grid > 0);
+}
+
+#[test]
+fn collecting_sink_sees_controller_and_engine_spans() {
+    let sink = Arc::new(CollectingSink::new());
+    let mut scenario = tiny(PolicyKind::GreenHetero);
+    scenario.telemetry = TelemetrySpec::Sink(sink.clone());
+    let report = run_scenario(scenario).expect("simulation runs");
+
+    let epochs = sink.epochs();
+    assert_eq!(epochs.len(), report.epochs.len());
+
+    let spans = sink.spans();
+    let span_names: std::collections::BTreeSet<&str> = spans.iter().map(|s| s.name).collect();
+    for expected in [
+        "controller.predict",
+        "controller.select_sources",
+        "controller.solve",
+        "sim.enforce",
+    ] {
+        assert!(
+            span_names.contains(expected),
+            "missing span {expected}; saw {span_names:?}"
+        );
+    }
+}
