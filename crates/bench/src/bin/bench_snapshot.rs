@@ -12,25 +12,70 @@
 //! * telemetry event throughput (epoch events per second of run wall
 //!   time).
 //!
+//! It also benchmarks the solver fast path in isolation and writes a
+//! second snapshot (`BENCH_solver.json`): cold max-of-engines solves
+//! versus warm-started and cache-hit solves over a drifting budget
+//! sequence, the cache hit rate, and heap allocations per solve from a
+//! counting global allocator.
+//!
 //! Flags (all optional): `--days N` (default 1), `--servers N` servers
 //! per type (default 5), `--out PATH` (default `BENCH_telemetry.json`),
-//! and `--validate PATH` to schema-check an existing snapshot instead of
-//! benchmarking.
+//! `--solver-out PATH` (default `BENCH_solver.json`), and
+//! `--validate PATH` to schema-check an existing snapshot (either kind,
+//! auto-detected) instead of benchmarking.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use greenhetero_core::database::{PerfModel, Quadratic};
 use greenhetero_core::policies::PolicyKind;
-use greenhetero_core::solver::{solve, AllocationProblem, ServerGroup};
+use greenhetero_core::solver::{
+    solve, AllocationProblem, FastPathConfig, ServerGroup, SolverFastPath,
+};
 use greenhetero_core::telemetry::{names, CollectingSink, EventLine};
 use greenhetero_core::types::{ConfigId, PowerRange, Watts};
 use greenhetero_sim::engine::run_scenario;
 use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
 
-/// Keys every snapshot must carry, all with finite numeric values.
+/// A pass-through system allocator that counts allocation calls, so the
+/// snapshot can report allocations-per-solve for the hot loops.
+struct CountingAlloc;
+
+/// Total heap allocation calls since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Keys every telemetry snapshot must carry, all with finite numeric
+/// values.
 const SCHEMA_KEYS: &[&str] = &[
     "schema_version",
     "days",
@@ -46,10 +91,28 @@ const SCHEMA_KEYS: &[&str] = &[
     "run_wall_ms",
 ];
 
+/// Keys every solver fast-path snapshot must carry, all with finite
+/// numeric values.
+const SOLVER_SCHEMA_KEYS: &[&str] = &[
+    "schema_version",
+    "solver_calls",
+    "cold_p50_us",
+    "cold_p99_us",
+    "warm_p50_us",
+    "warm_p99_us",
+    "cached_p50_us",
+    "cached_p99_us",
+    "speedup_warm_p50",
+    "cache_hit_rate",
+    "allocs_per_cold_solve",
+    "allocs_per_warm_solve",
+];
+
 struct Args {
     days: u64,
     servers: u32,
     out: PathBuf,
+    solver_out: PathBuf,
     validate: Option<PathBuf>,
 }
 
@@ -58,6 +121,7 @@ fn parse_args() -> Args {
         days: 1,
         servers: 5,
         out: PathBuf::from("BENCH_telemetry.json"),
+        solver_out: PathBuf::from("BENCH_solver.json"),
         validate: None,
     };
     let mut args = std::env::args().skip(1);
@@ -74,6 +138,7 @@ fn parse_args() -> Args {
                     .expect("--servers takes an integer");
             }
             "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--solver-out" => parsed.solver_out = PathBuf::from(value("--solver-out")),
             "--validate" => parsed.validate = Some(PathBuf::from(value("--validate"))),
             other => panic!("unknown flag {other}; see the module docs for usage"),
         }
@@ -81,14 +146,21 @@ fn parse_args() -> Args {
     parsed
 }
 
-/// Validates an existing snapshot file against [`SCHEMA_KEYS`]. Returns
-/// an error message on the first violation.
+/// Validates an existing snapshot file. The schema is auto-detected:
+/// solver fast-path snapshots carry `cold_p50_us`, telemetry snapshots
+/// do not. Returns an error message on the first violation.
 fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let line = text.trim();
     let event = EventLine::parse(line).ok_or("snapshot is not a flat JSON object")?;
-    for key in SCHEMA_KEYS {
+    let is_solver = event.num("cold_p50_us").is_some();
+    let keys = if is_solver {
+        SOLVER_SCHEMA_KEYS
+    } else {
+        SCHEMA_KEYS
+    };
+    for key in keys {
         let value = event
             .num(key)
             .ok_or_else(|| format!("missing or non-numeric key {key}"))?;
@@ -97,6 +169,26 @@ fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
         }
         if value < 0.0 {
             return Err(format!("key {key} is negative: {value}"));
+        }
+    }
+    if is_solver {
+        // The fast path's reason to exist: warm solves must hold a 3×
+        // median speedup over cold max-of-engines solves, and the
+        // quantized cache must actually hit on a revisiting sequence.
+        let speedup = event.num("speedup_warm_p50").unwrap_or(0.0);
+        if speedup < 3.0 {
+            return Err(format!(
+                "speedup_warm_p50 {speedup:.2} is below the 3x floor"
+            ));
+        }
+        let hit_rate = event.num("cache_hit_rate").unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&hit_rate) {
+            return Err(format!("cache_hit_rate {hit_rate} outside [0, 1]"));
+        }
+        if hit_rate <= 0.5 {
+            return Err(format!(
+                "cache_hit_rate {hit_rate:.2} too low for the revisiting sequence"
+            ));
         }
     }
     Ok(())
@@ -135,6 +227,123 @@ fn percentile_us(sorted: &[f64], q: f64) -> f64 {
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
+}
+
+/// Benchmarks the solver fast path in isolation — cold max-of-engines
+/// solves versus warm-started and cache-hit solves — and writes the
+/// `BENCH_solver.json` snapshot.
+fn bench_fast_path(out: &PathBuf) {
+    let base = solver_problem();
+    let calls = 2_000usize;
+
+    // A drifting budget sequence: a ±2 % triangle wave around the base
+    // budget, small enough that the warm gate stays open on every step.
+    let problems: Vec<AllocationProblem> = (0..calls)
+        .map(|i| {
+            let phase = (i % 40) as f64 / 40.0;
+            let wobble = if phase < 0.5 { phase } else { 1.0 - phase };
+            let factor = 0.98 + 0.08 * wobble;
+            AllocationProblem::new(
+                base.groups().to_vec(),
+                Watts::new(base.budget().value() * factor),
+            )
+            .expect("drifted problem is valid")
+        })
+        .collect();
+
+    // Cold: the combined max-of-engines solver, fresh scratch per call.
+    let mut cold_us = Vec::with_capacity(calls);
+    let before_cold = ALLOCATIONS.load(Ordering::Relaxed);
+    for p in &problems {
+        let t = Instant::now();
+        std::hint::black_box(solve(std::hint::black_box(p)).expect("cold solve succeeds"));
+        cold_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let cold_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before_cold;
+
+    // Warm: the fast path with its default config over the same drift
+    // (one unmeasured call opens the gate).
+    let mut fast = SolverFastPath::default();
+    fast.solve(&problems[0]).expect("warmup solve succeeds");
+    let mut warm_us = Vec::with_capacity(calls);
+    let before_warm = ALLOCATIONS.load(Ordering::Relaxed);
+    for p in &problems {
+        let t = Instant::now();
+        std::hint::black_box(
+            fast.solve(std::hint::black_box(p))
+                .expect("warm solve succeeds"),
+        );
+        warm_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let warm_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before_warm;
+
+    // Cached: a short rotation of recurring problems with the warm gate
+    // off, so every answer flows through the quantized cache.
+    let mut cached_path = SolverFastPath::new(FastPathConfig {
+        warm_start: false,
+        ..FastPathConfig::default()
+    });
+    let rotation: Vec<&AllocationProblem> = problems.iter().step_by(calls / 4).collect();
+    let mut cached_us = Vec::with_capacity(calls);
+    for i in 0..calls {
+        let p = rotation[i % rotation.len()];
+        let t = Instant::now();
+        std::hint::black_box(
+            cached_path
+                .solve(std::hint::black_box(p))
+                .expect("cached solve succeeds"),
+        );
+        cached_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let stats = cached_path.stats();
+    let hit_rate = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64;
+
+    cold_us.sort_by(f64::total_cmp);
+    warm_us.sort_by(f64::total_cmp);
+    cached_us.sort_by(f64::total_cmp);
+    let cold_p50 = percentile_us(&cold_us, 0.50);
+    let warm_p50 = percentile_us(&warm_us, 0.50);
+    let speedup = cold_p50 / warm_p50.max(1e-9);
+
+    let mut json = String::from("{");
+    let push = |json: &mut String, key: &str, value: f64| {
+        if json.len() > 1 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{key}\": {value}");
+    };
+    push(&mut json, "schema_version", 1.0);
+    push(&mut json, "solver_calls", calls as f64);
+    push(&mut json, "cold_p50_us", cold_p50);
+    push(&mut json, "cold_p99_us", percentile_us(&cold_us, 0.99));
+    push(&mut json, "warm_p50_us", warm_p50);
+    push(&mut json, "warm_p99_us", percentile_us(&warm_us, 0.99));
+    push(&mut json, "cached_p50_us", percentile_us(&cached_us, 0.50));
+    push(&mut json, "cached_p99_us", percentile_us(&cached_us, 0.99));
+    push(&mut json, "speedup_warm_p50", speedup);
+    push(&mut json, "cache_hit_rate", hit_rate);
+    push(
+        &mut json,
+        "allocs_per_cold_solve",
+        cold_allocs as f64 / calls as f64,
+    );
+    push(
+        &mut json,
+        "allocs_per_warm_solve",
+        warm_allocs as f64 / calls as f64,
+    );
+    json.push_str("}\n");
+
+    std::fs::write(out, &json).expect("solver snapshot file is writable");
+    println!("wrote {}", out.display());
+    println!(
+        "solver fast path: cold p50 {cold_p50:.1} us, warm p50 {warm_p50:.1} us \
+         ({speedup:.1}x), cached p50 {:.1} us; hit rate {hit_rate:.3}; \
+         allocs/solve cold {:.1}, warm {:.1}",
+        percentile_us(&cached_us, 0.50),
+        cold_allocs as f64 / calls as f64,
+        warm_allocs as f64 / calls as f64,
+    );
 }
 
 fn main() {
@@ -216,6 +425,7 @@ fn main() {
 
     std::fs::write(&args.out, &json).expect("snapshot file is writable");
     println!("wrote {}", args.out.display());
+    bench_fast_path(&args.solver_out);
     println!(
         "{} epochs in {:.0} ms; epoch wall p50 {:.0} us, p99 {:.0} us; \
          solver p50 {:.1} us, p99 {:.1} us; {:.0} events/s",

@@ -41,6 +41,20 @@ pub struct ControllerConfig {
     pub holt_retrain_epochs: u64,
     /// How many past observations the predictor trainer looks at.
     pub holt_history: usize,
+    /// Solver allocation-cache capacity in entries; 0 disables the cache.
+    /// The cache only accelerates lookups — seeded runs are bit-identical
+    /// with it on or off (DESIGN.md §11).
+    pub solver_cache_capacity: usize,
+    /// Enables the solver's epoch-to-epoch warm-start path.
+    pub solver_warm_start: bool,
+    /// Largest relative budget change, epoch over epoch, that still
+    /// qualifies for a warm-started solve.
+    pub solver_warm_budget_delta: Ratio,
+    /// Run the observe-only grid cross-check every this many solves on
+    /// the warm path; 0 disables sampling.
+    pub solver_cross_check_period: u64,
+    /// Width of the allocation cache's budget lookup buckets.
+    pub solver_cache_budget_quantum: Watts,
 }
 
 impl Default for ControllerConfig {
@@ -54,6 +68,11 @@ impl Default for ControllerConfig {
             holt_grid_step: 0.05,
             holt_retrain_epochs: 24,
             holt_history: 192,
+            solver_cache_capacity: 64,
+            solver_warm_start: true,
+            solver_warm_budget_delta: Ratio::saturating(0.05),
+            solver_cross_check_period: 64,
+            solver_cache_budget_quantum: Watts::new(1.0),
         }
     }
 }
@@ -104,6 +123,12 @@ impl ControllerConfig {
         if self.holt_retrain_epochs == 0 {
             return fail("holt retrain interval must be at least 1 epoch".into());
         }
+        let quantum = self.solver_cache_budget_quantum.value();
+        if !(quantum > 0.0 && quantum.is_finite()) {
+            return fail(format!(
+                "solver cache budget quantum must be positive and finite, got {quantum}"
+            ));
+        }
         Ok(())
     }
 }
@@ -121,6 +146,22 @@ mod tests {
         assert!((cfg.dod_limit.value() - 0.4).abs() < 1e-12);
         assert_eq!(cfg.samples_per_training(), 5);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn solver_fast_path_defaults_and_validation() {
+        let cfg = ControllerConfig::default();
+        assert_eq!(cfg.solver_cache_capacity, 64);
+        assert!(cfg.solver_warm_start);
+        assert!((cfg.solver_warm_budget_delta.value() - 0.05).abs() < 1e-12);
+        assert_eq!(cfg.solver_cross_check_period, 64);
+        assert_eq!(cfg.solver_cache_budget_quantum, Watts::new(1.0));
+
+        let bad = ControllerConfig {
+            solver_cache_budget_quantum: Watts::ZERO,
+            ..ControllerConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::error::CoreError;
 use crate::policies::{AllocationOracle, AllocationPolicy, PolicyKind};
 use crate::predictor::{train_or_default, HoltParams, Predictor};
 use crate::solver::{
-    allocation_is_sound, solve_grid, solve_uniform, Allocation, AllocationProblem, ServerGroup,
-    SolveEngine,
+    allocation_is_sound, solve_grid, solve_uniform, Allocation, AllocationProblem, FastPathConfig,
+    ServerGroup, SolveEngine, SolverFastPath,
 };
 use crate::sources::{select_sources, BatteryView, SourceInputs, SourcePlan};
 use crate::telemetry::{names, Counter, Histogram, SpanRecord, Telemetry};
@@ -217,6 +217,14 @@ pub struct EpochTrace {
     pub quarantines: u32,
     /// Successful database refits this epoch.
     pub refits: u32,
+    /// Allocation-cache hits the solver fast path served this epoch.
+    pub cache_hits: u32,
+    /// Allocation-cache misses (cold solves that consulted the cache).
+    pub cache_misses: u32,
+    /// Allocation-cache entries evicted this epoch.
+    pub cache_evictions: u32,
+    /// Solves answered by the warm-start path this epoch.
+    pub warm_starts: u32,
 }
 
 /// The controller's registered instrument handles, resolved once per
@@ -228,6 +236,12 @@ struct ControllerMetrics {
     profile_quarantined: Arc<Counter>,
     solver_exact_wins: Arc<Counter>,
     solver_grid_wins: Arc<Counter>,
+    solver_cache_hit: Arc<Counter>,
+    solver_cache_miss: Arc<Counter>,
+    solver_cache_evict: Arc<Counter>,
+    solver_warm_start: Arc<Counter>,
+    solver_cross_check: Arc<Counter>,
+    solver_cross_check_grid_win: Arc<Counter>,
     training_runs: Arc<Counter>,
     predict_seconds: Arc<Histogram>,
     select_sources_seconds: Arc<Histogram>,
@@ -249,6 +263,12 @@ impl ControllerMetrics {
             profile_quarantined: r.counter(names::PROFILE_QUARANTINED),
             solver_exact_wins: r.counter(names::SOLVER_EXACT_WINS),
             solver_grid_wins: r.counter(names::SOLVER_GRID_WINS),
+            solver_cache_hit: r.counter(names::SOLVER_CACHE_HIT),
+            solver_cache_miss: r.counter(names::SOLVER_CACHE_MISS),
+            solver_cache_evict: r.counter(names::SOLVER_CACHE_EVICT),
+            solver_warm_start: r.counter(names::SOLVER_WARM_START),
+            solver_cross_check: r.counter(names::SOLVER_CROSS_CHECK),
+            solver_cross_check_grid_win: r.counter(names::SOLVER_CROSS_CHECK_GRID_WIN),
             training_runs: r.counter(names::TRAINING_RUNS),
             predict_seconds: r.histogram(names::PREDICT_SECONDS),
             select_sources_seconds: r.histogram(names::SELECT_SOURCES_SECONDS),
@@ -292,6 +312,7 @@ pub struct Controller {
     metrics: ControllerMetrics,
     trace: EpochTrace,
     last_level: DegradeLevel,
+    fast: SolverFastPath,
 }
 
 impl fmt::Debug for Controller {
@@ -362,6 +383,13 @@ impl Controller {
         config.validate()?;
         let telemetry = Telemetry::default();
         let metrics = ControllerMetrics::new(&telemetry);
+        let fast = SolverFastPath::new(FastPathConfig {
+            cache_capacity: config.solver_cache_capacity,
+            warm_start: config.solver_warm_start,
+            warm_budget_delta: config.solver_warm_budget_delta,
+            cross_check_period: config.solver_cross_check_period,
+            budget_quantum: config.solver_cache_budget_quantum,
+        });
         Ok(Controller {
             config,
             policy: policy.build(),
@@ -373,6 +401,7 @@ impl Controller {
             metrics,
             trace: EpochTrace::default(),
             last_level: DegradeLevel::Nominal,
+            fast,
         })
     }
 
@@ -582,7 +611,10 @@ impl Controller {
         // bottom cannot fail.
         let solve_started = Instant::now();
         let (allocation, solve_level, engine) =
-            match self.policy.allocate_traced(&problem, effective_oracle) {
+            match self
+                .policy
+                .allocate_traced_fast(&problem, effective_oracle, &mut self.fast)
+            {
                 Ok((a, traced)) if allocation_is_sound(&problem, &a) => {
                     let engine = traced.map_or_else(
                         || policy_engine_label(self.policy.kind()),
@@ -605,6 +637,7 @@ impl Controller {
             };
         self.trace.solve = solve_started.elapsed();
         self.metrics.solve_seconds.record_duration(self.trace.solve);
+        self.note_fast_path();
         // Policies are pluggable; re-audit the chosen answer against the
         // problem the controller actually posed.
         crate::solver::audit_allocation(&problem, &allocation);
@@ -721,6 +754,25 @@ impl Controller {
     pub fn end_epoch_stale(&mut self) {
         self.emit_phase_spans();
         self.epoch = self.epoch.next();
+    }
+
+    /// Drains the solver fast path's per-epoch counters into the trace
+    /// and the telemetry registry.
+    fn note_fast_path(&mut self) {
+        let stats = self.fast.take_stats();
+        let narrow = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
+        self.trace.cache_hits = narrow(stats.cache_hits);
+        self.trace.cache_misses = narrow(stats.cache_misses);
+        self.trace.cache_evictions = narrow(stats.cache_evictions);
+        self.trace.warm_starts = narrow(stats.warm_starts);
+        self.metrics.solver_cache_hit.add(stats.cache_hits);
+        self.metrics.solver_cache_miss.add(stats.cache_misses);
+        self.metrics.solver_cache_evict.add(stats.cache_evictions);
+        self.metrics.solver_warm_start.add(stats.warm_starts);
+        self.metrics.solver_cross_check.add(stats.cross_checks);
+        self.metrics
+            .solver_cross_check_grid_win
+            .add(stats.cross_check_grid_wins);
     }
 
     /// Records the epoch's degradation rung and engine label, counting a

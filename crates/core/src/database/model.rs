@@ -110,6 +110,33 @@ impl PerfModel {
         self.curve.derivative(self.range.idle().value()) >= 0.0
             && self.curve.derivative(self.range.peak().value()) >= 0.0
     }
+
+    /// A 64-bit digest of the model's exact parameter bits (curve
+    /// coefficients plus the power envelope), used by the solver fast path
+    /// to detect model drift between epochs without comparing five floats
+    /// per group. Equal fingerprints mean bit-identical models; distinct
+    /// models collide with probability ≈ 2⁻⁶⁴, and the allocation cache
+    /// never trusts a fingerprint alone (it revalidates against the full
+    /// problem before reuse).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the raw f64 bit patterns: deterministic across runs
+        // and platforms, no hasher state to seed.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for bits in [
+            self.curve.l.to_bits(),
+            self.curve.m.to_bits(),
+            self.curve.n.to_bits(),
+            self.range.idle().value().to_bits(),
+            self.range.peak().value().to_bits(),
+        ] {
+            for byte in bits.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +205,26 @@ mod tests {
         assert_eq!(m.marginal(Watts::new(30.0)), 0.0);
         assert_eq!(m.marginal(Watts::new(100.0)), 0.0);
         assert!(m.marginal(Watts::new(60.0)) > 0.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_parameter_bits() {
+        let m = model();
+        assert_eq!(m.fingerprint(), model().fingerprint());
+        let nudged = PerfModel::new(
+            Quadratic {
+                l: -400.0,
+                m: 20.0 + 1e-12,
+                n: -0.05,
+            },
+            m.range(),
+        );
+        assert_ne!(m.fingerprint(), nudged.fingerprint());
+        let wider = PerfModel::new(
+            m.curve(),
+            PowerRange::new(Watts::new(47.0), Watts::new(82.0)).unwrap(),
+        );
+        assert_ne!(m.fingerprint(), wider.fingerprint());
     }
 
     #[test]

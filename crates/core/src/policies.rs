@@ -18,8 +18,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::solver::{
-    enumerate_shares, solve, solve_uniform, solve_with_engine, Allocation, AllocationProblem,
-    SolveEngine,
+    solve, solve_uniform, solve_with_engine, Allocation, AllocationProblem, ShareLattice,
+    SolveEngine, SolverFastPath,
 };
 use crate::types::{Ratio, Throughput, Watts};
 
@@ -79,6 +79,25 @@ pub trait AllocationPolicy: fmt::Debug + Send {
         oracle: Option<&dyn AllocationOracle>,
     ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
         self.allocate(problem, oracle).map(|a| (a, None))
+    }
+
+    /// Like [`allocate_traced`](AllocationPolicy::allocate_traced), but
+    /// with access to the caller's [`SolverFastPath`] (warm starts plus
+    /// the allocation cache). The default ignores the fast path and
+    /// delegates — correct for policies that do not run a solver engine;
+    /// the solver-backed policies override it. Answers are bit-identical
+    /// to `allocate_traced` by the fast path's purity contract.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`allocate`](AllocationPolicy::allocate).
+    fn allocate_traced_fast(
+        &self,
+        problem: &AllocationProblem,
+        oracle: Option<&dyn AllocationOracle>,
+        _fast: &mut SolverFastPath,
+    ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
+        self.allocate_traced(problem, oracle)
     }
 }
 
@@ -215,18 +234,20 @@ impl AllocationPolicy for Manual {
     ) -> Result<Allocation, CoreError> {
         let mut best_assignment = vec![Watts::ZERO; problem.groups().len()];
         let mut best_value = evaluate(problem, oracle, &best_assignment);
+        let mut assignment = best_assignment.clone();
 
-        for shares in enumerate_shares(problem.groups().len(), self.granularity) {
-            let assignment: Vec<Watts> = problem
-                .groups()
-                .iter()
-                .zip(&shares)
-                .map(|(g, &s)| problem.budget() * s / f64::from(g.count))
-                .collect();
+        // Stream the lattice instead of materializing every point: two
+        // buffers total, swapped on improvement, rather than one fresh
+        // Vec per lattice point.
+        let mut lattice = ShareLattice::new(problem.groups().len(), self.granularity);
+        while let Some(shares) = lattice.advance() {
+            for ((slot, g), &s) in assignment.iter_mut().zip(problem.groups()).zip(shares) {
+                *slot = problem.budget() * s / f64::from(g.count);
+            }
             let value = evaluate(problem, oracle, &assignment);
             if value > best_value {
                 best_value = value;
-                best_assignment = assignment;
+                std::mem::swap(&mut best_assignment, &mut assignment);
             }
         }
         Ok(Allocation::from_assignment(problem, best_assignment))
@@ -311,6 +332,15 @@ impl AllocationPolicy for GreenHeteroA {
     ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
         solve_with_engine(problem).map(|(a, e)| (a, Some(e)))
     }
+
+    fn allocate_traced_fast(
+        &self,
+        problem: &AllocationProblem,
+        _oracle: Option<&dyn AllocationOracle>,
+        fast: &mut SolverFastPath,
+    ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
+        fast.solve(problem).map(|(a, e)| (a, Some(e)))
+    }
 }
 
 /// Full GreenHetero: the Solver, with the controller refitting the
@@ -337,6 +367,17 @@ impl AllocationPolicy for GreenHetero {
         _oracle: Option<&dyn AllocationOracle>,
     ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
         solve_with_engine(problem).map(|(a, e)| (a, Some(e)))
+    }
+
+    fn allocate_traced_fast(
+        &self,
+        problem: &AllocationProblem,
+        _oracle: Option<&dyn AllocationOracle>,
+        fast: &mut SolverFastPath,
+    ) -> Result<(Allocation, Option<SolveEngine>), CoreError> {
+        // Online refits change model fingerprints, which the fast path's
+        // warm gate and cache keys detect — no special handling needed.
+        fast.solve(problem).map(|(a, e)| (a, Some(e)))
     }
 
     fn updates_database(&self) -> bool {
@@ -528,6 +569,23 @@ mod tests {
             assert_eq!(kind.build().kind(), kind);
         }
         assert_eq!(PolicyKind::GreenHeteroP.to_string(), "GreenHetero-p");
+    }
+
+    #[test]
+    fn fast_allocation_matches_traced_bit_for_bit() {
+        let mut fast = SolverFastPath::default();
+        for kind in PolicyKind::ALL {
+            let policy = kind.build();
+            for budget in [220.0, 224.0, 300.0, 220.0] {
+                let p = case_study(budget);
+                let (slow, slow_engine) = policy.allocate_traced(&p, None).unwrap();
+                let (quick, quick_engine) =
+                    policy.allocate_traced_fast(&p, None, &mut fast).unwrap();
+                assert_eq!(slow, quick, "{kind} at {budget}");
+                assert_eq!(slow_engine, quick_engine, "{kind} at {budget}");
+            }
+        }
+        assert!(fast.stats().warm_starts > 0);
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! The solver fast path: epoch-to-epoch warm starts and a quantized
+//! allocation cache (DESIGN.md §11).
+//!
+//! Consecutive scheduling epochs differ only slightly — solar ramps a few
+//! percent per 15-minute epoch and the fitted curves change only on the
+//! rare accepted refit — so most of the classic
+//! [`solve_with_engine`](crate::solver::solve_with_engine) work (a full
+//! 4-level grid lattice cross-checking the exact engine every epoch) is
+//! redundant. [`SolverFastPath`] removes it in three layers:
+//!
+//! 1. **Reuse** — a problem bit-identical to the previous epoch's returns
+//!    the previous allocation outright;
+//! 2. **Warm start** — when the group layout and every model fingerprint
+//!    are unchanged and the budget moved less than a configured relative
+//!    delta, the exact KKT engine answers alone and the grid cross-check
+//!    is skipped (a sampled periodic cross-check plus the controller's
+//!    `audit_allocation` keep exactness regressions observable); if the
+//!    exact engine cannot run, a short grid refinement seeded at the
+//!    previous allocation replaces the full lattice;
+//! 3. **Cache** — cold solves are remembered in a small LRU keyed by
+//!    (quantized budget bucket, group digest); a hit revalidates the
+//!    stored problem bit-for-bit against the live one and falls back to a
+//!    cold solve on any mismatch, so a hit is always bit-identical to the
+//!    solve it replaced.
+//!
+//! Every decision above is a pure function of the *problem sequence* —
+//! never of cache occupancy — which is why seeded runs are bit-identical
+//! with the cache on or off (`crates/sim/tests/fastpath.rs` proves it).
+
+use crate::error::CoreError;
+use crate::solver::grid::{solve_grid_seeded, solve_grid_with};
+use crate::solver::problem::{Allocation, AllocationProblem};
+use crate::solver::scratch::SolverScratch;
+use crate::solver::{solve_exact_with, solve_with_engine_scratch, SolveEngine};
+use crate::types::{Ratio, Watts};
+
+/// Tunables of the solver fast path; defaults mirror
+/// [`ControllerConfig`](crate::config::ControllerConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastPathConfig {
+    /// Allocation-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Enables the warm-start layers (reuse + exact-first refinement).
+    pub warm_start: bool,
+    /// Largest relative budget change, epoch over epoch, that still
+    /// qualifies for a warm start.
+    pub warm_budget_delta: Ratio,
+    /// Run the observe-only grid cross-check every this many solves;
+    /// 0 disables sampling.
+    pub cross_check_period: u64,
+    /// Width of the cache's budget lookup buckets.
+    pub budget_quantum: Watts,
+}
+
+impl Default for FastPathConfig {
+    fn default() -> Self {
+        FastPathConfig {
+            cache_capacity: 64,
+            warm_start: true,
+            warm_budget_delta: Ratio::saturating(0.05),
+            cross_check_period: 64,
+            budget_quantum: Watts::new(1.0),
+        }
+    }
+}
+
+/// Monotone counters the fast path accumulates; the controller drains
+/// them into telemetry once per epoch via
+/// [`take_stats`](SolverFastPath::take_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Cache lookups that returned a revalidated stored allocation.
+    pub cache_hits: u64,
+    /// Cold solves that consulted the cache and missed.
+    pub cache_misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub cache_evictions: u64,
+    /// Solves answered by the warm path (reuse or exact-first).
+    pub warm_starts: u64,
+    /// Sampled observe-only grid cross-checks run.
+    pub cross_checks: u64,
+    /// Cross-checks where the grid beat the returned exact answer — a
+    /// nonzero rate flags an exactness regression.
+    pub cross_check_grid_wins: u64,
+}
+
+impl FastPathStats {
+    fn minus(self, earlier: FastPathStats) -> FastPathStats {
+        FastPathStats {
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            warm_starts: self.warm_starts - earlier.warm_starts,
+            cross_checks: self.cross_checks - earlier.cross_checks,
+            cross_check_grid_wins: self.cross_check_grid_wins - earlier.cross_check_grid_wins,
+        }
+    }
+}
+
+/// The previous solve, kept for reuse and warm seeding.
+#[derive(Debug, Clone)]
+struct LastSolve {
+    problem: AllocationProblem,
+    allocation: Allocation,
+    engine: SolveEngine,
+}
+
+/// One cached cold solve. `problem` is kept whole: the digest narrows the
+/// lookup, equality on the full problem (budget bits included) is what
+/// authorizes reuse.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    bucket: i64,
+    digest: u64,
+    problem: AllocationProblem,
+    allocation: Allocation,
+    engine: SolveEngine,
+    stamp: u64,
+}
+
+/// The stateful solver front-end the controller holds across epochs.
+#[derive(Debug)]
+pub struct SolverFastPath {
+    config: FastPathConfig,
+    scratch: SolverScratch,
+    cache: Vec<CacheEntry>,
+    last: Option<LastSolve>,
+    stats: FastPathStats,
+    taken: FastPathStats,
+    clock: u64,
+    solves: u64,
+}
+
+/// How the next solve will be answered; computed up front so the borrow
+/// of `last` ends before the engines need the scratch space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plan {
+    Warm,
+    Cold,
+}
+
+impl Default for SolverFastPath {
+    fn default() -> Self {
+        SolverFastPath::new(FastPathConfig::default())
+    }
+}
+
+impl SolverFastPath {
+    /// A fast path with empty cache and no previous epoch.
+    #[must_use]
+    pub fn new(config: FastPathConfig) -> Self {
+        SolverFastPath {
+            config,
+            scratch: SolverScratch::new(),
+            cache: Vec::with_capacity(config.cache_capacity),
+            last: None,
+            stats: FastPathStats::default(),
+            taken: FastPathStats::default(),
+            clock: 0,
+            solves: 0,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> FastPathConfig {
+        self.config
+    }
+
+    /// Lifetime counters (never reset).
+    #[must_use]
+    pub fn stats(&self) -> FastPathStats {
+        self.stats
+    }
+
+    /// Counters accumulated since the previous `take_stats` call — the
+    /// per-epoch deltas the controller exports.
+    pub fn take_stats(&mut self) -> FastPathStats {
+        let delta = self.stats.minus(self.taken);
+        self.taken = self.stats;
+        delta
+    }
+
+    /// Drops the cache and the previous-epoch seed (counters survive).
+    /// The controller calls this when the policy or rack layout changes
+    /// wholesale; normal model drift invalidates naturally via
+    /// fingerprints.
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+        self.last = None;
+    }
+
+    /// Solves `problem` through the fast path. The returned allocation is
+    /// always bit-identical to what a pure function of the problem
+    /// sequence would produce: warm decisions depend only on the previous
+    /// problem, and cache hits are revalidated bit-for-bit before reuse.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::solver::solve`].
+    pub fn solve(
+        &mut self,
+        problem: &AllocationProblem,
+    ) -> Result<(Allocation, SolveEngine), CoreError> {
+        self.solves += 1;
+        let plan = match &self.last {
+            Some(last) if self.config.warm_start => {
+                if last.problem == *problem {
+                    // Nothing moved: the previous answer is this epoch's
+                    // answer, bit for bit.
+                    self.stats.warm_starts += 1;
+                    return Ok((last.allocation.clone(), last.engine));
+                } else if warm_eligible(&last.problem, problem, self.config.warm_budget_delta) {
+                    Plan::Warm
+                } else {
+                    Plan::Cold
+                }
+            }
+            _ => Plan::Cold,
+        };
+
+        let (allocation, engine) = match plan {
+            Plan::Warm => {
+                self.stats.warm_starts += 1;
+                let answer = match solve_exact_with(problem, &mut self.scratch) {
+                    Ok(exact) => (exact, SolveEngine::Exact),
+                    Err(CoreError::InvalidConfig { .. }) => {
+                        // Too many groups for the exact engine: refine the
+                        // grid locally around the previous allocation.
+                        let seeded = match &self.last {
+                            Some(last) => solve_grid_seeded(
+                                problem,
+                                &last.allocation.per_server,
+                                &mut self.scratch,
+                            ),
+                            None => solve_grid_with(problem, &mut self.scratch),
+                        };
+                        (seeded, SolveEngine::Grid)
+                    }
+                    Err(other) => return Err(other),
+                };
+                self.maybe_cross_check(problem, &answer.0, answer.1);
+                answer
+            }
+            Plan::Cold => self.cold_solve(problem)?,
+        };
+
+        self.last = Some(LastSolve {
+            problem: problem.clone(),
+            allocation: allocation.clone(),
+            engine,
+        });
+        Ok((allocation, engine))
+    }
+
+    /// The cold path: consult the cache, else run the classic
+    /// exact-plus-grid solve and remember the answer.
+    fn cold_solve(
+        &mut self,
+        problem: &AllocationProblem,
+    ) -> Result<(Allocation, SolveEngine), CoreError> {
+        let caching = self.config.cache_capacity > 0;
+        let bucket = budget_bucket(problem.budget(), self.config.budget_quantum);
+        let digest = problem_digest(problem);
+        if caching {
+            let found = self.cache.iter_mut().find(|e| {
+                e.bucket == bucket && e.digest == digest
+                // Revalidation: the stored problem (live budget bits and
+                // all) must equal the incoming one; a digest collision or
+                // a same-bucket different-budget neighbor is a miss.
+                && e.problem == *problem
+                && e.problem.is_feasible(&e.allocation.per_server)
+            });
+            if let Some(entry) = found {
+                self.stats.cache_hits += 1;
+                self.clock += 1;
+                entry.stamp = self.clock;
+                return Ok((entry.allocation.clone(), entry.engine));
+            }
+            self.stats.cache_misses += 1;
+        }
+
+        let (allocation, engine) = solve_with_engine_scratch(problem, &mut self.scratch)?;
+        if caching {
+            if self.cache.len() >= self.config.cache_capacity {
+                // Evict the least-recently used entry (smallest stamp).
+                if let Some(victim) = self
+                    .cache
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(i, _)| i)
+                {
+                    self.cache.swap_remove(victim);
+                    self.stats.cache_evictions += 1;
+                }
+            }
+            self.clock += 1;
+            self.cache.push(CacheEntry {
+                bucket,
+                digest,
+                problem: problem.clone(),
+                allocation: allocation.clone(),
+                engine,
+                stamp: self.clock,
+            });
+        }
+        Ok((allocation, engine))
+    }
+
+    /// The sampled, observe-only cross-check: every Nth solve that skipped
+    /// the grid engine, run it anyway and count whether it would have won.
+    /// The returned allocation is never altered — this exists purely so an
+    /// exactness regression shows up in telemetry instead of silently
+    /// shipping worse allocations.
+    fn maybe_cross_check(
+        &mut self,
+        problem: &AllocationProblem,
+        returned: &Allocation,
+        engine: SolveEngine,
+    ) {
+        let period = self.config.cross_check_period;
+        if engine != SolveEngine::Exact || period == 0 || !self.solves.is_multiple_of(period) {
+            return;
+        }
+        self.stats.cross_checks += 1;
+        let grid = solve_grid_with(problem, &mut self.scratch);
+        if grid.projected.value() > returned.projected.value() + 1e-9 {
+            self.stats.cross_check_grid_wins += 1;
+        }
+    }
+}
+
+/// `true` when `cur` is close enough to `prev` to trust the warm path:
+/// identical group layout (config, count) with bit-identical model
+/// fingerprints, and a relative budget move within `max_delta`.
+fn warm_eligible(prev: &AllocationProblem, cur: &AllocationProblem, max_delta: Ratio) -> bool {
+    if prev.groups().len() != cur.groups().len() {
+        return false;
+    }
+    let layout_same = prev.groups().iter().zip(cur.groups()).all(|(a, b)| {
+        a.config == b.config && a.count == b.count && a.model.fingerprint() == b.model.fingerprint()
+    });
+    if !layout_same {
+        return false;
+    }
+    let pb = prev.budget().value();
+    let cb = cur.budget().value();
+    (cb - pb).abs() <= max_delta.value() * pb.abs().max(1e-9)
+}
+
+/// The cache lookup bucket: budgets quantized to `quantum`-wide bins.
+fn budget_bucket(budget: Watts, quantum: Watts) -> i64 {
+    let q = quantum.value().max(1e-9);
+    (budget.value() / q).floor() as i64
+}
+
+/// FNV-1a digest of the group layout: length, then per group (config,
+/// count, model fingerprint). Budget is deliberately excluded — the
+/// bucket carries it.
+fn problem_digest(problem: &AllocationProblem) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(problem.groups().len() as u64);
+    for g in problem.groups() {
+        mix(u64::from(g.config.raw()));
+        mix(u64::from(g.count));
+        mix(g.model.fingerprint());
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{PerfModel, Quadratic};
+    use crate::solver::{solve_with_engine, ServerGroup};
+    use crate::types::{ConfigId, PowerRange};
+
+    fn group(id: u32, count: u32, idle: f64, peak: f64, m: f64, n: f64) -> ServerGroup {
+        ServerGroup::new(
+            ConfigId::new(id),
+            count,
+            PerfModel::new(
+                Quadratic { l: 0.0, m, n },
+                PowerRange::new(Watts::new(idle), Watts::new(peak)).unwrap(),
+            ),
+        )
+        .unwrap()
+    }
+
+    fn problem(budget: f64) -> AllocationProblem {
+        let a = group(0, 2, 88.0, 147.0, 60.0, -0.12);
+        let b = group(1, 3, 47.0, 81.0, 50.0, -0.18);
+        AllocationProblem::new(vec![a, b], Watts::new(budget)).unwrap()
+    }
+
+    #[test]
+    fn identical_problem_is_reused_bit_for_bit() {
+        let mut fast = SolverFastPath::default();
+        let p = problem(500.0);
+        let (first, e1) = fast.solve(&p).unwrap();
+        let (second, e2) = fast.solve(&p).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(e1, e2);
+        assert_eq!(fast.stats().warm_starts, 1);
+        // The classic cold answer matches too.
+        let (cold, _) = solve_with_engine(&p).unwrap();
+        assert_eq!(first, cold);
+    }
+
+    #[test]
+    fn small_budget_moves_take_the_warm_path() {
+        let mut fast = SolverFastPath::default();
+        fast.solve(&problem(500.0)).unwrap();
+        let p = problem(510.0); // 2 % move: within the 5 % gate
+        let (warm, engine) = fast.solve(&p).unwrap();
+        assert_eq!(fast.stats().warm_starts, 1);
+        assert_eq!(engine, SolveEngine::Exact);
+        // Concave fits: the warm exact answer matches the cold answer.
+        let (cold, _) = solve_with_engine(&p).unwrap();
+        assert!(
+            warm.projected.value() >= cold.projected.value() - 1e-9,
+            "warm {} vs cold {}",
+            warm.projected.value(),
+            cold.projected.value()
+        );
+    }
+
+    #[test]
+    fn large_budget_moves_and_model_drift_go_cold() {
+        let mut fast = SolverFastPath::default();
+        fast.solve(&problem(500.0)).unwrap();
+        fast.solve(&problem(800.0)).unwrap(); // 60 % move
+        assert_eq!(fast.stats().warm_starts, 0);
+        assert_eq!(fast.stats().cache_misses, 2);
+
+        // Refit one model: fingerprint changes, warm gate closes.
+        let drifted = AllocationProblem::new(
+            vec![
+                group(0, 2, 88.0, 147.0, 60.5, -0.12),
+                group(1, 3, 47.0, 81.0, 50.0, -0.18),
+            ],
+            Watts::new(800.0),
+        )
+        .unwrap();
+        fast.solve(&drifted).unwrap();
+        assert_eq!(fast.stats().warm_starts, 0);
+    }
+
+    #[test]
+    fn cache_hits_return_the_stored_cold_answer() {
+        let mut fast = SolverFastPath::default();
+        let a = problem(500.0);
+        let b = problem(800.0); // far enough to defeat the warm gate
+        let (first_a, _) = fast.solve(&a).unwrap();
+        fast.solve(&b).unwrap();
+        let (again_a, _) = fast.solve(&a).unwrap();
+        assert_eq!(first_a, again_a);
+        assert_eq!(fast.stats().cache_hits, 1);
+        assert_eq!(fast.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let mut fast = SolverFastPath::new(FastPathConfig {
+            cache_capacity: 2,
+            warm_start: false,
+            ..FastPathConfig::default()
+        });
+        fast.solve(&problem(100.0)).unwrap();
+        fast.solve(&problem(300.0)).unwrap();
+        fast.solve(&problem(100.0)).unwrap(); // refresh 100's stamp
+        fast.solve(&problem(600.0)).unwrap(); // evicts 300
+        assert_eq!(fast.stats().cache_evictions, 1);
+        fast.solve(&problem(100.0)).unwrap(); // still cached
+        assert_eq!(fast.stats().cache_hits, 2);
+        fast.solve(&problem(300.0)).unwrap(); // was evicted → miss
+        assert_eq!(fast.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn disabled_cache_produces_identical_answers() {
+        let budgets = [500.0, 505.0, 800.0, 500.0, 505.0, 200.0, 800.0];
+        let mut on = SolverFastPath::default();
+        let mut off = SolverFastPath::new(FastPathConfig {
+            cache_capacity: 0,
+            ..FastPathConfig::default()
+        });
+        for &b in &budgets {
+            let p = problem(b);
+            let (with_cache, e1) = on.solve(&p).unwrap();
+            let (without, e2) = off.solve(&p).unwrap();
+            assert_eq!(with_cache, without, "budget {b}");
+            assert_eq!(e1, e2, "budget {b}");
+        }
+        assert!(
+            on.stats().cache_hits > 0,
+            "sequence never exercised the cache"
+        );
+        assert_eq!(off.stats().cache_hits, 0);
+        assert_eq!(off.stats().cache_misses + off.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn cross_check_samples_without_altering_answers() {
+        let mut fast = SolverFastPath::new(FastPathConfig {
+            cross_check_period: 2,
+            ..FastPathConfig::default()
+        });
+        // Alternate two nearby budgets so every solve after the first is
+        // warm (and exact), making every even solve a cross-check sample.
+        for i in 0..10 {
+            let b = if i % 2 == 0 { 500.0 } else { 505.0 };
+            fast.solve(&problem(b)).unwrap();
+        }
+        assert!(fast.stats().cross_checks >= 4);
+        // Concave case study: exact never loses to the grid.
+        assert_eq!(fast.stats().cross_check_grid_wins, 0);
+    }
+
+    #[test]
+    fn take_stats_returns_per_interval_deltas() {
+        let mut fast = SolverFastPath::default();
+        fast.solve(&problem(500.0)).unwrap();
+        let d1 = fast.take_stats();
+        assert_eq!(d1.cache_misses, 1);
+        fast.solve(&problem(500.0)).unwrap();
+        let d2 = fast.take_stats();
+        assert_eq!(d2.cache_misses, 0);
+        assert_eq!(d2.warm_starts, 1);
+        assert_eq!(fast.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn invalidate_clears_state_but_keeps_counters() {
+        let mut fast = SolverFastPath::default();
+        fast.solve(&problem(500.0)).unwrap();
+        fast.invalidate();
+        fast.solve(&problem(500.0)).unwrap();
+        // Same problem twice, but the reuse seed was dropped → both cold.
+        assert_eq!(fast.stats().warm_starts, 0);
+        assert_eq!(fast.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn many_group_problems_fall_back_to_seeded_grid_when_warm() {
+        let groups: Vec<ServerGroup> = (0..(MAX_EXACT_GROUPS_PLUS_ONE as u32))
+            .map(|i| group(i, 1, 20.0, 60.0, 10.0 + f64::from(i), -0.02))
+            .collect();
+        let mk = |budget: f64| AllocationProblem::new(groups.clone(), Watts::new(budget)).unwrap();
+        let mut fast = SolverFastPath::default();
+        fast.solve(&mk(300.0)).unwrap();
+        let (warm, engine) = fast.solve(&mk(306.0)).unwrap();
+        assert_eq!(engine, SolveEngine::Grid);
+        assert_eq!(fast.stats().warm_starts, 1);
+        let p = mk(306.0);
+        assert!(p.is_feasible(&warm.per_server));
+        let (cold, _) = solve_with_engine(&p).unwrap();
+        assert!(
+            warm.projected.value() >= cold.projected.value() * (1.0 - 1e-3) - 1e-6,
+            "warm {} vs cold {}",
+            warm.projected.value(),
+            cold.projected.value()
+        );
+    }
+
+    const MAX_EXACT_GROUPS_PLUS_ONE: usize = crate::solver::MAX_EXACT_GROUPS + 1;
+}

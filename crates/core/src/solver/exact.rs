@@ -18,9 +18,14 @@
 //!
 //! For concave fits the result is exact up to bisection tolerance; the
 //! grid solver ([`crate::solver::solve_grid`]) cross-checks this in tests.
+//!
+//! The subset loop is allocation-free by contract (lint rule GH006): all
+//! working memory lives in the caller-provided
+//! [`SolverScratch`](crate::solver::SolverScratch).
 
 use crate::error::CoreError;
 use crate::solver::problem::{Allocation, AllocationProblem, ServerGroup};
+use crate::solver::scratch::SolverScratch;
 use crate::types::Watts;
 
 /// Largest group count the exact subset enumeration accepts; beyond this
@@ -33,6 +38,9 @@ pub const MAX_EXACT_GROUPS: usize = 12;
 const BISECT_ITERS: u32 = 60;
 
 /// Solves the allocation problem exactly (for concave fitted curves).
+///
+/// This convenience wrapper allocates a fresh workspace per call; hot
+/// callers should hold a [`SolverScratch`] and use [`solve_exact_with`].
 ///
 /// # Errors
 ///
@@ -70,6 +78,21 @@ const BISECT_ITERS: u32 = 60;
 /// # Ok::<(), greenhetero_core::error::CoreError>(())
 /// ```
 pub fn solve_exact(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
+    let mut scratch = SolverScratch::new();
+    solve_exact_with(problem, &mut scratch)
+}
+
+/// [`solve_exact`] with a caller-owned workspace: after the first call has
+/// sized the buffers, solving is allocation-free except for the returned
+/// [`Allocation`].
+///
+/// # Errors
+///
+/// Same contract as [`solve_exact`].
+pub fn solve_exact_with(
+    problem: &AllocationProblem,
+    scratch: &mut SolverScratch,
+) -> Result<Allocation, CoreError> {
     let groups = problem.groups();
     if groups.len() > MAX_EXACT_GROUPS {
         return Err(CoreError::InvalidConfig {
@@ -81,76 +104,111 @@ pub fn solve_exact(problem: &AllocationProblem) -> Result<Allocation, CoreError>
     }
 
     let budget = problem.budget();
-    let mut best_assignment = vec![Watts::ZERO; groups.len()];
-    let mut best_value = problem.objective(&best_assignment);
+    scratch.prepare_exact(groups.len());
+    let mut best_value = problem.objective(&scratch.exact_best);
 
     // Fast path: the budget covers everyone at peak.
     if budget >= problem.total_peak() {
-        let assignment: Vec<Watts> = groups.iter().map(best_power_cap).collect();
-        let value = problem.objective(&assignment);
-        if value > best_value {
-            return Ok(Allocation::from_assignment(problem, assignment));
+        for (slot, g) in scratch.exact_assignment.iter_mut().zip(groups) {
+            *slot = best_power_cap(g);
         }
-        return Ok(Allocation::from_assignment(problem, best_assignment));
+        let value = problem.objective(&scratch.exact_assignment);
+        if value > best_value {
+            return Ok(Allocation::from_assignment(
+                problem,
+                scratch.exact_assignment.clone(),
+            ));
+        }
+        return Ok(Allocation::from_assignment(
+            problem,
+            scratch.exact_best.clone(),
+        ));
     }
 
-    let convex: Vec<usize> = (0..groups.len())
-        .filter(|&i| !groups[i].model.curve().is_concave())
-        .collect();
+    for (i, g) in groups.iter().enumerate() {
+        if !g.model.curve().is_concave() {
+            scratch.convex.push(i);
+        }
+    }
 
     for subset in 1u32..(1u32 << groups.len()) {
-        let on: Vec<usize> = (0..groups.len())
-            .filter(|&i| subset & (1 << i) != 0)
-            .collect();
-        let base: Watts = on.iter().map(|&i| groups[i].group_idle()).sum();
+        scratch.on.clear();
+        for i in 0..groups.len() {
+            if subset & (1 << i) != 0 {
+                scratch.on.push(i);
+            }
+        }
+        let base: Watts = scratch.on.iter().map(|&i| groups[i].group_idle()).sum();
         if base.value() > budget.value() + 1e-9 {
             continue;
         }
 
         // Enumerate endpoint choices for convex groups inside this subset.
-        let convex_on: Vec<usize> = convex.iter().copied().filter(|i| on.contains(i)).collect();
-        for convex_mask in 0u32..(1u32 << convex_on.len()) {
-            let mut assignment = vec![Watts::ZERO; groups.len()];
+        scratch.convex_on.clear();
+        for &i in &scratch.convex {
+            if scratch.on.contains(&i) {
+                scratch.convex_on.push(i);
+            }
+        }
+        for convex_mask in 0u32..(1u32 << scratch.convex_on.len()) {
+            scratch.exact_assignment.fill(Watts::ZERO);
             let mut spent = Watts::ZERO;
-            let mut concave_on: Vec<usize> = Vec::with_capacity(on.len());
+            scratch.concave_on.clear();
             let mut feasible = true;
-            for &i in &on {
-                if let Some(pos) = convex_on.iter().position(|&c| c == i) {
+            for &i in &scratch.on {
+                if let Some(pos) = scratch.convex_on.iter().position(|&c| c == i) {
                     // Convex group pinned to idle or its best cap.
                     let p = if convex_mask & (1 << pos) != 0 {
                         best_power_cap(&groups[i])
                     } else {
                         groups[i].model.range().idle()
                     };
-                    assignment[i] = p;
+                    scratch.exact_assignment[i] = p;
                     spent += p * f64::from(groups[i].count);
                     if spent.value() > budget.value() + 1e-9 {
                         feasible = false;
                         break;
                     }
                 } else {
-                    assignment[i] = groups[i].model.range().idle();
+                    scratch.exact_assignment[i] = groups[i].model.range().idle();
                     spent += groups[i].group_idle();
-                    concave_on.push(i);
+                    scratch.concave_on.push(i);
                 }
             }
             if !feasible || spent.value() > budget.value() + 1e-9 {
                 continue;
             }
 
-            water_fill(groups, &concave_on, budget - spent, &mut assignment);
-            greedy_fill(groups, &on, budget, &mut assignment);
+            water_fill(
+                groups,
+                &scratch.concave_on,
+                budget - spent,
+                &mut scratch.exact_assignment,
+                &mut scratch.floors,
+            );
+            greedy_fill(
+                groups,
+                &scratch.on,
+                budget,
+                &mut scratch.exact_assignment,
+                &mut scratch.greedy_order,
+            );
 
-            debug_assert!(problem.is_feasible(&assignment));
-            let value = problem.objective(&assignment);
+            debug_assert!(problem.is_feasible(&scratch.exact_assignment));
+            let value = problem.objective(&scratch.exact_assignment);
             if value > best_value {
                 best_value = value;
-                best_assignment = assignment;
+                scratch
+                    .exact_best
+                    .copy_from_slice(&scratch.exact_assignment);
             }
         }
     }
 
-    Ok(Allocation::from_assignment(problem, best_assignment))
+    Ok(Allocation::from_assignment(
+        problem,
+        scratch.exact_best.clone(),
+    ))
 }
 
 /// The per-server power where a group's projection is maximal: peak power,
@@ -169,11 +227,13 @@ fn best_power_cap(group: &ServerGroup) -> Watts {
 
 /// Water-fills `remaining` watts over the concave groups in `active`,
 /// starting from their idle assignment already present in `assignment`.
+/// `floors` is caller-owned scratch for the idle-floor snapshot.
 fn water_fill(
     groups: &[ServerGroup],
     active: &[usize],
     remaining: Watts,
     assignment: &mut [Watts],
+    floors: &mut Vec<f64>,
 ) {
     if active.is_empty() || remaining.value() <= 0.0 {
         return;
@@ -207,8 +267,11 @@ fn water_fill(
 
     // Snapshot the idle (starting) per-server powers so the closure does
     // not borrow `assignment` while we later write into it.
-    let floors: Vec<f64> = assignment.iter().map(|w| w.value()).collect();
-    let power_at_lambda = |i: usize, lambda: f64| -> f64 {
+    floors.clear();
+    for w in assignment.iter() {
+        floors.push(w.value());
+    }
+    let power_at_lambda = |i: usize, lambda: f64, floors: &[f64]| -> f64 {
         let curve = groups[i].model.curve();
         let idle = floors[i];
         let upper = cap(i).value();
@@ -230,7 +293,8 @@ fn water_fill(
         let used: f64 = active
             .iter()
             .map(|&i| {
-                (power_at_lambda(i, mid) - assignment[i].value()) * f64::from(groups[i].count)
+                (power_at_lambda(i, mid, floors) - assignment[i].value())
+                    * f64::from(groups[i].count)
             })
             .sum();
         if used > remaining.value() {
@@ -242,13 +306,20 @@ fn water_fill(
 
     // Apply the feasible multiplier (hi side under-uses the budget).
     for &i in active {
-        assignment[i] = Watts::new(power_at_lambda(i, hi));
+        assignment[i] = Watts::new(power_at_lambda(i, hi, floors));
     }
 }
 
 /// Donates any leftover budget to the on-groups in order of marginal gain.
 /// Fixes the step-discontinuity of linear pieces and bisection round-off.
-fn greedy_fill(groups: &[ServerGroup], on: &[usize], budget: Watts, assignment: &mut [Watts]) {
+/// `order` is caller-owned scratch for the marginal-gain ordering.
+fn greedy_fill(
+    groups: &[ServerGroup],
+    on: &[usize],
+    budget: Watts,
+    assignment: &mut [Watts],
+    order: &mut Vec<usize>,
+) {
     let mut spent: f64 = on
         .iter()
         .map(|&i| assignment[i].value() * f64::from(groups[i].count))
@@ -259,14 +330,15 @@ fn greedy_fill(groups: &[ServerGroup], on: &[usize], budget: Watts, assignment: 
     }
 
     // Order candidates by their current marginal, descending.
-    let mut order: Vec<usize> = on.to_vec();
+    order.clear();
+    order.extend_from_slice(on);
     order.sort_by(|&a, &b| {
         let ma = groups[a].model.curve().derivative(assignment[a].value());
         let mb = groups[b].model.curve().derivative(assignment[b].value());
         mb.total_cmp(&ma)
     });
 
-    for &i in &order {
+    for &i in order.iter() {
         if leftover <= 1e-9 {
             break;
         }
@@ -497,6 +569,19 @@ mod tests {
             solve_exact(&p),
             Err(CoreError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_solves() {
+        let mut scratch = SolverScratch::new();
+        for budget in [130.0, 220.0, 1000.0, 130.0, 40.0] {
+            let a = group(0, 2, 88.0, 147.0, concave(40.0, -0.08));
+            let b = group(1, 3, 47.0, 81.0, concave(55.0, -0.2));
+            let p = AllocationProblem::new(vec![a, b], Watts::new(budget)).unwrap();
+            let fresh = solve_exact(&p).unwrap();
+            let reused = solve_exact_with(&p, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "budget {budget}");
+        }
     }
 
     #[test]

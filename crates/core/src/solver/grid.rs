@@ -7,9 +7,16 @@
 //!
 //! This is also the machinery behind the **Manual** policy of Table III,
 //! which "statically tries all possible power allocations at a granularity
-//! of 10 %": [`enumerate_shares`] walks exactly that simplex.
+//! of 10 %": [`ShareLattice`] walks exactly that simplex, one point at a
+//! time and allocation-free ([`enumerate_shares`] is the materializing
+//! compatibility wrapper).
+//!
+//! The hot loops here are allocation-free by contract (lint rule GH006):
+//! all working memory lives in the caller-provided
+//! [`SolverScratch`](crate::solver::SolverScratch).
 
 use crate::solver::problem::{Allocation, AllocationProblem};
+use crate::solver::scratch::SolverScratch;
 use crate::types::{Ratio, Throughput, Watts};
 
 /// Number of lattice points per group per refinement level.
@@ -18,6 +25,17 @@ const POINTS_PER_LEVEL: usize = 16;
 /// Refinement levels; each shrinks the search window around the incumbent.
 const LEVELS: usize = 4;
 
+/// Refinement levels for a warm (seeded) solve: the windows already start
+/// a couple of lattice steps wide around the previous allocation, so
+/// three levels reach beyond full cold-path resolution at well under the
+/// cold path's cost.
+const SEEDED_LEVELS: usize = 3;
+
+/// Half-width of the seeded search window, in cold-path lattice steps.
+/// Two steps comfortably cover the optimum's drift for budget moves
+/// within the warm-start gate.
+const SEEDED_WINDOW_STEPS: f64 = 2.0;
+
 /// Above this many groups the exhaustive lattice product (exponential in
 /// the group count) is replaced by coordinate ascent.
 const EXHAUSTIVE_MAX_GROUPS: usize = 5;
@@ -25,11 +43,20 @@ const EXHAUSTIVE_MAX_GROUPS: usize = 5;
 /// Coordinate-ascent passes for large problems.
 const ASCENT_PASSES: usize = 24;
 
+/// Hard ceiling on the share-lattice step count: granularities below
+/// `1/MAX_SHARE_STEPS` are clamped rather than honored, because a
+/// sub-permille granularity would request up to `u32::MAX` lattice steps
+/// (the `f64 → u32` cast saturates) and never terminate.
+const MAX_SHARE_STEPS: u32 = 1000;
+
 /// Solves the allocation problem by hierarchical grid search.
 ///
 /// Always succeeds (the all-off assignment is feasible for any budget).
 /// Resolution after refinement is roughly
 /// `(peak − idle) / POINTS_PER_LEVEL^LEVELS` watts per group.
+///
+/// This convenience wrapper allocates a fresh workspace per call; hot
+/// callers should hold a [`SolverScratch`] and use [`solve_grid_with`].
 ///
 /// # Examples
 ///
@@ -53,129 +80,173 @@ const ASCENT_PASSES: usize = 24;
 /// ```
 #[must_use]
 pub fn solve_grid(problem: &AllocationProblem) -> Allocation {
+    let mut scratch = SolverScratch::new();
+    solve_grid_with(problem, &mut scratch)
+}
+
+/// [`solve_grid`] with a caller-owned workspace: after the first call has
+/// sized the buffers, solving is allocation-free except for the returned
+/// [`Allocation`].
+#[must_use]
+pub fn solve_grid_with(problem: &AllocationProblem, scratch: &mut SolverScratch) -> Allocation {
     let n = problem.groups().len();
     if n > EXHAUSTIVE_MAX_GROUPS {
-        return solve_coordinate_ascent(problem);
+        return solve_coordinate_ascent(problem, scratch);
     }
 
+    scratch.prepare_grid(n);
     // Initial windows: the full productive envelope of each group.
-    let mut windows: Vec<(f64, f64)> = problem
-        .groups()
-        .iter()
-        .map(|g| {
-            (
-                g.model.range().idle().value(),
-                g.model.range().peak().value(),
-            )
-        })
-        .collect();
+    for (i, g) in problem.groups().iter().enumerate() {
+        scratch.windows[i] = (
+            g.model.range().idle().value(),
+            g.model.range().peak().value(),
+        );
+    }
+    refine(problem, scratch, LEVELS);
+    Allocation::from_assignment(problem, scratch.best_assignment.clone())
+}
 
-    let mut best_assignment = vec![Watts::ZERO; n];
-    let mut best_value = problem.objective(&best_assignment);
+/// Warm-started grid search: seeds the incumbent and the search windows at
+/// `seed` (the previous epoch's assignment) and runs a short local
+/// refinement instead of the full lattice. The off candidate stays in play
+/// on the first level, so a group can still drop out when the budget
+/// shrank. Falls back to the full search when the seed does not match the
+/// problem shape.
+#[must_use]
+pub(crate) fn solve_grid_seeded(
+    problem: &AllocationProblem,
+    seed: &[Watts],
+    scratch: &mut SolverScratch,
+) -> Allocation {
+    let n = problem.groups().len();
+    if n > EXHAUSTIVE_MAX_GROUPS || seed.len() != n {
+        return solve_grid_with(problem, scratch);
+    }
 
-    for level in 0..LEVELS {
-        let candidates: Vec<Vec<f64>> = problem
-            .groups()
-            .iter()
-            .zip(&windows)
-            .map(|(g, &(lo, hi))| {
-                let mut pts = Vec::with_capacity(POINTS_PER_LEVEL + 1);
-                // "Off" is only a candidate on the first level; later
-                // levels refine around an incumbent that already decided
-                // on/off per group.
-                if level == 0 {
-                    pts.push(0.0);
-                }
-                let idle = g.model.range().idle().value();
-                let peak = g.model.range().peak().value();
-                let lo = lo.clamp(idle, peak);
-                let hi = hi.clamp(idle, peak);
-                if hi <= lo {
-                    pts.push(lo);
-                } else {
-                    for k in 0..POINTS_PER_LEVEL {
-                        let t = k as f64 / (POINTS_PER_LEVEL - 1) as f64;
-                        pts.push(lo + t * (hi - lo));
-                    }
-                }
-                // A concave fit's vertex can sit between lattice points and
-                // hold the only positive objective value — always include it.
-                if let Some(v) = g.model.curve().vertex() {
-                    if g.model.curve().is_concave() && (idle..=peak).contains(&v) {
-                        pts.push(v);
-                    }
-                }
-                // The budget-bounded per-server maximum: the feasible band
-                // [idle, budget/count] can be narrower than a lattice step.
-                let bound = problem.budget().value() / f64::from(g.count);
-                if (idle..=peak).contains(&bound) {
-                    pts.push(bound);
-                }
-                pts
-            })
-            .collect();
+    scratch.prepare_grid(n);
+    if problem.is_feasible(seed) {
+        scratch.best_assignment.copy_from_slice(seed);
+    }
+    for (i, g) in problem.groups().iter().enumerate() {
+        let idle = g.model.range().idle().value();
+        let peak = g.model.range().peak().value();
+        let center = seed[i].value();
+        // A couple of cold-path lattice steps around the seed; off-groups
+        // get the band the residual budget could afford, like the cold
+        // search's later levels.
+        let half = SEEDED_WINDOW_STEPS * (peak - idle) / (POINTS_PER_LEVEL - 1) as f64;
+        scratch.windows[i] = if center == 0.0 {
+            let residual = problem.budget().value() / f64::from(g.count);
+            if residual >= idle {
+                (idle, residual.min(peak))
+            } else {
+                (idle, peak)
+            }
+        } else {
+            (center - half, center + half)
+        };
+    }
+    refine(problem, scratch, SEEDED_LEVELS);
+    Allocation::from_assignment(problem, scratch.best_assignment.clone())
+}
 
-        let mut assignment = vec![0.0f64; n];
+/// The shared level loop: builds each level's candidate lattice into the
+/// scratch buffers, searches it, and shrinks the windows around the
+/// incumbent. Expects `scratch.windows` and `scratch.best_assignment` to
+/// be initialized for `problem`.
+fn refine(problem: &AllocationProblem, scratch: &mut SolverScratch, levels: usize) {
+    let n = problem.groups().len();
+    let mut best_value = problem.objective(&scratch.best_assignment);
+
+    for level in 0..levels {
+        for (i, g) in problem.groups().iter().enumerate() {
+            let (lo, hi) = scratch.windows[i];
+            let pts = &mut scratch.candidates[i];
+            pts.clear();
+            // "Off" is only a candidate on the first level; later
+            // levels refine around an incumbent that already decided
+            // on/off per group.
+            if level == 0 {
+                pts.push(0.0);
+            }
+            let idle = g.model.range().idle().value();
+            let peak = g.model.range().peak().value();
+            let lo = lo.clamp(idle, peak);
+            let hi = hi.clamp(idle, peak);
+            if hi <= lo {
+                pts.push(lo);
+            } else {
+                for k in 0..POINTS_PER_LEVEL {
+                    let t = k as f64 / (POINTS_PER_LEVEL - 1) as f64;
+                    pts.push(lo + t * (hi - lo));
+                }
+            }
+            // A concave fit's vertex can sit between lattice points and
+            // hold the only positive objective value — always include it.
+            if let Some(v) = g.model.curve().vertex() {
+                if g.model.curve().is_concave() && (idle..=peak).contains(&v) {
+                    pts.push(v);
+                }
+            }
+            // The budget-bounded per-server maximum: the feasible band
+            // [idle, budget/count] can be narrower than a lattice step.
+            let bound = problem.budget().value() / f64::from(g.count);
+            if (idle..=peak).contains(&bound) {
+                pts.push(bound);
+            }
+        }
+
         search(
             problem,
-            &candidates,
+            &scratch.candidates[..n],
             0,
             problem.budget().value(),
-            &mut assignment,
+            &mut scratch.assignment,
             &mut best_value,
-            &mut best_assignment,
+            &mut scratch.best_assignment,
         );
 
         // Shrink each window around the incumbent for the next level.
-        let shrink = |lo: f64, hi: f64, center: f64| {
-            let half = (hi - lo) / (POINTS_PER_LEVEL - 1) as f64;
-            (center - half, center + half)
-        };
-        let spent = problem.total_power(&best_assignment).value();
-        windows = problem
-            .groups()
-            .iter()
-            .zip(&windows)
-            .enumerate()
-            .map(|(i, (g, &(lo, hi)))| {
-                let center = best_assignment[i].value();
-                let idle = g.model.range().idle().value();
-                let peak = g.model.range().peak().value();
-                if center == 0.0 {
-                    // Group is off in the incumbent. Concentrate its next
-                    // window on what the residual budget could actually
-                    // afford — the feasible band is often narrower than a
-                    // full-envelope lattice step.
-                    let residual = (problem.budget().value() - spent) / f64::from(g.count);
-                    if residual >= idle {
-                        (idle, residual.min(peak))
-                    } else {
-                        (idle, peak)
-                    }
+        let spent = problem.total_power(&scratch.best_assignment).value();
+        for (i, g) in problem.groups().iter().enumerate() {
+            let (lo, hi) = scratch.windows[i];
+            let center = scratch.best_assignment[i].value();
+            let idle = g.model.range().idle().value();
+            let peak = g.model.range().peak().value();
+            scratch.windows[i] = if center == 0.0 {
+                // Group is off in the incumbent. Concentrate its next
+                // window on what the residual budget could actually
+                // afford — the feasible band is often narrower than a
+                // full-envelope lattice step.
+                let residual = (problem.budget().value() - spent) / f64::from(g.count);
+                if residual >= idle {
+                    (idle, residual.min(peak))
                 } else {
-                    shrink(lo, hi, center)
+                    (idle, peak)
                 }
-            })
-            .collect();
+            } else {
+                let half = (hi - lo) / (POINTS_PER_LEVEL - 1) as f64;
+                (center - half, center + half)
+            };
+        }
     }
-
-    Allocation::from_assignment(problem, best_assignment)
 }
 
 /// Round-robin single-group improvement for problems too large for the
 /// exhaustive lattice: repeatedly re-optimizes one group's per-server power
 /// over a lattice of `{off} ∪ [idle, peak]` points while the others stay
 /// fixed, until a pass yields no improvement.
-fn solve_coordinate_ascent(problem: &AllocationProblem) -> Allocation {
+fn solve_coordinate_ascent(problem: &AllocationProblem, scratch: &mut SolverScratch) -> Allocation {
     let n = problem.groups().len();
-    let mut assignment = vec![Watts::ZERO; n];
-    let mut best_value = problem.objective(&assignment);
+    scratch.prepare_grid(n.max(1));
+    let mut best_value = problem.objective(&scratch.assignment);
 
     // Visit groups in descending peak-efficiency order so the most
     // productive groups claim budget first (coordinate ascent cannot move
     // budget between groups in a single step).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    scratch.order.sort_by(|&a, &b| {
         let ea = problem.groups()[a].model.peak_efficiency();
         let eb = problem.groups()[b].model.peak_efficiency();
         eb.total_cmp(&ea)
@@ -183,10 +254,11 @@ fn solve_coordinate_ascent(problem: &AllocationProblem) -> Allocation {
 
     for _ in 0..ASCENT_PASSES {
         let mut improved = false;
-        for &g in &order {
+        for &g in &scratch.order {
             let group = &problem.groups()[g];
             let count = f64::from(group.count);
-            let spent_elsewhere: f64 = assignment
+            let spent_elsewhere: f64 = scratch
+                .assignment
                 .iter()
                 .enumerate()
                 .filter(|&(i, _)| i != g)
@@ -198,7 +270,9 @@ fn solve_coordinate_ascent(problem: &AllocationProblem) -> Allocation {
             }
             let idle = group.model.range().idle().value();
             let peak = group.model.range().peak().value().min(available);
-            let mut candidates = vec![0.0];
+            let candidates = &mut scratch.candidates[0];
+            candidates.clear();
+            candidates.push(0.0);
             if peak >= idle {
                 for k in 0..(POINTS_PER_LEVEL * 4) {
                     let t = k as f64 / (POINTS_PER_LEVEL * 4 - 1) as f64;
@@ -210,15 +284,15 @@ fn solve_coordinate_ascent(problem: &AllocationProblem) -> Allocation {
                     }
                 }
             }
-            for &p in &candidates {
-                let old = assignment[g];
-                assignment[g] = Watts::new(p);
-                let value = problem.objective(&assignment);
+            for &p in &scratch.candidates[0] {
+                let old = scratch.assignment[g];
+                scratch.assignment[g] = Watts::new(p);
+                let value = problem.objective(&scratch.assignment);
                 if value > best_value {
                     best_value = value;
                     improved = true;
                 } else {
-                    assignment[g] = old;
+                    scratch.assignment[g] = old;
                 }
             }
         }
@@ -226,7 +300,7 @@ fn solve_coordinate_ascent(problem: &AllocationProblem) -> Allocation {
             break;
         }
     }
-    Allocation::from_assignment(problem, assignment)
+    Allocation::from_assignment(problem, scratch.assignment.clone())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -235,16 +309,15 @@ fn search(
     candidates: &[Vec<f64>],
     depth: usize,
     budget_left: f64,
-    assignment: &mut [f64],
+    assignment: &mut [Watts],
     best_value: &mut Throughput,
     best_assignment: &mut [Watts],
 ) {
     if depth == candidates.len() {
-        let watts: Vec<Watts> = assignment.iter().map(|&p| Watts::new(p)).collect();
-        let value = problem.objective(&watts);
+        let value = problem.objective(assignment);
         if value > *best_value {
             *best_value = value;
-            best_assignment.copy_from_slice(&watts);
+            best_assignment.copy_from_slice(assignment);
         }
         return;
     }
@@ -254,7 +327,7 @@ fn search(
         if cost > budget_left + 1e-9 {
             continue;
         }
-        assignment[depth] = p;
+        assignment[depth] = Watts::new(p);
         search(
             problem,
             candidates,
@@ -265,51 +338,155 @@ fn search(
             best_assignment,
         );
     }
-    assignment[depth] = 0.0;
+    assignment[depth] = Watts::ZERO;
+}
+
+/// A streaming walk of the `granularity`-step share simplex: every
+/// `(η, γ, …)` vector with entries in `{0, 1/steps, …, 1}` summing to
+/// exactly 1, visited in the same lexicographic order the old recursive
+/// enumeration produced (callers keep the first best on ties, so order is
+/// part of the contract). Unlike the materializing [`enumerate_shares`],
+/// the lattice holds one point at a time — O(groups) memory for a lattice
+/// that is combinatorial in size.
+///
+/// # Examples
+///
+/// ```
+/// use greenhetero_core::solver::ShareLattice;
+/// use greenhetero_core::types::Ratio;
+///
+/// let mut lattice = ShareLattice::new(2, Ratio::saturating(0.5));
+/// let mut seen = 0;
+/// while let Some(shares) = lattice.advance() {
+///     assert!((shares.iter().map(|r| r.value()).sum::<f64>() - 1.0).abs() < 1e-9);
+///     seen += 1;
+/// }
+/// assert_eq!(seen, 3); // (0,1), (0.5,0.5), (1,0)
+/// ```
+#[derive(Debug)]
+pub struct ShareLattice {
+    ticks: Vec<u32>,
+    shares: Vec<Ratio>,
+    steps: u32,
+    started: bool,
+    done: bool,
+}
+
+impl ShareLattice {
+    /// Creates a lattice walker over `groups` share slots.
+    ///
+    /// Granularities below `1/1000` are clamped to 1000 steps: the old
+    /// enumeration silently cast `1/granularity` to `u32` (saturating),
+    /// so a denormal-small granularity requested ~4 billion steps and
+    /// effectively hung. `Ratio` already rejects values above 1, so the
+    /// step count is always at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero or `groups` is zero (an empty
+    /// simplex has no points to walk).
+    #[must_use]
+    pub fn new(groups: usize, granularity: Ratio) -> Self {
+        assert!(!granularity.is_zero(), "granularity must be in (0, 1]");
+        assert!(groups > 0, "share lattice needs at least one group");
+        let steps = (1.0 / granularity.value())
+            .round()
+            .clamp(1.0, f64::from(MAX_SHARE_STEPS)) as u32;
+        // greenhetero-lint: allow(GH006) one-time constructor allocation, outside the walk
+        let ticks = vec![0u32; groups];
+        // greenhetero-lint: allow(GH006) one-time constructor allocation, outside the walk
+        let shares = vec![Ratio::ZERO; groups];
+        ShareLattice {
+            ticks,
+            shares,
+            steps,
+            started: false,
+            done: false,
+        }
+    }
+
+    /// The number of steps the granularity resolved (and clamped) to.
+    #[must_use]
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Advances to the next lattice point and returns its share vector,
+    /// or `None` when the simplex is exhausted. The returned slice is
+    /// borrowed from the walker and overwritten by the next call.
+    pub fn advance(&mut self) -> Option<&[Ratio]> {
+        if self.done {
+            return None;
+        }
+        if self.started {
+            if !self.step() {
+                self.done = true;
+                return None;
+            }
+        } else {
+            self.started = true;
+            let last = self.ticks.len() - 1;
+            self.ticks[last] = self.steps;
+        }
+        for (share, &t) in self.shares.iter_mut().zip(&self.ticks) {
+            *share = Ratio::saturating(f64::from(t) / f64::from(self.steps));
+        }
+        Some(&self.shares)
+    }
+
+    /// One step of the next-composition walk. The prefix `ticks[..last]`
+    /// counts up lexicographically; `ticks[last]` always holds the
+    /// remainder, replicating the recursion order of the old enumeration.
+    fn step(&mut self) -> bool {
+        let last = self.ticks.len() - 1;
+        if last == 0 {
+            // Single group: the one point (steps) was already emitted.
+            return false;
+        }
+        if self.ticks[last] > 0 {
+            // Remainder available: bump the innermost prefix slot.
+            self.ticks[last] -= 1;
+            self.ticks[last - 1] += 1;
+            return true;
+        }
+        // Innermost loop exhausted: carry into the slot left of the
+        // rightmost nonzero prefix entry and return the freed ticks to
+        // the remainder.
+        let Some(k) = (1..last).rev().find(|&j| self.ticks[j] > 0) else {
+            return false;
+        };
+        let freed: u32 = self.ticks[k..last].iter().sum();
+        self.ticks[k - 1] += 1;
+        for t in &mut self.ticks[k..last] {
+            *t = 0;
+        }
+        self.ticks[last] = freed - 1;
+        true
+    }
 }
 
 /// Enumerates all share vectors on the `granularity`-step simplex, e.g.
 /// a granularity of 0.1 yields the Manual policy's 10 % lattice: every
 /// `(η, γ, …)` with entries in `{0, 0.1, …, 1}` summing to exactly 1.
 ///
+/// This is the materializing compatibility wrapper around
+/// [`ShareLattice`]; hot paths should walk the lattice directly instead
+/// of collecting a combinatorial number of vectors.
+///
 /// # Panics
 ///
-/// Panics if `granularity` is zero.
+/// Panics if `granularity` is zero or `groups` is zero; granularities
+/// below `1/1000` are clamped (see [`ShareLattice::new`]).
 #[must_use]
 pub fn enumerate_shares(groups: usize, granularity: Ratio) -> Vec<Vec<Ratio>> {
-    assert!(!granularity.is_zero(), "granularity must be in (0, 1]");
-    let steps = (1.0 / granularity.value()).round() as u32;
+    let mut lattice = ShareLattice::new(groups, granularity);
+    // greenhetero-lint: allow(GH006) compat shim materializes the lattice for small callers
     let mut out = Vec::new();
-    let mut current = vec![0u32; groups];
-    enumerate_rec(groups, steps, 0, steps, &mut current, &mut out);
-    out.iter()
-        .map(|ticks| {
-            ticks
-                .iter()
-                .map(|&t| Ratio::saturating(f64::from(t) / f64::from(steps)))
-                .collect()
-        })
-        .collect()
-}
-
-fn enumerate_rec(
-    groups: usize,
-    steps: u32,
-    depth: usize,
-    left: u32,
-    current: &mut Vec<u32>,
-    out: &mut Vec<Vec<u32>>,
-) {
-    if depth == groups - 1 {
-        current[depth] = left;
-        out.push(current.clone());
-        return;
+    while let Some(shares) = lattice.advance() {
+        // greenhetero-lint: allow(GH006) compat shim materializes the lattice for small callers
+        out.push(shares.to_vec());
     }
-    for t in 0..=left {
-        current[depth] = t;
-        enumerate_rec(groups, steps, depth + 1, left - t, current, out);
-    }
-    let _ = steps;
+    out
 }
 
 #[cfg(test)]
@@ -421,6 +598,106 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_solves() {
+        let mut scratch = SolverScratch::new();
+        for budget in [120.0, 180.0, 220.0, 150.0, 220.0] {
+            let a = group(
+                0,
+                2,
+                88.0,
+                147.0,
+                Quadratic {
+                    l: -3000.0,
+                    m: 60.0,
+                    n: -0.12,
+                },
+            );
+            let b = group(
+                1,
+                3,
+                47.0,
+                81.0,
+                Quadratic {
+                    l: -1200.0,
+                    m: 50.0,
+                    n: -0.18,
+                },
+            );
+            let p = AllocationProblem::new(vec![a, b], Watts::new(budget)).unwrap();
+            let fresh = solve_grid(&p);
+            let reused = solve_grid_with(&p, &mut scratch);
+            assert_eq!(fresh, reused, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn seeded_solve_matches_cold_quality_near_the_seed() {
+        let a = group(
+            0,
+            1,
+            88.0,
+            147.0,
+            Quadratic {
+                l: -3000.0,
+                m: 60.0,
+                n: -0.12,
+            },
+        );
+        let b = group(
+            1,
+            1,
+            47.0,
+            81.0,
+            Quadratic {
+                l: -1200.0,
+                m: 50.0,
+                n: -0.18,
+            },
+        );
+        let mut scratch = SolverScratch::new();
+        let p0 = AllocationProblem::new(vec![a.clone(), b.clone()], Watts::new(220.0)).unwrap();
+        let cold = solve_grid_with(&p0, &mut scratch);
+        // Nudge the budget by 2 % and re-solve seeded at the old answer.
+        let p1 = AllocationProblem::new(vec![a, b], Watts::new(224.4)).unwrap();
+        let warm = solve_grid_seeded(&p1, &cold.per_server, &mut scratch);
+        let reference = solve_grid(&p1);
+        assert!(p1.is_feasible(&warm.per_server));
+        assert!(
+            warm.projected.value() >= reference.projected.value() * (1.0 - 1e-3) - 1e-6,
+            "warm {} vs cold {}",
+            warm.projected.value(),
+            reference.projected.value()
+        );
+    }
+
+    #[test]
+    fn seeded_solve_drops_groups_when_the_budget_collapses() {
+        let q = Quadratic {
+            l: -2640.0,
+            m: 50.0,
+            n: -0.1,
+        };
+        let a = group(0, 1, 60.0, 120.0, q);
+        let b = group(1, 1, 60.0, 120.0, q);
+        let rich = AllocationProblem::new(vec![a.clone(), b.clone()], Watts::new(240.0)).unwrap();
+        let mut scratch = SolverScratch::new();
+        let cold = solve_grid_with(&rich, &mut scratch);
+        assert!(cold.per_server.iter().all(|w| w.value() > 0.0));
+        // Budget collapses to one server's worth: the seeded search must
+        // still be able to switch a group off.
+        let poor = AllocationProblem::new(vec![a, b], Watts::new(130.0)).unwrap();
+        let warm = solve_grid_seeded(&poor, &cold.per_server, &mut scratch);
+        assert!(poor.is_feasible(&warm.per_server));
+        let reference = solve_grid(&poor);
+        assert!(
+            warm.projected.value() >= reference.projected.value() * (1.0 - 1e-3) - 1e-6,
+            "warm {} vs cold {}",
+            warm.projected.value(),
+            reference.projected.value()
+        );
+    }
+
+    #[test]
     fn coordinate_ascent_handles_many_groups_quickly() {
         // 10 groups would be 13^10 lattice points exhaustively; the ascent
         // path must solve it in milliseconds and respect the budget.
@@ -473,7 +750,7 @@ mod tests {
         );
         let p = AllocationProblem::new(vec![a, b], Watts::new(200.0)).unwrap();
         let exhaustive = solve_grid(&p);
-        let ascent = super::solve_coordinate_ascent(&p);
+        let ascent = super::solve_coordinate_ascent(&p, &mut SolverScratch::new());
         // Coordinate ascent is a heuristic (only used beyond the paper's
         // ≤3-group scope); it must land within a few percent and never
         // violate the budget.
@@ -527,5 +804,60 @@ mod tests {
     #[should_panic(expected = "granularity must be in (0, 1]")]
     fn enumerate_shares_rejects_zero_granularity() {
         let _ = enumerate_shares(2, Ratio::saturating(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn enumerate_shares_rejects_zero_groups() {
+        // The old recursion underflowed `groups - 1` here; the contract is
+        // now an explicit panic.
+        let _ = enumerate_shares(0, Ratio::saturating(0.1));
+    }
+
+    #[test]
+    fn lattice_streams_in_the_legacy_recursion_order() {
+        let mut lattice = ShareLattice::new(3, Ratio::saturating(0.5));
+        let mut seen = Vec::new();
+        while let Some(shares) = lattice.advance() {
+            seen.push(shares.to_vec());
+        }
+        let tick = |t: u32| Ratio::saturating(f64::from(t) / 2.0);
+        let expect: Vec<Vec<Ratio>> = [
+            [0, 0, 2],
+            [0, 1, 1],
+            [0, 2, 0],
+            [1, 0, 1],
+            [1, 1, 0],
+            [2, 0, 0],
+        ]
+        .iter()
+        .map(|row| row.iter().map(|&t| tick(t)).collect())
+        .collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn lattice_clamps_denormal_granularity() {
+        // A sub-permille granularity used to saturate the `as u32` cast to
+        // ~4 billion steps; now it clamps to a bounded lattice.
+        let lattice = ShareLattice::new(2, Ratio::saturating(1e-12));
+        assert_eq!(lattice.steps(), 1000);
+        let mut walker = ShareLattice::new(1, Ratio::saturating(1e-12));
+        assert_eq!(walker.advance(), Some(&[Ratio::ONE][..]));
+        assert_eq!(walker.advance(), None);
+    }
+
+    #[test]
+    fn lattice_handles_single_group_and_full_granularity() {
+        let mut one = ShareLattice::new(1, Ratio::saturating(0.1));
+        assert_eq!(one.advance(), Some(&[Ratio::ONE][..]));
+        assert_eq!(one.advance(), None);
+        assert_eq!(one.advance(), None);
+
+        let coarse = enumerate_shares(2, Ratio::ONE);
+        assert_eq!(
+            coarse,
+            vec![vec![Ratio::ZERO, Ratio::ONE], vec![Ratio::ONE, Ratio::ZERO]]
+        );
     }
 }

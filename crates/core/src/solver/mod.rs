@@ -17,13 +17,17 @@
 //! scheduler uses: exactness when fits are well-behaved, robustness when
 //! profiling noise produced a pathological curve.
 
+mod cache;
 mod exact;
 mod grid;
 mod problem;
+mod scratch;
 
-pub use exact::{solve_exact, MAX_EXACT_GROUPS};
-pub use grid::{enumerate_shares, solve_grid};
+pub use cache::{FastPathConfig, FastPathStats, SolverFastPath};
+pub use exact::{solve_exact, solve_exact_with, MAX_EXACT_GROUPS};
+pub use grid::{enumerate_shares, solve_grid, solve_grid_with, ShareLattice};
 pub use problem::{Allocation, AllocationProblem, ServerGroup};
+pub use scratch::SolverScratch;
 
 use crate::error::CoreError;
 
@@ -103,8 +107,22 @@ pub fn solve(problem: &AllocationProblem) -> Result<Allocation, CoreError> {
 pub fn solve_with_engine(
     problem: &AllocationProblem,
 ) -> Result<(Allocation, SolveEngine), CoreError> {
-    let grid = solve_grid(problem);
-    let best = match solve_exact(problem) {
+    solve_with_engine_scratch(problem, &mut SolverScratch::new())
+}
+
+/// [`solve_with_engine`] with a caller-provided [`SolverScratch`], so
+/// repeated solves (the controller's epoch loop, the fast path's cold
+/// branch, benchmarks) reuse buffers instead of re-allocating them.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with_engine_scratch(
+    problem: &AllocationProblem,
+    scratch: &mut SolverScratch,
+) -> Result<(Allocation, SolveEngine), CoreError> {
+    let grid = solve_grid_with(problem, scratch);
+    let best = match solve_exact_with(problem, scratch) {
         Ok(exact) if exact.projected >= grid.projected => Ok((exact, SolveEngine::Exact)),
         Ok(_) => Ok((grid, SolveEngine::Grid)),
         // Too many groups for the exact engine: grid stands alone.

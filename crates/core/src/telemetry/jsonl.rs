@@ -203,6 +203,14 @@ pub struct ReplayTotals {
     pub degrade_to_load_shed: u64,
     /// Transitions into `safe_idle`.
     pub degrade_to_safe_idle: u64,
+    /// Sum of per-epoch allocation-cache hits.
+    pub cache_hits: u64,
+    /// Sum of per-epoch allocation-cache misses.
+    pub cache_misses: u64,
+    /// Sum of per-epoch allocation-cache evictions.
+    pub cache_evicts: u64,
+    /// Sum of per-epoch warm-started solves.
+    pub warm_starts: u64,
 }
 
 /// Replays an exported JSONL log (unparsable lines are skipped) into the
@@ -222,6 +230,10 @@ pub fn replay_totals<'a>(lines: impl IntoIterator<Item = &'a str>) -> ReplayTota
         }
         totals.rejected_feedback += event.num("rejected_feedback").unwrap_or(0.0) as u64;
         totals.quarantines += event.num("quarantines").unwrap_or(0.0) as u64;
+        totals.cache_hits += event.num("cache_hits").unwrap_or(0.0) as u64;
+        totals.cache_misses += event.num("cache_misses").unwrap_or(0.0) as u64;
+        totals.cache_evicts += event.num("cache_evicts").unwrap_or(0.0) as u64;
+        totals.warm_starts += event.num("warm_starts").unwrap_or(0.0) as u64;
         match event.text("engine") {
             Some("exact") => totals.engine_exact += 1,
             Some("grid") => totals.engine_grid += 1,
@@ -301,7 +313,9 @@ mod tests {
             Some(0.8125f64.to_bits())
         );
         assert_eq!(parsed.num("rejected_feedback"), Some(2.0));
-        assert_eq!(parsed.fields().len(), 28);
+        assert_eq!(parsed.num("cache_hits"), Some(1.0));
+        assert_eq!(parsed.num("warm_starts"), Some(1.0));
+        assert_eq!(parsed.fields().len(), 32);
     }
 
     #[test]
@@ -347,5 +361,10 @@ mod tests {
         assert_eq!(totals.degrade_to_load_shed, 1);
         assert_eq!(totals.degrade_to_nominal, 1);
         assert_eq!(totals.degrade_to_safe_idle, 0);
+        // sample_event carries cache_hits: 1 and warm_starts: 1 per line.
+        assert_eq!(totals.cache_hits, 5);
+        assert_eq!(totals.cache_misses, 0);
+        assert_eq!(totals.cache_evicts, 0);
+        assert_eq!(totals.warm_starts, 5);
     }
 }

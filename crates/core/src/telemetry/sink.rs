@@ -100,6 +100,14 @@ pub struct EpochEvent {
     pub rejected_feedback: u32,
     /// Profile entries quarantined this epoch.
     pub quarantines: u32,
+    /// Solver allocation-cache hits this epoch.
+    pub cache_hits: u32,
+    /// Solver allocation-cache misses this epoch.
+    pub cache_misses: u32,
+    /// Solver allocation-cache evictions this epoch.
+    pub cache_evicts: u32,
+    /// Solves the warm-start path answered this epoch.
+    pub warm_starts: u32,
 }
 
 /// Appends `value` as a JSON number (`null` for non-finite values,
@@ -167,8 +175,13 @@ impl EpochEvent {
         }
         let _ = write!(
             out,
-            ",\"shed\":{},\"offline\":{},\"rejected_feedback\":{},\"quarantines\":{}}}",
+            ",\"shed\":{},\"offline\":{},\"rejected_feedback\":{},\"quarantines\":{}",
             self.shed, self.offline, self.rejected_feedback, self.quarantines,
+        );
+        let _ = write!(
+            out,
+            ",\"cache_hits\":{},\"cache_misses\":{},\"cache_evicts\":{},\"warm_starts\":{}}}",
+            self.cache_hits, self.cache_misses, self.cache_evicts, self.warm_starts,
         );
         out
     }
@@ -290,6 +303,10 @@ pub(crate) mod tests {
             offline: 1,
             rejected_feedback: 2,
             quarantines: 0,
+            cache_hits: 1,
+            cache_misses: 0,
+            cache_evicts: 0,
+            warm_starts: 1,
         }
     }
 
@@ -304,7 +321,9 @@ pub(crate) mod tests {
         assert!(line.contains("\"budget_w\":728.5"));
         assert!(line.contains("\"soc\":0.8125"));
         assert!(line.contains("\"rejected_feedback\":2"));
-        assert!(line.ends_with("\"quarantines\":0}"));
+        assert!(line.contains("\"quarantines\":0"));
+        assert!(line.contains("\"cache_hits\":1"));
+        assert!(line.ends_with("\"warm_starts\":1}"));
         assert!(!line.contains('\n'));
     }
 

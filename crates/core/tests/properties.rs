@@ -9,7 +9,8 @@ use greenhetero_core::enforcer::{PowerState, PowerStateSet, Spc};
 use greenhetero_core::metrics::{productive_power, EpuAccumulator};
 use greenhetero_core::predictor::{HoltPredictor, Predictor};
 use greenhetero_core::solver::{
-    audit_allocation, solve, solve_exact, solve_grid, AllocationProblem, ServerGroup,
+    audit_allocation, solve, solve_exact, solve_grid, AllocationProblem, FastPathConfig,
+    ServerGroup, SolverFastPath,
 };
 use greenhetero_core::sources::{
     audit_plan, select_sources, BatteryView, ChargeSource, SourceInputs,
@@ -316,6 +317,64 @@ proptest! {
         prop_assert!(
             chosen.value() <= alloc + 1e-9 || cmd.state_index == 0
         );
+    }
+
+    /// The quantized allocation cache is a pure accelerator: over any
+    /// drifting problem sequence, decision streams are bit-identical
+    /// with the cache disabled, thrash-sized, or default-sized.
+    #[test]
+    fn fast_path_cache_is_bit_identical(
+        p in arb_monotone_problem(),
+        factors in proptest::collection::vec(0.9..1.1f64, 1..12),
+    ) {
+        let mut default_cache = SolverFastPath::default();
+        let mut no_cache = SolverFastPath::new(FastPathConfig {
+            cache_capacity: 0,
+            ..FastPathConfig::default()
+        });
+        let mut thrash_cache = SolverFastPath::new(FastPathConfig {
+            cache_capacity: 1,
+            ..FastPathConfig::default()
+        });
+        for f in factors {
+            let q = AllocationProblem::new(
+                p.groups().to_vec(),
+                Watts::new(p.budget().value() * f),
+            ).unwrap();
+            let a = default_cache.solve(&q).unwrap();
+            let b = no_cache.solve(&q).unwrap();
+            let c = thrash_cache.solve(&q).unwrap();
+            prop_assert_eq!(&a, &b, "cache on/off diverged");
+            prop_assert_eq!(&a, &c, "cache sizing diverged");
+        }
+    }
+
+    /// Warm-started solves match cold quality: on the monotone fits the
+    /// database produces, every fast-path answer projects at least the
+    /// cold combined solver's throughput minus the documented 0.2 %
+    /// engine-agreement tolerance (DESIGN.md §11).
+    #[test]
+    fn warm_solves_match_cold_quality(
+        p in arb_monotone_problem(),
+        factors in proptest::collection::vec(0.98..1.02f64, 2..10),
+    ) {
+        let mut fast = SolverFastPath::default();
+        let mut budget = p.budget().value();
+        for f in factors {
+            budget *= f;
+            let q = AllocationProblem::new(p.groups().to_vec(), Watts::new(budget)).unwrap();
+            let (warm, _) = fast.solve(&q).unwrap();
+            let cold = solve(&q).unwrap();
+            let floor = cold.projected.value()
+                - (0.002 * cold.projected.value().abs() + 1e-6);
+            prop_assert!(
+                warm.projected.value() >= floor,
+                "warm {} fell below cold {} (floor {floor})",
+                warm.projected.value(), cold.projected.value()
+            );
+        }
+        // Drift this small keeps the warm gate open after the first solve.
+        prop_assert!(fast.stats().warm_starts > 0, "warm gate never opened");
     }
 
     /// Ratio::saturating is the identity on [0, 1] and clamps elsewhere.

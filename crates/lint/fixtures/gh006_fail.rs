@@ -1,0 +1,17 @@
+//! GH006 fixture: per-solve heap allocation inside a hot loop.
+
+fn hot_loop(groups: usize, shares: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for _ in 0..groups {
+        let copy = shares.to_vec();
+        out.extend(copy);
+    }
+    let doubled: Vec<f64> = shares.iter().map(|s| s * 2.0).collect();
+    out.extend(doubled);
+    let padding = vec![0.0; groups];
+    out.extend(padding);
+    let mut sized = Vec::with_capacity(groups);
+    sized.push(0.0);
+    out.extend(sized);
+    out
+}

@@ -1,0 +1,30 @@
+//! GH006 fixture: allocation-free hot loop, justified setup escapes,
+//! and test code (all out of the rule's reach).
+
+fn hot_loop(scratch: &mut [f64], shares: &[f64]) -> f64 {
+    let mut best = 0.0;
+    for (slot, &s) in scratch.iter_mut().zip(shares) {
+        *slot = s * 2.0;
+        best += *slot;
+    }
+    best
+}
+
+fn setup(groups: usize) -> Vec<f64> {
+    // greenhetero-lint: allow(GH006) one-time constructor allocation, outside the walk
+    vec![0.0; groups]
+}
+
+fn takes_a_vec_type(v: Vec<f64>) -> f64 {
+    v.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let v: Vec<u32> = (0..3).collect();
+        assert_eq!(super::hot_loop(&mut [0.0; 3], &[1.0, 2.0, 3.0]), 12.0);
+        assert_eq!(v.len() + super::setup(2).len(), 5);
+    }
+}

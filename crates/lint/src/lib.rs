@@ -14,6 +14,7 @@
 //! | GH003 | cross-newtype arithmetic must be in the sanctioned table |
 //! | GH004 | every `*Error` variant constructed outside its definition |
 //! | GH005 | doc comments on all pub items of the library crates |
+//! | GH006 | no per-solve heap allocation in the solver hot-loop modules |
 //!
 //! The analysis is a hand-rolled lexer plus token-level structural model —
 //! the offline build environment has no `syn`/`proc-macro2`, and the rules
@@ -60,6 +61,14 @@ fn is_dimensional_src(path: &str) -> bool {
 /// `true` for any crate source file (operator impls can live anywhere).
 fn is_crate_src(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/")
+}
+
+/// `true` for the solver's hot-loop modules, where per-solve heap
+/// allocation is banned (GH006). `scratch.rs` is deliberately out of
+/// scope: it is the one solver module allowed to allocate, so the
+/// engines can borrow its buffers instead of building their own.
+fn is_solver_hot_loop(path: &str) -> bool {
+    path == "crates/core/src/solver/grid.rs" || path == "crates/core/src/solver/exact.rs"
 }
 
 /// Reads every `.rs` file under `root` (skipping [`SKIP_DIRS`]), returning
@@ -135,6 +144,9 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
         if is_crate_src(&model.path) {
             rules::gh003::check(model, &mut diags);
         }
+        if is_solver_hot_loop(&model.path) {
+            rules::gh006::check(model, &mut diags);
+        }
     }
     rules::gh004::check(&models, is_lib_src, &mut diags);
     diag::sort(&mut diags);
@@ -187,6 +199,31 @@ mod tests {
         let rules: Vec<(&str, &str)> = diags.iter().map(|d| (d.file.as_str(), d.rule)).collect();
         assert!(rules.contains(&("crates/power/src/lib.rs", "GH002")));
         assert!(!rules.contains(&("crates/server/src/lib.rs", "GH002")));
+    }
+
+    #[test]
+    fn gh006_only_applies_to_hot_loop_modules() {
+        // The same allocation is flagged in an engine module, exempt in
+        // the scratch arena and everywhere else.
+        let src = "fn f(n: usize) -> Vec<f64> { vec![0.0; n] }\n";
+        let diags = analyze_files(&[
+            file("crates/core/src/solver/grid.rs", src),
+            file("crates/core/src/solver/exact.rs", src),
+            file("crates/core/src/solver/scratch.rs", src),
+            file("crates/core/src/controller.rs", src),
+        ]);
+        let hits: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.rule == "GH006")
+            .map(|d| d.file.as_str())
+            .collect();
+        assert_eq!(
+            hits,
+            vec![
+                "crates/core/src/solver/exact.rs",
+                "crates/core/src/solver/grid.rs"
+            ]
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! The GH001–GH005 rule implementations plus shared signature parsing.
+//! The GH001–GH006 rule implementations plus shared signature parsing.
 
 pub mod gh001;
 pub mod gh002;
 pub mod gh003;
 pub mod gh004;
 pub mod gh005;
+pub mod gh006;
 
 use std::ops::Range;
 

@@ -504,6 +504,10 @@ impl Simulation {
             offline: record.offline_servers,
             rejected_feedback: trace.rejected_feedback,
             quarantines: trace.quarantines,
+            cache_hits: trace.cache_hits,
+            cache_misses: trace.cache_misses,
+            cache_evicts: trace.cache_evictions,
+            warm_starts: trace.warm_starts,
         });
     }
 

@@ -86,6 +86,10 @@ fn jsonl_run_emits_one_line_per_epoch() {
         "offline",
         "rejected_feedback",
         "quarantines",
+        "cache_hits",
+        "cache_misses",
+        "cache_evicts",
+        "warm_starts",
     ];
     for (i, line) in lines.iter().enumerate() {
         let event = EventLine::parse(line)
@@ -158,8 +162,15 @@ fn jsonl_replay_matches_ledger_counters() {
         totals.degrade_to_safe_idle,
         counter(names::DEGRADE_TO_SAFE_IDLE)
     );
-    // A solver policy resolves at least one epoch through an engine.
+    assert_eq!(totals.cache_hits, counter(names::SOLVER_CACHE_HIT));
+    assert_eq!(totals.cache_misses, counter(names::SOLVER_CACHE_MISS));
+    assert_eq!(totals.cache_evicts, counter(names::SOLVER_CACHE_EVICT));
+    assert_eq!(totals.warm_starts, counter(names::SOLVER_WARM_START));
+    // A solver policy resolves at least one epoch through an engine, and
+    // every solve goes through the fast path (GreenHetero's per-epoch
+    // refits keep it cold, so engagement shows up as cache misses).
     assert!(totals.engine_exact + totals.engine_grid > 0);
+    assert!(totals.warm_starts + totals.cache_hits + totals.cache_misses > 0);
 }
 
 #[test]
