@@ -18,11 +18,19 @@
 //! sequence, the cache hit rate, and heap allocations per solve from a
 //! counting global allocator.
 //!
+//! With `--fleet`, it instead benchmarks the fleet engine: a 1,000-rack
+//! (`--racks N`) one-day fleet stepped in lock-step at 1, 2, 4, and 8
+//! workers, writing `BENCH_fleet.json` (`--fleet-out PATH`) with wall
+//! times, scaling efficiency, rack-epoch throughput, and peak RSS per
+//! rack. Validating a fleet snapshot enforces the scaling floor:
+//! ≥ 2x speedup at 4 workers on a ≥ 4-core machine.
+//!
 //! Flags (all optional): `--days N` (default 1), `--servers N` servers
 //! per type (default 5), `--out PATH` (default `BENCH_telemetry.json`),
-//! `--solver-out PATH` (default `BENCH_solver.json`), and
-//! `--validate PATH` to schema-check an existing snapshot (either kind,
-//! auto-detected) instead of benchmarking.
+//! `--solver-out PATH` (default `BENCH_solver.json`), `--fleet`,
+//! `--racks N` (default 1000), `--fleet-out PATH` (default
+//! `BENCH_fleet.json`), and `--validate PATH` to schema-check an
+//! existing snapshot (any kind, auto-detected) instead of benchmarking.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -39,6 +47,7 @@ use greenhetero_core::solver::{
 use greenhetero_core::telemetry::{names, CollectingSink, EventLine};
 use greenhetero_core::types::{ConfigId, PowerRange, Watts};
 use greenhetero_sim::engine::run_scenario;
+use greenhetero_sim::fleet::FleetSpec;
 use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
 
 /// A pass-through system allocator that counts allocation calls, so the
@@ -108,11 +117,35 @@ const SOLVER_SCHEMA_KEYS: &[&str] = &[
     "allocs_per_warm_solve",
 ];
 
+/// Keys every fleet snapshot must carry, all with finite numeric
+/// values.
+const FLEET_SCHEMA_KEYS: &[&str] = &[
+    "schema_version",
+    "racks",
+    "epochs",
+    "rack_epochs",
+    "cores",
+    "w1_secs",
+    "w2_secs",
+    "w4_secs",
+    "w8_secs",
+    "scaling_w2",
+    "scaling_w4",
+    "scaling_w8",
+    "racks_per_sec",
+    "rack_epochs_per_sec",
+    "peak_rss_mb",
+    "rss_kb_per_rack",
+];
+
 struct Args {
     days: u64,
     servers: u32,
     out: PathBuf,
     solver_out: PathBuf,
+    fleet: bool,
+    racks: u32,
+    fleet_out: PathBuf,
     validate: Option<PathBuf>,
 }
 
@@ -122,6 +155,9 @@ fn parse_args() -> Args {
         servers: 5,
         out: PathBuf::from("BENCH_telemetry.json"),
         solver_out: PathBuf::from("BENCH_solver.json"),
+        fleet: false,
+        racks: 1000,
+        fleet_out: PathBuf::from("BENCH_fleet.json"),
         validate: None,
     };
     let mut args = std::env::args().skip(1);
@@ -139,6 +175,11 @@ fn parse_args() -> Args {
             }
             "--out" => parsed.out = PathBuf::from(value("--out")),
             "--solver-out" => parsed.solver_out = PathBuf::from(value("--solver-out")),
+            "--fleet" => parsed.fleet = true,
+            "--racks" => {
+                parsed.racks = value("--racks").parse().expect("--racks takes an integer");
+            }
+            "--fleet-out" => parsed.fleet_out = PathBuf::from(value("--fleet-out")),
             "--validate" => parsed.validate = Some(PathBuf::from(value("--validate"))),
             other => panic!("unknown flag {other}; see the module docs for usage"),
         }
@@ -147,16 +188,20 @@ fn parse_args() -> Args {
 }
 
 /// Validates an existing snapshot file. The schema is auto-detected:
-/// solver fast-path snapshots carry `cold_p50_us`, telemetry snapshots
-/// do not. Returns an error message on the first violation.
+/// solver fast-path snapshots carry `cold_p50_us`, fleet snapshots carry
+/// `scaling_w4`, telemetry snapshots carry neither. Returns an error
+/// message on the first violation.
 fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let line = text.trim();
     let event = EventLine::parse(line).ok_or("snapshot is not a flat JSON object")?;
     let is_solver = event.num("cold_p50_us").is_some();
+    let is_fleet = event.num("scaling_w4").is_some();
     let keys = if is_solver {
         SOLVER_SCHEMA_KEYS
+    } else if is_fleet {
+        FLEET_SCHEMA_KEYS
     } else {
         SCHEMA_KEYS
     };
@@ -191,7 +236,147 @@ fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
             ));
         }
     }
+    if is_fleet {
+        // The fleet engine's reason to exist: lock-step sharding must
+        // actually scale. The floor only binds when the recording
+        // machine had the cores to show it.
+        let scaling = event.num("scaling_w4").unwrap_or(0.0);
+        let cores = event.num("cores").unwrap_or(0.0);
+        if cores >= 4.0 {
+            if scaling < 2.0 {
+                return Err(format!(
+                    "scaling_w4 {scaling:.2} is below the 2x floor on a {cores:.0}-core machine"
+                ));
+            }
+        } else {
+            println!(
+                "note: snapshot recorded on {cores:.0} cores; \
+                 2x scaling floor at 4 workers not enforced"
+            );
+            if scaling <= 0.0 {
+                return Err(format!("scaling_w4 {scaling} is not positive"));
+            }
+        }
+    }
     Ok(())
+}
+
+/// Peak resident set size of this process (`VmHWM`), in kilobytes, or 0
+/// where `/proc` is unavailable.
+fn peak_rss_kb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+            })
+        })
+        .unwrap_or(0.0)
+}
+
+/// Benchmarks the fleet engine: the same `racks`-rack one-day fleet
+/// stepped in lock-step at 1, 2, 4, and 8 workers, writing the
+/// `BENCH_fleet.json` snapshot.
+fn bench_fleet(args: &Args) {
+    let spec_for = |workers: usize| {
+        let mut spec = FleetSpec::new(
+            Scenario {
+                days: args.days,
+                servers_per_type: args.servers,
+                ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+            },
+            args.racks,
+        );
+        spec.workers = workers;
+        spec
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut wall_secs = [0.0f64; 4];
+    let mut epochs = 0usize;
+    for (slot, workers) in [1usize, 2, 4, 8].into_iter().enumerate() {
+        let spec = spec_for(workers);
+        let started = Instant::now();
+        let report = spec.run().expect("fleet benchmark runs");
+        wall_secs[slot] = started.elapsed().as_secs_f64();
+        epochs = report.epochs.len();
+        println!(
+            "fleet: {} racks x {} epochs on {} workers in {:.2} s",
+            args.racks, epochs, workers, wall_secs[slot]
+        );
+    }
+
+    let best_secs = wall_secs.iter().copied().fold(f64::INFINITY, f64::min);
+    let rack_epochs = f64::from(args.racks) * epochs as f64;
+    let rss_kb = peak_rss_kb();
+
+    let mut json = String::from("{");
+    let push = |json: &mut String, key: &str, value: f64| {
+        if json.len() > 1 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{key}\": {value}");
+    };
+    push(&mut json, "schema_version", 1.0);
+    push(&mut json, "racks", f64::from(args.racks));
+    push(&mut json, "epochs", epochs as f64);
+    push(&mut json, "rack_epochs", rack_epochs);
+    push(&mut json, "cores", cores as f64);
+    push(&mut json, "w1_secs", wall_secs[0]);
+    push(&mut json, "w2_secs", wall_secs[1]);
+    push(&mut json, "w4_secs", wall_secs[2]);
+    push(&mut json, "w8_secs", wall_secs[3]);
+    push(
+        &mut json,
+        "scaling_w2",
+        wall_secs[0] / wall_secs[1].max(1e-9),
+    );
+    push(
+        &mut json,
+        "scaling_w4",
+        wall_secs[0] / wall_secs[2].max(1e-9),
+    );
+    push(
+        &mut json,
+        "scaling_w8",
+        wall_secs[0] / wall_secs[3].max(1e-9),
+    );
+    push(
+        &mut json,
+        "racks_per_sec",
+        f64::from(args.racks) / best_secs.max(1e-9),
+    );
+    push(
+        &mut json,
+        "rack_epochs_per_sec",
+        rack_epochs / best_secs.max(1e-9),
+    );
+    push(&mut json, "peak_rss_mb", rss_kb / 1024.0);
+    push(
+        &mut json,
+        "rss_kb_per_rack",
+        rss_kb / f64::from(args.racks.max(1)),
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&args.fleet_out, &json).expect("fleet snapshot file is writable");
+    println!("wrote {}", args.fleet_out.display());
+    println!(
+        "fleet: best {:.2} s for {:.0} rack-epochs ({:.0}/s); scaling 1->4 workers {:.2}x \
+         on {} cores; peak RSS {:.1} MB ({:.1} kB/rack)",
+        best_secs,
+        rack_epochs,
+        rack_epochs / best_secs.max(1e-9),
+        wall_secs[0] / wall_secs[2].max(1e-9),
+        cores,
+        rss_kb / 1024.0,
+        rss_kb / f64::from(args.racks.max(1)),
+    );
 }
 
 /// The 3-type allocation problem the solver hot loop exercises (matches
@@ -360,6 +545,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if args.fleet {
+        bench_fleet(&args);
+        return;
     }
 
     // 1. The Fig. 8 runtime scenario with a collecting sink.

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::config::ControllerConfig;
-use crate::database::{PerfDatabase, PerfModel, ProfileSample};
+use crate::database::{CowDatabase, PerfDatabase, PerfModel, ProfileSample};
 use crate::error::CoreError;
 use crate::policies::{AllocationOracle, AllocationPolicy, PolicyKind};
 use crate::predictor::{train_or_default, HoltParams, Predictor};
@@ -304,7 +304,7 @@ fn policy_engine_label(kind: PolicyKind) -> &'static str {
 pub struct Controller {
     config: ControllerConfig,
     policy: Box<dyn AllocationPolicy>,
-    db: PerfDatabase,
+    db: CowDatabase,
     renewable: PredictorLane,
     demand: PredictorLane,
     epoch: EpochId,
@@ -393,7 +393,7 @@ impl Controller {
         Ok(Controller {
             config,
             policy: policy.build(),
-            db: PerfDatabase::new(),
+            db: CowDatabase::new(),
             renewable: PredictorLane::new(),
             demand: PredictorLane::new(),
             epoch: EpochId::FIRST,
@@ -430,8 +430,17 @@ impl Controller {
 
     /// The performance-power database (read access for diagnostics).
     #[must_use]
-    pub fn database(&self) -> &PerfDatabase {
+    pub fn database(&self) -> &CowDatabase {
         &self.db
+    }
+
+    /// Points the profiling database at a shared pretrained base (fleet
+    /// runs share one curve store across thousands of controllers; see
+    /// [`CowDatabase`]). Reads fall through to the base; this
+    /// controller's own refits copy single entries into its private
+    /// overlay.
+    pub fn set_profile_base(&mut self, base: Arc<PerfDatabase>) {
+        self.db.set_base(base);
     }
 
     /// The configuration in force.

@@ -1,0 +1,309 @@
+//! A copy-on-write view over a shared, read-only [`PerfDatabase`].
+//!
+//! Fleet runs pretrain one profiling database per distinct
+//! (configuration, workload) pair and share it across thousands of rack
+//! controllers behind an `Arc`. Each controller owns a [`CowDatabase`]:
+//! reads fall through to the shared base, while the first write to a
+//! pair (a feedback refit or a retraining run) clones that single entry
+//! into the controller's private overlay — from then on the overlay
+//! shadows the base for that pair. Memory therefore stays flat in the
+//! fleet size until a rack actually diverges from the shared curves,
+//! and divergence costs one entry, not a whole database copy.
+//!
+//! A `CowDatabase` with an empty base behaves exactly like the plain
+//! [`PerfDatabase`] it wraps — the solo, single-rack engine path is
+//! bit-identical before and after the controller switched to this view.
+
+use std::sync::Arc;
+
+use crate::database::fit::FitResult;
+use crate::database::model::PerfModel;
+use crate::database::store::{PerfDatabase, ProfileEntry, ProfileSample};
+use crate::error::CoreError;
+use crate::types::{ConfigId, PowerRange, WorkloadId};
+
+/// A private, writable overlay over a shared immutable base database.
+///
+/// All reads consult the overlay first; a pair present in the overlay
+/// shadows the base entirely (including its quarantine state). Writes
+/// only ever touch the overlay.
+#[derive(Debug, Clone)]
+pub struct CowDatabase {
+    base: Arc<PerfDatabase>,
+    overlay: PerfDatabase,
+}
+
+impl Default for CowDatabase {
+    fn default() -> Self {
+        CowDatabase::new()
+    }
+}
+
+impl CowDatabase {
+    /// An empty view: no shared base, empty overlay with the default
+    /// sample-retention cap — indistinguishable from
+    /// [`PerfDatabase::new`].
+    #[must_use]
+    pub fn new() -> Self {
+        CowDatabase {
+            base: Arc::new(PerfDatabase::new()),
+            overlay: PerfDatabase::new(),
+        }
+    }
+
+    /// Points this view at a shared pretrained base. Existing overlay
+    /// entries keep shadowing it.
+    pub fn set_base(&mut self, base: Arc<PerfDatabase>) {
+        self.base = base;
+    }
+
+    /// The shared base this view reads through to.
+    #[must_use]
+    pub fn base(&self) -> &PerfDatabase {
+        &self.base
+    }
+
+    /// The private overlay holding this view's own writes.
+    #[must_use]
+    pub fn overlay(&self) -> &PerfDatabase {
+        &self.overlay
+    }
+
+    /// `true` if a *trusted* projection exists for the pair, overlay
+    /// shadowing base (a quarantined overlay entry hides a healthy base
+    /// entry, which is what schedules the retraining run).
+    #[must_use]
+    pub fn contains(&self, config: ConfigId, workload: WorkloadId) -> bool {
+        match self.overlay.entry(config, workload) {
+            Some(e) => !e.is_quarantined(),
+            None => self.base.contains(config, workload),
+        }
+    }
+
+    /// Number of distinct (configuration, workload) pairs visible.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let unshadowed = self
+            .base
+            .iter()
+            .filter(|(&(c, w), _)| self.overlay.entry(c, w).is_none())
+            .count();
+        self.overlay.len() + unshadowed
+    }
+
+    /// `true` if neither layer has any entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.overlay.is_empty() && self.base.is_empty()
+    }
+
+    /// Number of visible entries currently quarantined.
+    #[must_use]
+    pub fn quarantined_len(&self) -> usize {
+        let unshadowed = self
+            .base
+            .iter()
+            .filter(|(&(c, w), e)| e.is_quarantined() && self.overlay.entry(c, w).is_none())
+            .count();
+        self.overlay.quarantined_len() + unshadowed
+    }
+
+    /// Looks up the performance projection for a pair, overlay first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProfileMissing`] when neither layer has an
+    /// entry for the pair.
+    pub fn model(&self, config: ConfigId, workload: WorkloadId) -> Result<&PerfModel, CoreError> {
+        if self.overlay.entry(config, workload).is_some() {
+            return self.overlay.model(config, workload);
+        }
+        self.base.model(config, workload)
+    }
+
+    /// Full entry access (samples, refit count), overlay first.
+    #[must_use]
+    pub fn entry(&self, config: ConfigId, workload: WorkloadId) -> Option<&ProfileEntry> {
+        self.overlay
+            .entry(config, workload)
+            .or_else(|| self.base.entry(config, workload))
+    }
+
+    /// Inserts a completed training run into the overlay, shadowing any
+    /// base entry for the pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit errors; see [`PerfDatabase::insert_training`].
+    pub fn insert_training(
+        &mut self,
+        config: ConfigId,
+        workload: WorkloadId,
+        range: PowerRange,
+        samples: &[ProfileSample],
+    ) -> Result<FitResult, CoreError> {
+        self.overlay
+            .insert_training(config, workload, range, samples)
+    }
+
+    /// Records epoch feedback: the copy-on-write point. The first
+    /// feedback against a pair still served by the base clones that one
+    /// entry into the overlay; every write thereafter hits the private
+    /// copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProfileMissing`] when no layer has a trusted
+    /// entry for the pair, and propagates fit failures.
+    pub fn record_feedback(
+        &mut self,
+        config: ConfigId,
+        workload: WorkloadId,
+        sample: ProfileSample,
+    ) -> Result<FitResult, CoreError> {
+        if self.overlay.entry(config, workload).is_none() {
+            match self.base.entry(config, workload) {
+                Some(e) if !e.is_quarantined() => {
+                    self.overlay.adopt_entry(config, workload, e.clone());
+                }
+                _ => return Err(CoreError::ProfileMissing { config, workload }),
+            }
+        }
+        self.overlay.record_feedback(config, workload, sample)
+    }
+
+    /// Iterates over all visible `((config, workload), entry)` pairs:
+    /// every overlay entry plus every base entry the overlay does not
+    /// shadow.
+    pub fn iter(&self) -> impl Iterator<Item = (&(ConfigId, WorkloadId), &ProfileEntry)> {
+        self.overlay.iter().chain(
+            self.base
+                .iter()
+                .filter(|(&(c, w), _)| self.overlay.entry(c, w).is_none()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{SimTime, Throughput, Watts};
+
+    fn ids() -> (ConfigId, WorkloadId) {
+        (ConfigId::new(1), WorkloadId::new(2))
+    }
+
+    fn range() -> PowerRange {
+        PowerRange::new(Watts::new(47.0), Watts::new(81.0)).unwrap()
+    }
+
+    fn training_samples() -> Vec<ProfileSample> {
+        [50.0, 58.0, 66.0, 74.0, 81.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                ProfileSample::new(
+                    Watts::new(p),
+                    Throughput::new(40.0 * p - 0.2 * p * p),
+                    SimTime::from_secs(i as u64 * 120),
+                )
+            })
+            .collect()
+    }
+
+    fn pretrained_base() -> Arc<PerfDatabase> {
+        let mut base = PerfDatabase::new();
+        let (c, w) = ids();
+        base.insert_training(c, w, range(), &training_samples())
+            .unwrap();
+        Arc::new(base)
+    }
+
+    fn feedback(p: f64, at: u64) -> ProfileSample {
+        ProfileSample::new(
+            Watts::new(p),
+            Throughput::new(40.0 * p - 0.2 * p * p),
+            SimTime::from_secs(at),
+        )
+    }
+
+    #[test]
+    fn empty_view_matches_a_plain_database() {
+        let view = CowDatabase::new();
+        let (c, w) = ids();
+        assert!(view.is_empty());
+        assert!(!view.contains(c, w));
+        assert_eq!(view.len(), 0);
+        assert!(view.model(c, w).is_err());
+    }
+
+    #[test]
+    fn reads_fall_through_to_the_shared_base() {
+        let mut view = CowDatabase::new();
+        view.set_base(pretrained_base());
+        let (c, w) = ids();
+        assert!(view.contains(c, w));
+        assert_eq!(view.len(), 1);
+        assert!(!view.is_empty());
+        assert!(view.model(c, w).is_ok());
+        assert_eq!(view.entry(c, w).map(ProfileEntry::refit_count), Some(0));
+        assert_eq!(view.iter().count(), 1);
+        // No write happened: the overlay is still empty.
+        assert!(view.overlay().is_empty());
+    }
+
+    #[test]
+    fn first_feedback_clones_one_entry_into_the_overlay() {
+        let base = pretrained_base();
+        let mut view = CowDatabase::new();
+        view.set_base(Arc::clone(&base));
+        let (c, w) = ids();
+        view.record_feedback(c, w, feedback(70.0, 900)).unwrap();
+        // Overlay owns the pair now; the shared base is untouched.
+        assert_eq!(view.overlay().len(), 1);
+        assert_eq!(view.entry(c, w).map(ProfileEntry::refit_count), Some(1));
+        assert_eq!(base.entry(c, w).map(ProfileEntry::refit_count), Some(0));
+        // The union still counts the pair once.
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.iter().count(), 1);
+    }
+
+    #[test]
+    fn training_shadows_the_base_entry() {
+        let mut view = CowDatabase::new();
+        view.set_base(pretrained_base());
+        let (c, w) = ids();
+        view.insert_training(c, w, range(), &training_samples())
+            .unwrap();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.overlay().len(), 1);
+    }
+
+    #[test]
+    fn feedback_against_a_missing_pair_errors_without_cloning() {
+        let mut view = CowDatabase::new();
+        view.set_base(pretrained_base());
+        let miss = (ConfigId::new(9), WorkloadId::new(9));
+        assert!(matches!(
+            view.record_feedback(miss.0, miss.1, feedback(60.0, 900)),
+            Err(CoreError::ProfileMissing { .. })
+        ));
+        assert!(view.overlay().is_empty());
+    }
+
+    #[test]
+    fn two_views_of_one_base_diverge_independently() {
+        let base = pretrained_base();
+        let (c, w) = ids();
+        let mut a = CowDatabase::new();
+        a.set_base(Arc::clone(&base));
+        let mut b = CowDatabase::new();
+        b.set_base(Arc::clone(&base));
+        a.record_feedback(c, w, feedback(62.0, 900)).unwrap();
+        a.record_feedback(c, w, feedback(75.0, 1800)).unwrap();
+        b.record_feedback(c, w, feedback(55.0, 900)).unwrap();
+        assert_eq!(a.entry(c, w).map(ProfileEntry::refit_count), Some(2));
+        assert_eq!(b.entry(c, w).map(ProfileEntry::refit_count), Some(1));
+        assert_eq!(base.entry(c, w).map(ProfileEntry::refit_count), Some(0));
+    }
+}

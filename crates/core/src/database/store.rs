@@ -312,6 +312,21 @@ impl PerfDatabase {
         self.entries.iter()
     }
 
+    /// Inserts a pre-built entry verbatim, replacing any existing one —
+    /// the copy-on-write adoption hook ([`CowDatabase`] clones a shared
+    /// base entry into its private overlay the first time a rack writes
+    /// to it).
+    ///
+    /// [`CowDatabase`]: crate::database::CowDatabase
+    pub(crate) fn adopt_entry(
+        &mut self,
+        config: ConfigId,
+        workload: WorkloadId,
+        entry: ProfileEntry,
+    ) {
+        self.entries.insert((config, workload), entry);
+    }
+
     fn fit(samples: &[ProfileSample]) -> Result<FitResult, CoreError> {
         let points: Vec<(f64, f64)> = samples
             .iter()

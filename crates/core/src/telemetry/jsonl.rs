@@ -298,6 +298,7 @@ mod tests {
         let line = event.to_json_line();
         let parsed = EventLine::parse(&line).unwrap();
         assert_eq!(parsed.num("epoch"), Some(5.0));
+        assert_eq!(parsed.num("rack_id"), Some(0.0));
         assert_eq!(parsed.num("time_s"), Some(4500.0));
         assert_eq!(parsed.flag("training"), Some(false));
         assert_eq!(parsed.text("case"), Some("B"));
@@ -315,7 +316,7 @@ mod tests {
         assert_eq!(parsed.num("rejected_feedback"), Some(2.0));
         assert_eq!(parsed.num("cache_hits"), Some(1.0));
         assert_eq!(parsed.num("warm_starts"), Some(1.0));
-        assert_eq!(parsed.fields().len(), 32);
+        assert_eq!(parsed.fields().len(), 33);
     }
 
     #[test]

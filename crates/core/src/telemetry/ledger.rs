@@ -83,6 +83,57 @@ impl RunLedger {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
     }
+
+    /// Folds `other` into this ledger, metric by metric.
+    ///
+    /// Counters with the same name sum; gauges keep the *last merged*
+    /// reading (last-write-wins, deterministic in merge order);
+    /// histograms sum `count` and `sum`, widen `min`/`max`, and
+    /// approximate the merged quantiles as the count-weighted average of
+    /// the parts — exact for counts and sums, an estimate for `p50`/`p99`
+    /// (good enough for fleet summaries; per-rack ledgers stay exact).
+    ///
+    /// Merging the same sequence of ledgers in the same order always
+    /// yields bit-identical results: every fold is a fixed-order float
+    /// reduction.
+    pub fn merge(&mut self, other: &RunLedger) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|mine| mine.name == c.name) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|mine| mine.name == g.name) {
+                Some(mine) => mine.value = g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => {
+                    if h.count == 0 {
+                        continue;
+                    }
+                    if mine.count == 0 {
+                        *mine = h.clone();
+                        continue;
+                    }
+                    let (a, b) = (mine.count as f64, h.count as f64);
+                    mine.p50 = (mine.p50 * a + h.p50 * b) / (a + b);
+                    mine.p99 = (mine.p99 * a + h.p99 * b) / (a + b);
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +174,57 @@ mod tests {
         assert_eq!(ledger.counter("a_total"), Some(3));
         assert_eq!(ledger.gauge("g").map(f64::to_bits), Some(1.5f64.to_bits()));
         assert_eq!(ledger.histogram("h_seconds").map(|h| h.count), Some(2));
+    }
+
+    fn part(counter: u64, gauge: f64, count: u64, sum: f64) -> RunLedger {
+        RunLedger {
+            counters: vec![CounterSnapshot {
+                name: "a_total".into(),
+                value: counter,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "g".into(),
+                value: gauge,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "h_seconds".into(),
+                count,
+                sum,
+                min: sum / count as f64,
+                max: sum / count as f64,
+                p50: sum / count as f64,
+                p99: sum / count as f64,
+            }],
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms_and_keeps_last_gauge() {
+        let mut merged = RunLedger::default();
+        merged.merge(&part(3, 1.0, 2, 4.0));
+        merged.merge(&part(4, 2.5, 2, 8.0));
+        assert_eq!(merged.counter("a_total"), Some(7));
+        assert_eq!(merged.gauge("g").map(f64::to_bits), Some(2.5f64.to_bits()));
+        let h = merged.histogram("h_seconds").expect("merged histogram");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum.to_bits(), 12.0f64.to_bits());
+        assert_eq!(h.min.to_bits(), 2.0f64.to_bits());
+        assert_eq!(h.max.to_bits(), 4.0f64.to_bits());
+        assert_eq!(h.p50.to_bits(), 3.0f64.to_bits());
+    }
+
+    #[test]
+    fn merge_in_fixed_order_is_bit_identical() {
+        let parts: Vec<RunLedger> = (0..8)
+            .map(|i| part(i, i as f64 * 0.1, i + 1, i as f64 * 0.7 + 1.0))
+            .collect();
+        let fold = |ps: &[RunLedger]| {
+            let mut out = RunLedger::default();
+            for p in ps {
+                out.merge(p);
+            }
+            out
+        };
+        assert_eq!(fold(&parts), fold(&parts));
     }
 }

@@ -78,6 +78,10 @@ pub mod names {
     pub const SOLVER_CROSS_CHECK_GRID_WIN: &str = "greenhetero_solver_cross_check_grid_win_total";
     /// Epochs spent running training plans.
     pub const TRAINING_RUNS: &str = "greenhetero_training_runs_total";
+    /// Solar-trace synthesis requests served from the memo cache.
+    pub const SOLAR_CACHE_HIT: &str = "greenhetero_solar_cache_hit_total";
+    /// Solar-trace synthesis requests that had to synthesize from scratch.
+    pub const SOLAR_CACHE_MISS: &str = "greenhetero_solar_cache_miss_total";
 
     /// Prediction-phase wall time per epoch, in seconds.
     pub const PREDICT_SECONDS: &str = "greenhetero_controller_predict_seconds";

@@ -45,6 +45,8 @@ impl SpanRecord {
 pub struct EpochEvent {
     /// The epoch index.
     pub epoch: EpochId,
+    /// The rack that emitted the event (`0` for single-rack runs).
+    pub rack_id: u32,
     /// Start time of the epoch.
     pub time: SimTime,
     /// `true` when the epoch ran a training run instead of an allocation.
@@ -138,8 +140,9 @@ impl EpochEvent {
         let mut out = String::with_capacity(512);
         let _ = write!(
             out,
-            "{{\"epoch\":{},\"time_s\":{},\"training\":{},\"case\":\"{}\",\"degrade\":\"{}\",\"engine\":\"{}\"",
+            "{{\"epoch\":{},\"rack_id\":{},\"time_s\":{},\"training\":{},\"case\":\"{}\",\"degrade\":\"{}\",\"engine\":\"{}\"",
             self.epoch.raw(),
+            self.rack_id,
             self.time.as_secs(),
             self.training,
             self.case_name(),
@@ -276,6 +279,7 @@ pub(crate) mod tests {
     pub(crate) fn sample_event() -> EpochEvent {
         EpochEvent {
             epoch: EpochId::new(5),
+            rack_id: 0,
             time: SimTime::from_secs(4500),
             training: false,
             case: SupplyCase::B,
@@ -313,7 +317,7 @@ pub(crate) mod tests {
     #[test]
     fn json_line_has_the_stable_schema() {
         let line = sample_event().to_json_line();
-        assert!(line.starts_with("{\"epoch\":5,\"time_s\":4500,\"training\":false,"));
+        assert!(line.starts_with("{\"epoch\":5,\"rack_id\":0,\"time_s\":4500,\"training\":false,"));
         assert!(line.contains("\"case\":\"B\""));
         assert!(line.contains("\"degrade\":\"nominal\""));
         assert!(line.contains("\"engine\":\"exact\""));

@@ -8,6 +8,8 @@
 //! seeded cloud process, and support loading real NREL CSV exports through
 //! [`crate::trace::PowerTrace::read_csv`].
 
+use std::sync::{Arc, Mutex, PoisonError};
+
 use greenhetero_core::error::CoreError;
 use greenhetero_core::types::{Ratio, SimDuration, Watts};
 use rand::rngs::StdRng;
@@ -219,6 +221,51 @@ pub fn synthesize(config: &SolarConfig) -> Result<PowerTrace, CoreError> {
     PowerTrace::new(config.interval, values)
 }
 
+/// Capacity of the process-wide synthesis memo cache, in distinct
+/// configurations. Sweeps replay a handful of configs thousands of
+/// times; a small LRU covers them all.
+const MEMO_CAPACITY: usize = 8;
+
+/// The process-wide synthesis memo: recently synthesized traces keyed by
+/// their full [`SolarConfig`], most recently used last.
+static MEMO: Mutex<Vec<(SolarConfig, Arc<PowerTrace>)>> = Mutex::new(Vec::new());
+
+/// As [`synthesize`], memoized: repeated requests for the same
+/// [`SolarConfig`] share one immutable [`PowerTrace`] behind an `Arc`
+/// instead of re-running the cloud process. Returns the trace and
+/// whether it came from the cache (`true` = hit).
+///
+/// The cache is keyed by the *entire* config — any field change,
+/// including the seed, is a different trace — so memoization cannot
+/// change results, only skip recomputation. The cache holds at most
+/// [`MEMO_CAPACITY`] traces (LRU) and is shared process-wide.
+///
+/// # Errors
+///
+/// Propagates [`SolarConfig::validate`] failures.
+pub fn synthesize_shared(config: &SolarConfig) -> Result<(Arc<PowerTrace>, bool), CoreError> {
+    {
+        let mut memo = MEMO.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(idx) = memo.iter().position(|(key, _)| key == config) {
+            let entry = memo.remove(idx);
+            let trace = Arc::clone(&entry.1);
+            memo.push(entry);
+            return Ok((trace, true));
+        }
+    }
+    // Synthesize outside the lock: a miss is the slow path, and two
+    // threads racing on the same config just do the work twice.
+    let trace = Arc::new(synthesize(config)?);
+    let mut memo = MEMO.lock().unwrap_or_else(PoisonError::into_inner);
+    if !memo.iter().any(|(key, _)| key == config) {
+        if memo.len() >= MEMO_CAPACITY {
+            memo.remove(0);
+        }
+        memo.push((*config, Arc::clone(&trace)));
+    }
+    Ok((trace, false))
+}
+
 /// Clear-sky envelope in `[0, 1]`: a sharpened half-sine over daylight.
 fn clear_sky(hour: f64, sunrise: f64, sunset: f64) -> f64 {
     if hour <= sunrise || hour >= sunset {
@@ -329,6 +376,31 @@ mod tests {
         let t = synthesize(&SolarConfig::high(Watts::new(2000.0), 11)).unwrap();
         assert_eq!(t.interval(), SimDuration::from_minutes(15));
         assert_eq!(t.duration(), SimDuration::from_hours(7 * 24));
+    }
+
+    #[test]
+    fn shared_synthesis_memoizes_by_full_config() {
+        // A seed no other test uses, so the first call must miss.
+        let config = SolarConfig::high(Watts::new(1234.5), 0xFEED_F00D);
+        let (first, first_hit) = synthesize_shared(&config).unwrap();
+        assert!(!first_hit, "fresh config must synthesize");
+        let (second, second_hit) = synthesize_shared(&config).unwrap();
+        assert!(second_hit, "repeat config must hit the memo");
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the trace");
+        assert_eq!(*first, synthesize(&config).unwrap());
+
+        // Any field change is a different cache key.
+        let other = SolarConfig::low(Watts::new(1234.5), 0xFEED_F00D);
+        let (low, low_hit) = synthesize_shared(&other).unwrap();
+        assert!(!low_hit);
+        assert_ne!(*low, *first);
+    }
+
+    #[test]
+    fn shared_synthesis_propagates_validation_errors() {
+        let mut bad = SolarConfig::high(Watts::new(1000.0), 1);
+        bad.days = 0;
+        assert!(synthesize_shared(&bad).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use greenhetero_core::controller::{Controller, EpochDecision, GroupFeedback, RackSpec};
-use greenhetero_core::database::ProfileSample;
+use greenhetero_core::database::{PerfDatabase, ProfileSample};
 use greenhetero_core::error::CoreError;
 use greenhetero_core::metrics::EpuAccumulator;
 use greenhetero_core::policies::PolicyKind;
@@ -21,7 +21,7 @@ use greenhetero_power::gauges::FlowGauges;
 use greenhetero_power::grid::GridFeed;
 use greenhetero_power::meter::PowerMeter;
 use greenhetero_power::pdu::{Pdu, PowerFlows};
-use greenhetero_power::solar::synthesize;
+use greenhetero_power::solar::synthesize_shared;
 use greenhetero_power::trace::PowerTrace;
 use greenhetero_server::rack::Rack;
 use rand::rngs::StdRng;
@@ -35,12 +35,17 @@ use crate::scenario::Scenario;
 pub struct Simulation {
     scenario: Scenario,
     controller: Controller,
-    rack: Rack,
+    rack: Arc<Rack>,
     rack_spec: RackSpec,
     bank: BatteryBank,
     grid: GridFeed,
     pdu: Pdu,
-    solar: PowerTrace,
+    solar: Arc<PowerTrace>,
+    /// Per-rack multiplier on the shared solar feed (`1.0` for solo
+    /// runs — multiplying by exactly `1.0` is bit-transparent).
+    solar_scale: f64,
+    /// This instance's rack index within a fleet (`0` for solo runs).
+    rack_id: u32,
     meter: PowerMeter,
     perf_rng: StdRng,
     time: SimTime,
@@ -61,11 +66,44 @@ impl Simulation {
     /// Propagates scenario validation and construction failures.
     pub fn new(scenario: Scenario) -> Result<Self, CoreError> {
         scenario.validate()?;
-        let rack = scenario.build_rack()?;
+        let rack = Arc::new(scenario.build_rack()?);
+        let (solar, cache_hit) = synthesize_shared(&scenario.solar_config()?)?;
+        let telemetry = scenario.telemetry.build()?;
+        telemetry
+            .registry()
+            .counter(if cache_hit {
+                names::SOLAR_CACHE_HIT
+            } else {
+                names::SOLAR_CACHE_MISS
+            })
+            .inc();
+        Simulation::with_substrate(scenario, rack, solar, 1.0, 0, telemetry, None)
+    }
+
+    /// Builds a simulation on a pre-built, possibly shared substrate: the
+    /// fleet entry point. `solar_scale` multiplies the shared feed
+    /// (`1.0` is bit-transparent), `rack_id` tags telemetry, and
+    /// `profile_base` (when given) becomes the controller's shared
+    /// read-through profiling database.
+    ///
+    /// The scenario must already be validated; the caller owns telemetry
+    /// construction so a fleet can pair per-rack registries with one
+    /// shared sink.
+    pub(crate) fn with_substrate(
+        scenario: Scenario,
+        rack: Arc<Rack>,
+        solar: Arc<PowerTrace>,
+        solar_scale: f64,
+        rack_id: u32,
+        telemetry: Telemetry,
+        profile_base: Option<Arc<PerfDatabase>>,
+    ) -> Result<Self, CoreError> {
         let rack_spec = rack.controller_spec()?;
         let mut controller = Controller::new(scenario.controller.clone(), scenario.policy)?;
-        let telemetry = scenario.telemetry.build()?;
         controller.set_telemetry(telemetry.clone());
+        if let Some(base) = profile_base {
+            controller.set_profile_base(base);
+        }
         let flow_gauges = FlowGauges::register(telemetry.registry());
         let epoch_wall_seconds = telemetry.registry().histogram(names::EPOCH_WALL_SECONDS);
         let enforce_seconds = telemetry.registry().histogram(names::ENFORCE_SECONDS);
@@ -74,7 +112,6 @@ impl Simulation {
             .histogram(names::RUNNER_QUEUE_WAIT_SECONDS);
         let bank = BatteryBank::new(scenario.battery)?;
         let grid = GridFeed::new(scenario.grid_budget, scenario.tariff)?;
-        let solar = synthesize(&scenario.solar_config()?)?;
         let meter = PowerMeter::new(scenario.meter_noise, scenario.seed ^ 0x4d45_5445);
         let perf_rng = StdRng::seed_from_u64(scenario.seed ^ 0x5045_5246);
         let battery_faults = scenario
@@ -92,6 +129,8 @@ impl Simulation {
             grid,
             pdu: Pdu::new(),
             solar,
+            solar_scale,
+            rack_id,
             meter,
             perf_rng,
             time: SimTime::ZERO,
@@ -129,8 +168,7 @@ impl Simulation {
     /// Propagates controller failures (these indicate bugs, not expected
     /// run-time conditions).
     pub fn run(mut self) -> Result<RunReport, CoreError> {
-        let epoch_len = self.controller.config().epoch_len;
-        let epochs_total = (self.scenario.days * 86_400) / epoch_len.as_secs();
+        let epochs_total = self.epochs_total();
         let mut records = Vec::with_capacity(epochs_total as usize);
         let mut epu = EpuAccumulator::new();
 
@@ -138,6 +176,19 @@ impl Simulation {
             self.step_epoch(&mut records, &mut epu)?;
         }
 
+        Ok(self.finish(records, epu))
+    }
+
+    /// How many epochs the scenario spans.
+    pub(crate) fn epochs_total(&self) -> u64 {
+        (self.scenario.days * 86_400) / self.controller.config().epoch_len.as_secs()
+    }
+
+    /// Aggregates stepped records into the final report, consuming the
+    /// simulation. The lock-step fleet loop steps epochs itself and calls
+    /// this at the end; [`Simulation::run`] is exactly step-all + finish.
+    pub(crate) fn finish(self, records: Vec<EpochRecord>, epu: EpuAccumulator) -> RunReport {
+        let epoch_len = self.controller.config().epoch_len;
         let mut unserved_energy = WattHours::ZERO;
         for e in &records {
             unserved_energy += e.unserved * epoch_len;
@@ -153,7 +204,7 @@ impl Simulation {
                 .map(|d| d as u64)
         });
 
-        Ok(RunReport {
+        RunReport {
             epochs: records,
             epu,
             grid_energy: self.grid.energy_drawn(),
@@ -164,10 +215,10 @@ impl Simulation {
             degraded_epochs,
             recovery_latency_epochs,
             ledger: self.telemetry.ledger(),
-        })
+        }
     }
 
-    fn step_epoch(
+    pub(crate) fn step_epoch(
         &mut self,
         records: &mut Vec<EpochRecord>,
         epu: &mut EpuAccumulator,
@@ -195,7 +246,7 @@ impl Simulation {
         let actual_solar = if faults.solar_out {
             Watts::ZERO
         } else {
-            self.solar.mean_over(self.time, epoch_len)
+            self.solar.mean_over(self.time, epoch_len) * self.solar_scale
         };
         let grid_budget = self.scenario.grid_budget * faults.grid_factor;
         self.grid.set_budget(grid_budget);
@@ -477,6 +528,7 @@ impl Simulation {
         sink.record_span(&SpanRecord::new("sim.enforce", record.epoch, enforce));
         sink.record_epoch(&EpochEvent {
             epoch: record.epoch,
+            rack_id: self.rack_id,
             time: record.time,
             training: record.training,
             case: record.case,

@@ -1,0 +1,766 @@
+//! Fleet-scale simulation: thousands of racks stepping in lock-step
+//! epochs on a shared, zero-copy substrate.
+//!
+//! The paper's controller manages one rack; its motivation (Fig. 1) is a
+//! datacenter. A [`FleetSpec`] scales the single-rack engine out to N
+//! racks under one renewable feed:
+//!
+//! * **Shared substrate, zero copies.** One [`Rack`] (the immutable
+//!   platform/workload table and ground-truth server models), one solar
+//!   [`PowerTrace`] (synthesized once from the base scenario, scaled
+//!   per-rack by a deterministic factor), and — when pretraining is on —
+//!   one [`PerfDatabase`] of profiling curves, all behind `Arc`s. Each
+//!   controller reads the curve store through a
+//!   [`CowDatabase`](greenhetero_core::database::CowDatabase): its own
+//!   refits copy single entries into a private overlay, so memory stays
+//!   flat in N until a rack actually diverges.
+//! * **Owned per-rack state.** Battery, grid feed, meter/perf RNGs,
+//!   solver scratch and cache are constructed per rack from a seed mixed
+//!   from the base seed and the rack id — never from worker identity —
+//!   so a fleet run is bit-identical at any worker count, including 1.
+//! * **Lock-step sharding.** Racks are sharded contiguously across a
+//!   bounded worker pool; every worker steps its racks through epoch *e*
+//!   and then waits on a barrier before any rack enters epoch *e + 1*.
+//!   The reduction into a [`FleetReport`] always folds per-rack results
+//!   in rack order (never completion order), so every float sum is a
+//!   fixed-order reduction.
+//!
+//! [`FleetSpec::run_sequential`] is the plain one-rack-after-another
+//! reference implementation the lock-step engine is tested against.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+
+use greenhetero_core::database::PerfDatabase;
+use greenhetero_core::error::CoreError;
+use greenhetero_core::metrics::EpuAccumulator;
+use greenhetero_core::telemetry::{RunLedger, Telemetry, TelemetrySink};
+use greenhetero_core::types::{EpochId, Ratio, SimTime, Throughput, Watts};
+use greenhetero_power::solar::synthesize_shared;
+use greenhetero_power::trace::PowerTrace;
+use greenhetero_server::rack::Rack;
+
+use crate::engine::Simulation;
+use crate::report::{EpochRecord, RunReport};
+use crate::runner::worker_count;
+use crate::scenario::{Scenario, TelemetrySpec};
+
+/// A fleet experiment: N racks of the base scenario under one solar
+/// plant, stepped in lock-step epochs.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// The per-rack scenario template. Its seed, solar trace, rack
+    /// composition, faults, and telemetry spec apply fleet-wide; each
+    /// rack derives its own RNG seeds from `base.seed` and its rack id.
+    pub base: Scenario,
+    /// Number of racks to simulate.
+    pub racks: u32,
+    /// Worker threads stepping the fleet; `0` means
+    /// [`worker_count`] (machine parallelism, `GH_SIM_THREADS` aware).
+    pub workers: usize,
+    /// Half-width of the deterministic per-rack solar scale band: rack
+    /// scale factors are drawn from `[1 - spread, 1 + spread)` by a hash
+    /// of (base seed, rack id). `0.0` pins every rack to exactly `1.0`,
+    /// which multiplies bit-transparently.
+    pub solar_scale_spread: f64,
+    /// Pretrain one shared, noise-free profiling database and hand it to
+    /// every controller as a copy-on-write base, instead of every rack
+    /// running its own training epoch.
+    pub pretrain: bool,
+}
+
+impl FleetSpec {
+    /// A fleet of `racks` copies of `base` with auto worker count, no
+    /// solar spread, and shared pretraining on.
+    #[must_use]
+    pub fn new(base: Scenario, racks: u32) -> Self {
+        FleetSpec {
+            base,
+            racks,
+            workers: 0,
+            solar_scale_spread: 0.0,
+            pretrain: true,
+        }
+    }
+
+    /// Validates the fleet parameters and the base scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a rack-less fleet or a
+    /// solar spread outside `[0, 1)`, and propagates base scenario
+    /// validation failures.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.racks == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "fleet needs at least one rack".into(),
+            });
+        }
+        if !(self.solar_scale_spread.is_finite() && (0.0..1.0).contains(&self.solar_scale_spread)) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "solar scale spread must be in [0, 1), got {}",
+                    self.solar_scale_spread
+                ),
+            });
+        }
+        self.base.validate()
+    }
+
+    /// Runs the fleet in lock-step on the configured worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and simulation failures; when several racks
+    /// fail in the same epoch, the lowest rack id's error wins
+    /// (deterministically, whatever the worker count).
+    pub fn run(&self) -> Result<FleetReport, CoreError> {
+        self.validate()?;
+        let substrate = self.substrate()?;
+        let workers = self.resolved_workers();
+        let sims = self.build_sims(&substrate)?;
+        let reports = if workers == 1 {
+            run_lock_step_inline(sims)?
+        } else {
+            run_lock_step_pool(sims, workers)?
+        };
+        Ok(self.reduce(reports, workers))
+    }
+
+    /// Runs each rack to completion, one after another, with no worker
+    /// pool and no lock-step — the plain reference the parallel engine
+    /// must match byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and simulation failures.
+    pub fn run_sequential(&self) -> Result<FleetReport, CoreError> {
+        self.validate()?;
+        let substrate = self.substrate()?;
+        let reports = self
+            .build_sims(&substrate)?
+            .into_iter()
+            .map(Simulation::run)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.reduce(reports, 1))
+    }
+
+    /// The worker count this spec resolves to (before clamping to the
+    /// rack count).
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            worker_count()
+        } else {
+            self.workers
+        }
+    }
+
+    /// Builds the shared read-mostly substrate: one rack table, one
+    /// solar trace, one optional pretrained curve store, one sink.
+    fn substrate(&self) -> Result<Substrate, CoreError> {
+        let rack = Arc::new(self.base.build_rack()?);
+        // Shared synthesis; hit/miss counters are deliberately not
+        // recorded into any per-rack ledger — the memo is process-global
+        // state, and ledgers must depend only on the spec.
+        let (solar, _cache_hit) = synthesize_shared(&self.base.solar_config()?)?;
+        let profile_base = if self.pretrain {
+            Some(Arc::new(pretrain_database(&rack, &self.base)?))
+        } else {
+            None
+        };
+        let shared_sink: Option<Arc<dyn TelemetrySink>> = match &self.base.telemetry {
+            TelemetrySpec::Off => None,
+            spec => Some(Arc::new(SharedSink(spec.build()?))),
+        };
+        Ok(Substrate {
+            rack,
+            solar,
+            profile_base,
+            shared_sink,
+        })
+    }
+
+    /// Builds the per-rack simulations in rack order: owned state seeded
+    /// from (base seed, rack id), shared substrate behind `Arc`s, and a
+    /// per-rack telemetry registry in front of the one shared sink.
+    fn build_sims(&self, substrate: &Substrate) -> Result<Vec<Simulation>, CoreError> {
+        (0..self.racks)
+            .map(|rack_id| {
+                let mut scenario = self.base.clone();
+                scenario.seed = mix_seed(self.base.seed, rack_id);
+                scenario.telemetry = TelemetrySpec::Off;
+                let telemetry = match &substrate.shared_sink {
+                    Some(sink) => Telemetry::with_sink(Arc::clone(sink)),
+                    None => Telemetry::disabled(),
+                };
+                Simulation::with_substrate(
+                    scenario,
+                    Arc::clone(&substrate.rack),
+                    Arc::clone(&substrate.solar),
+                    rack_solar_scale(self.solar_scale_spread, self.base.seed, rack_id),
+                    rack_id,
+                    telemetry,
+                    substrate.profile_base.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Deterministic reduction: folds per-rack reports into the fleet
+    /// report in rack order, whatever order the workers finished in.
+    fn reduce(&self, reports: Vec<RunReport>, workers: usize) -> FleetReport {
+        let epochs_per_rack = reports.first().map_or(0, |r| r.epochs.len());
+        let mut epochs = Vec::with_capacity(epochs_per_rack);
+        for e in 0..epochs_per_rack {
+            let mut agg =
+                FleetEpochRecord::zero_at(reports[0].epochs[e].epoch, reports[0].epochs[e].time);
+            for report in &reports {
+                agg.absorb(&report.epochs[e]);
+            }
+            agg.mean_soc = Ratio::saturating(agg.mean_soc.value() / reports.len() as f64);
+            epochs.push(agg);
+        }
+
+        let mut ledger = RunLedger::default();
+        for report in &reports {
+            ledger.merge(&report.ledger);
+        }
+
+        let mut mean_epu = 0.0;
+        let rack_summaries: Vec<RackSummary> = reports
+            .iter()
+            .enumerate()
+            .map(|(rack_id, report)| {
+                mean_epu += report.epu().value();
+                RackSummary {
+                    rack_id: rack_id as u32,
+                    seed: mix_seed(self.base.seed, rack_id as u32),
+                    solar_scale: rack_solar_scale(
+                        self.solar_scale_spread,
+                        self.base.seed,
+                        rack_id as u32,
+                    ),
+                    mean_throughput: report.mean_throughput(),
+                    epu: report.epu(),
+                    grid_cost: report.grid_cost,
+                    battery_cycles: report.battery_cycles,
+                    unserved_energy_wh: report.unserved_energy.value(),
+                    degraded_epochs: report.degraded_epochs,
+                }
+            })
+            .collect();
+        mean_epu /= reports.len().max(1) as f64;
+
+        FleetReport {
+            racks: self.racks,
+            workers,
+            epochs,
+            rack_summaries,
+            mean_epu: Ratio::saturating(mean_epu),
+            ledger,
+        }
+    }
+}
+
+/// The shared read-mostly substrate every rack steps on.
+struct Substrate {
+    rack: Arc<Rack>,
+    solar: Arc<PowerTrace>,
+    profile_base: Option<Arc<PerfDatabase>>,
+    shared_sink: Option<Arc<dyn TelemetrySink>>,
+}
+
+/// Adapter exposing one built [`Telemetry`] handle's sink as a plain
+/// shareable sink, so every rack's events funnel into a single JSONL
+/// stream (or caller sink) while registries stay per-rack.
+struct SharedSink(Telemetry);
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSink").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySink for SharedSink {
+    fn enabled(&self) -> bool {
+        self.0.sink_enabled()
+    }
+
+    fn record_span(&self, span: &greenhetero_core::telemetry::SpanRecord) {
+        self.0.sink().record_span(span);
+    }
+
+    fn record_epoch(&self, event: &greenhetero_core::telemetry::EpochEvent) {
+        self.0.sink().record_epoch(event);
+    }
+}
+
+/// SplitMix64-style seed mixer: spreads (base seed, rack id) over the
+/// whole u64 space so neighbouring racks get uncorrelated RNG streams.
+/// Depends only on its inputs — never on worker identity.
+fn mix_seed(base: u64, rack_id: u32) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(rack_id).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The rack's multiplier on the shared solar feed: exactly `1.0` when
+/// `spread == 0`, otherwise a deterministic draw from
+/// `[1 - spread, 1 + spread)` hashed from (base seed, rack id).
+fn rack_solar_scale(spread: f64, base_seed: u64, rack_id: u32) -> f64 {
+    if spread == 0.0 {
+        return 1.0;
+    }
+    let hash = mix_seed(base_seed ^ 0x534F_4C41_5243_414C, rack_id);
+    // 53 high bits → a uniform double in [0, 1).
+    let unit = (hash >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + spread * (2.0 * unit - 1.0)
+}
+
+/// Builds the shared noise-free profiling database: one training sweep
+/// per distinct (configuration, workload) pair in the rack, exactly the
+/// sweep the engine's training epoch would run, minus meter noise.
+fn pretrain_database(rack: &Rack, base: &Scenario) -> Result<PerfDatabase, CoreError> {
+    let mut db = PerfDatabase::new();
+    let samples_per_training = base.controller.samples_per_training() as usize;
+    let intensity = base.intensity.at(SimTime::ZERO);
+    for (group_idx, group) in rack.groups().iter().enumerate() {
+        let (config, workload) = (group.platform.id(), group.workload.id());
+        if db.contains(config, workload) {
+            continue;
+        }
+        let envelope = group.server().truth().envelope();
+        let sweep = rack.training_sweep(group_idx, samples_per_training, intensity);
+        let samples: Vec<_> = sweep
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                greenhetero_core::database::ProfileSample::new(
+                    s.power,
+                    s.throughput,
+                    SimTime::ZERO + base.controller.sample_period * i as u64,
+                )
+            })
+            .collect();
+        db.insert_training(config, workload, envelope, &samples)?;
+    }
+    Ok(db)
+}
+
+/// Lock-step with one worker: the same epoch-major stepping order as the
+/// pool, minus the threads and the barrier.
+fn run_lock_step_inline(mut sims: Vec<Simulation>) -> Result<Vec<RunReport>, CoreError> {
+    let epochs_total = sims.first().map_or(0, Simulation::epochs_total);
+    let mut records: Vec<Vec<EpochRecord>> = sims
+        .iter()
+        .map(|_| Vec::with_capacity(epochs_total as usize))
+        .collect();
+    let mut epus: Vec<EpuAccumulator> = sims.iter().map(|_| EpuAccumulator::new()).collect();
+    for _ in 0..epochs_total {
+        for (i, sim) in sims.iter_mut().enumerate() {
+            sim.step_epoch(&mut records[i], &mut epus[i])?;
+        }
+    }
+    Ok(sims
+        .into_iter()
+        .zip(records.into_iter().zip(epus))
+        .map(|(sim, (recs, epu))| sim.finish(recs, epu))
+        .collect())
+}
+
+/// Lock-step on a bounded pool: racks are sharded contiguously, each
+/// worker steps its shard through one epoch, and a barrier separates
+/// epochs. A failing rack raises a fleet-wide abort flag; workers keep
+/// meeting the barrier (never abandoning it mid-epoch, which would
+/// deadlock the others) and all break together at the next epoch
+/// boundary. The first error in rack order is returned.
+fn run_lock_step_pool(sims: Vec<Simulation>, workers: usize) -> Result<Vec<RunReport>, CoreError> {
+    let total = sims.len();
+    let workers = workers.clamp(1, total.max(1));
+    let epochs_total = sims.first().map_or(0, Simulation::epochs_total);
+
+    // Contiguous shards, sized within one rack of each other.
+    let mut shards: Vec<Vec<(usize, Simulation)>> = (0..workers).map(|_| Vec::new()).collect();
+    let chunk = total.div_ceil(workers);
+    for (idx, sim) in sims.into_iter().enumerate() {
+        shards[(idx / chunk).min(workers - 1)].push((idx, sim));
+    }
+
+    let barrier = Barrier::new(workers);
+    let abort = AtomicBool::new(false);
+    let report_slots: Vec<Mutex<Option<RunReport>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let error_slots: Vec<Mutex<Option<CoreError>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let (barrier, abort) = (&barrier, &abort);
+                let (report_slots, error_slots) = (&report_slots, &error_slots);
+                scope.spawn(move || {
+                    let mut shard = shard;
+                    let mut records: Vec<Vec<EpochRecord>> = shard
+                        .iter()
+                        .map(|_| Vec::with_capacity(epochs_total as usize))
+                        .collect();
+                    let mut epus: Vec<EpuAccumulator> =
+                        shard.iter().map(|_| EpuAccumulator::new()).collect();
+                    let mut failed = false;
+                    for _ in 0..epochs_total {
+                        if !failed {
+                            for (slot, (rack_idx, sim)) in shard.iter_mut().enumerate() {
+                                if let Err(e) = sim.step_epoch(&mut records[slot], &mut epus[slot])
+                                {
+                                    *error_slots[*rack_idx]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner) = Some(e);
+                                    abort.store(true, Ordering::SeqCst);
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        barrier.wait();
+                        if abort.load(Ordering::SeqCst) {
+                            return;
+                        }
+                    }
+                    for ((rack_idx, sim), (recs, epu)) in
+                        shard.into_iter().zip(records.into_iter().zip(epus))
+                    {
+                        *report_slots[rack_idx]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner) = Some(sim.finish(recs, epu));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        }
+    });
+
+    if abort.load(Ordering::SeqCst) {
+        // First error in rack order wins, independent of worker count.
+        for slot in &error_slots {
+            if let Some(e) = slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                return Err(e);
+            }
+        }
+    }
+    report_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .ok_or_else(|| CoreError::InvalidConfig {
+                    reason: "fleet worker produced no report (internal error)".into(),
+                })
+        })
+        .collect()
+}
+
+/// One epoch of the whole fleet: per-rack records summed in rack order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetEpochRecord {
+    /// The epoch index (shared by every rack — lock-step).
+    pub epoch: EpochId,
+    /// Start time of the epoch.
+    pub time: SimTime,
+    /// Racks that ran a training epoch.
+    pub training_racks: u32,
+    /// Racks that ran degraded.
+    pub degraded_racks: u32,
+    /// Fleet-wide power budget (sum over racks).
+    pub budget: Watts,
+    /// Fleet-wide unconstrained demand.
+    pub demand: Watts,
+    /// Fleet-wide solar generation.
+    pub solar: Watts,
+    /// Fleet-wide measured server draw.
+    pub load: Watts,
+    /// Fleet-wide battery discharge into load.
+    pub battery_discharge: Watts,
+    /// Fleet-wide battery charging power.
+    pub battery_charge: Watts,
+    /// Fleet-wide grid power serving load.
+    pub grid_load: Watts,
+    /// Fleet-wide grid power charging batteries.
+    pub grid_charge: Watts,
+    /// Fleet-wide planned power the sources could not deliver.
+    pub unserved: Watts,
+    /// Fleet-wide measured throughput.
+    pub throughput: Throughput,
+    /// Servers shed fleet-wide.
+    pub shed_servers: u32,
+    /// Servers offline fleet-wide.
+    pub offline_servers: u32,
+    /// Mean battery state of charge across racks.
+    pub mean_soc: Ratio,
+}
+
+impl FleetEpochRecord {
+    /// An all-zero record for one epoch slot, ready to absorb racks.
+    fn zero_at(epoch: EpochId, time: SimTime) -> Self {
+        FleetEpochRecord {
+            epoch,
+            time,
+            training_racks: 0,
+            degraded_racks: 0,
+            budget: Watts::ZERO,
+            demand: Watts::ZERO,
+            solar: Watts::ZERO,
+            load: Watts::ZERO,
+            battery_discharge: Watts::ZERO,
+            battery_charge: Watts::ZERO,
+            grid_load: Watts::ZERO,
+            grid_charge: Watts::ZERO,
+            unserved: Watts::ZERO,
+            throughput: Throughput::ZERO,
+            shed_servers: 0,
+            offline_servers: 0,
+            mean_soc: Ratio::ZERO,
+        }
+    }
+
+    /// Folds one rack's epoch record in (callers fold in rack order;
+    /// `mean_soc` holds the running SoC *sum* until the caller divides).
+    fn absorb(&mut self, e: &EpochRecord) {
+        self.training_racks += u32::from(e.training);
+        self.degraded_racks += u32::from(e.degraded);
+        self.budget += e.budget;
+        self.demand += e.demand;
+        self.solar += e.solar;
+        self.load += e.load;
+        self.battery_discharge += e.battery_discharge;
+        self.battery_charge += e.battery_charge;
+        self.grid_load += e.grid_load;
+        self.grid_charge += e.grid_charge;
+        self.unserved += e.unserved;
+        self.throughput += e.throughput;
+        self.shed_servers += e.shed_servers;
+        self.offline_servers += e.offline_servers;
+        self.mean_soc = Ratio::saturating(self.mean_soc.value() + e.soc.value());
+    }
+}
+
+/// One rack's end-of-run summary within a fleet report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackSummary {
+    /// The rack's fleet index.
+    pub rack_id: u32,
+    /// The seed its owned state (meters, RNGs) derived from.
+    pub seed: u64,
+    /// Its multiplier on the shared solar feed.
+    pub solar_scale: f64,
+    /// Mean steady-state throughput.
+    pub mean_throughput: Throughput,
+    /// Effective power utilization (Eq. 1).
+    pub epu: Ratio,
+    /// Grid bill under the tariff.
+    pub grid_cost: f64,
+    /// Battery cycles consumed.
+    pub battery_cycles: f64,
+    /// Total undelivered planned energy, in watt-hours.
+    pub unserved_energy_wh: f64,
+    /// Epochs the rack ran degraded.
+    pub degraded_epochs: u64,
+}
+
+/// The deterministic reduction of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Racks simulated.
+    pub racks: u32,
+    /// Workers the lock-step loop ran on (1 for the sequential
+    /// reference) — reported for provenance; never affects the numbers.
+    pub workers: usize,
+    /// Fleet-wide per-epoch aggregates, summed in rack order.
+    pub epochs: Vec<FleetEpochRecord>,
+    /// Per-rack summaries, in rack order.
+    pub rack_summaries: Vec<RackSummary>,
+    /// Mean per-rack effective power utilization.
+    pub mean_epu: Ratio,
+    /// Per-rack ledgers merged in rack order: counters summed,
+    /// histograms combined (quantiles count-weighted).
+    pub ledger: RunLedger,
+}
+
+impl FleetReport {
+    /// Total rack-epochs stepped.
+    #[must_use]
+    pub fn rack_epochs(&self) -> u64 {
+        u64::from(self.racks) * self.epochs.len() as u64
+    }
+
+    /// Fleet mean throughput over steady epochs (training epochs carry
+    /// partial fleets, so they are excluded like single-rack reports do).
+    #[must_use]
+    pub fn mean_throughput(&self) -> Throughput {
+        let steady: Vec<&FleetEpochRecord> = self
+            .epochs
+            .iter()
+            .filter(|e| e.training_racks == 0)
+            .collect();
+        if steady.is_empty() {
+            return Throughput::ZERO;
+        }
+        let sum: f64 = steady.iter().map(|e| e.throughput.value()).sum();
+        Throughput::new(sum / steady.len() as f64)
+    }
+
+    /// Writes the fleet epoch series as CSV, full float precision (the
+    /// shortest round-trip representation), so byte equality of two CSVs
+    /// is bit equality of two runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(
+            writer,
+            "epoch,seconds,training_racks,degraded_racks,budget_w,demand_w,solar_w,load_w,\
+             battery_discharge_w,battery_charge_w,grid_load_w,grid_charge_w,unserved_w,\
+             throughput,shed,offline,mean_soc"
+        )?;
+        for e in &self.epochs {
+            writeln!(
+                writer,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                e.epoch.raw(),
+                e.time.as_secs(),
+                e.training_racks,
+                e.degraded_racks,
+                e.budget.value(),
+                e.demand.value(),
+                e.solar.value(),
+                e.load.value(),
+                e.battery_discharge.value(),
+                e.battery_charge.value(),
+                e.grid_load.value(),
+                e.grid_charge.value(),
+                e.unserved.value(),
+                e.throughput.value(),
+                e.shed_servers,
+                e.offline_servers,
+                e.mean_soc.value(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenhetero_core::policies::PolicyKind;
+
+    fn tiny_fleet(racks: u32) -> FleetSpec {
+        FleetSpec::new(
+            Scenario {
+                servers_per_type: 1,
+                days: 1,
+                ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+            },
+            racks,
+        )
+    }
+
+    #[test]
+    fn seed_mixing_is_rack_unique_and_stable() {
+        let a = mix_seed(42, 0);
+        assert_eq!(a, mix_seed(42, 0));
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|r| mix_seed(42, r)).collect();
+        assert_eq!(seeds.len(), 1000, "rack seeds must not collide");
+        assert_ne!(mix_seed(42, 1), mix_seed(43, 1));
+    }
+
+    #[test]
+    fn zero_spread_scale_is_exactly_one() {
+        for rack in 0..32 {
+            assert!(rack_solar_scale(0.0, 42, rack).to_bits() == 1.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn spread_scales_stay_in_band_and_vary() {
+        let scales: Vec<f64> = (0..64).map(|r| rack_solar_scale(0.2, 42, r)).collect();
+        for s in &scales {
+            assert!((0.8..1.2).contains(s), "scale {s} out of band");
+        }
+        let distinct: std::collections::HashSet<u64> = scales.iter().map(|s| s.to_bits()).collect();
+        assert!(distinct.len() > 32, "scales should vary across racks");
+    }
+
+    #[test]
+    fn validation_rejects_bad_fleets() {
+        assert!(tiny_fleet(0).validate().is_err());
+        let mut f = tiny_fleet(2);
+        f.solar_scale_spread = 1.5;
+        assert!(f.validate().is_err());
+        let mut f = tiny_fleet(2);
+        f.base.days = 0;
+        assert!(f.validate().is_err());
+        assert!(tiny_fleet(2).validate().is_ok());
+    }
+
+    #[test]
+    fn pretrained_fleet_skips_training_epochs() {
+        let report = tiny_fleet(2).run().unwrap();
+        assert_eq!(report.epochs.len(), 96);
+        assert_eq!(
+            report.epochs[0].training_racks, 0,
+            "shared pretraining must preempt per-rack training"
+        );
+    }
+
+    #[test]
+    fn unpretrained_fleet_trains_every_rack() {
+        let mut spec = tiny_fleet(2);
+        spec.pretrain = false;
+        let report = spec.run().unwrap();
+        assert_eq!(report.epochs[0].training_racks, 2);
+    }
+
+    #[test]
+    fn fleet_sums_scale_with_rack_count() {
+        let one = tiny_fleet(1).run().unwrap();
+        let three = tiny_fleet(3).run().unwrap();
+        assert_eq!(three.racks, 3);
+        assert_eq!(three.rack_summaries.len(), 3);
+        assert_eq!(three.rack_epochs(), 3 * 96);
+        // Three racks of the same template draw roughly (not exactly —
+        // seeds differ) three times the power of one.
+        let ratio = three.epochs[40].load.value() / one.epochs[40].load.value();
+        assert!((2.5..3.5).contains(&ratio), "load ratio {ratio}");
+    }
+
+    #[test]
+    fn rack_summaries_are_seed_distinct() {
+        let report = tiny_fleet(3).run().unwrap();
+        let seeds: std::collections::HashSet<u64> =
+            report.rack_summaries.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds.len(), 3);
+        for summary in &report.rack_summaries {
+            assert!(summary.mean_throughput.value() > 0.0);
+            assert!(summary.epu.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn csv_is_one_row_per_epoch() {
+        let report = tiny_fleet(2).run().unwrap();
+        let mut buf = Vec::new();
+        report.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 97);
+        assert!(text.starts_with("epoch,seconds,training_racks,"));
+    }
+}

@@ -30,6 +30,8 @@
 pub mod engine;
 /// Deterministic fault injection: timed disruption schedules.
 pub mod faults;
+/// Fleet-scale lock-step simulation on a shared, zero-copy substrate.
+pub mod fleet;
 /// Workload-intensity patterns driving the simulated load.
 pub mod intensity;
 /// Result collection and summary reporting.

@@ -100,9 +100,21 @@ pub fn run_all(scenarios: Vec<Scenario>) -> Result<Vec<RunReport>, CoreError> {
         .collect()
 }
 
-/// The worker-pool width: the machine's available parallelism, or one
-/// worker when that cannot be determined.
-fn worker_count() -> usize {
+/// The worker-pool width: the `GH_SIM_THREADS` environment variable when
+/// set to a positive integer (clamped to ≥ 1 — CI and benchmarks use it
+/// to pin parallelism), otherwise the machine's available parallelism,
+/// or one worker when that cannot be determined.
+#[must_use]
+pub fn worker_count() -> usize {
+    worker_count_from(std::env::var("GH_SIM_THREADS").ok().as_deref())
+}
+
+/// [`worker_count`] with the override injected, so tests never have to
+/// mutate process-global environment state.
+fn worker_count_from(override_: Option<&str>) -> usize {
+    if let Some(requested) = override_.and_then(|s| s.trim().parse::<usize>().ok()) {
+        return requested.max(1);
+    }
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
@@ -236,6 +248,18 @@ mod tests {
             days: 1,
             ..Scenario::paper_runtime(policy)
         }
+    }
+
+    #[test]
+    fn worker_count_override_parses_and_clamps() {
+        assert_eq!(worker_count_from(Some("3")), 3);
+        assert_eq!(worker_count_from(Some(" 2 ")), 2);
+        assert_eq!(worker_count_from(Some("0")), 1, "override clamps to ≥ 1");
+        let fallback = worker_count_from(None);
+        assert!(fallback >= 1);
+        // Garbage falls back to machine parallelism.
+        assert_eq!(worker_count_from(Some("lots")), fallback);
+        assert_eq!(worker_count_from(Some("-4")), fallback);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Determinism-under-parallelism tests for the fleet engine: a fleet
+//! run is a pure function of its [`FleetSpec`], so worker count — 1,
+//! the machine's parallelism, or anything between — must never leak
+//! into the numbers. The lock-step engine is also held to the plain
+//! sequential reference, byte for byte.
+
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::telemetry::names;
+use greenhetero_sim::fleet::{FleetReport, FleetSpec};
+use greenhetero_sim::scenario::Scenario;
+
+fn tiny_fleet(racks: u32) -> FleetSpec {
+    FleetSpec::new(
+        Scenario {
+            servers_per_type: 2,
+            days: 1,
+            ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+        },
+        racks,
+    )
+}
+
+fn chaos_fleet(racks: u32) -> FleetSpec {
+    let mut spec = FleetSpec::new(
+        Scenario {
+            servers_per_type: 2,
+            days: 1,
+            ..Scenario::chaos_runtime(PolicyKind::GreenHetero)
+        },
+        racks,
+    );
+    spec.solar_scale_spread = 0.15;
+    spec.pretrain = false;
+    spec
+}
+
+fn csv_bytes(report: &FleetReport) -> Vec<u8> {
+    let mut buf = Vec::new();
+    report
+        .write_csv(&mut buf)
+        .unwrap_or_else(|e| panic!("in-memory CSV write: {e}"));
+    buf
+}
+
+/// Asserts two fleet reports carry bit-identical results (the `workers`
+/// provenance field is allowed — required, even — to differ).
+fn assert_identical(a: &FleetReport, b: &FleetReport, label: &str) {
+    assert_eq!(a.epochs, b.epochs, "{label}: fleet epoch streams diverged");
+    assert_eq!(
+        a.rack_summaries, b.rack_summaries,
+        "{label}: rack summaries diverged"
+    );
+    // Counters and gauges are pure functions of the run; histogram
+    // *values* for `_seconds` instruments are wall-clock and thus
+    // legitimately differ, but their observation counts may not.
+    assert_eq!(
+        a.ledger.counters, b.ledger.counters,
+        "{label}: merged counter totals diverged"
+    );
+    assert_eq!(
+        a.ledger.gauges, b.ledger.gauges,
+        "{label}: merged gauges diverged"
+    );
+    let counts = |r: &FleetReport| {
+        r.ledger
+            .histograms
+            .iter()
+            .map(|h| (h.name.clone(), h.count))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        counts(a),
+        counts(b),
+        "{label}: histogram observation counts diverged"
+    );
+    assert_eq!(
+        a.mean_epu.value().to_bits(),
+        b.mean_epu.value().to_bits(),
+        "{label}: mean EPU diverged"
+    );
+    assert_eq!(
+        csv_bytes(a),
+        csv_bytes(b),
+        "{label}: CSV exports are not byte-identical"
+    );
+}
+
+#[test]
+fn one_worker_and_full_parallelism_are_bit_identical() {
+    let mut solo = tiny_fleet(9);
+    solo.workers = 1;
+    let mut wide = tiny_fleet(9);
+    wide.workers = std::thread::available_parallelism().map_or(4, usize::from);
+
+    let a = solo.run().expect("single-worker fleet");
+    let b = wide.run().expect("parallel fleet");
+    assert_eq!(a.workers, 1);
+    assert_identical(&a, &b, "paper fleet 1 vs N workers");
+}
+
+#[test]
+fn every_worker_count_matches_the_sequential_reference() {
+    let reference = tiny_fleet(7).run_sequential().expect("sequential fleet");
+    for workers in [1, 2, 3, 5, 8, 16] {
+        let mut spec = tiny_fleet(7);
+        spec.workers = workers;
+        let report = spec.run().expect("lock-step fleet");
+        assert_identical(
+            &reference,
+            &report,
+            &format!("sequential vs {workers} workers"),
+        );
+    }
+}
+
+#[test]
+fn chaos_fleet_with_spread_and_training_stays_deterministic() {
+    let mut solo = chaos_fleet(6);
+    solo.workers = 1;
+    let mut wide = chaos_fleet(6);
+    wide.workers = 4;
+
+    let a = solo.run().expect("single-worker chaos fleet");
+    let b = wide.run().expect("parallel chaos fleet");
+    assert_identical(&a, &b, "chaos fleet 1 vs 4 workers");
+    assert_identical(
+        &a,
+        &chaos_fleet(6).run_sequential().expect("sequential chaos"),
+        "chaos fleet lock-step vs sequential",
+    );
+}
+
+#[test]
+fn merged_ledger_totals_match_across_worker_counts() {
+    let mut solo = tiny_fleet(5);
+    solo.workers = 1;
+    let mut wide = tiny_fleet(5);
+    wide.workers = 4;
+
+    let a = solo.run().expect("single-worker fleet");
+    let b = wide.run().expect("parallel fleet");
+
+    let epochs = |r: &FleetReport| {
+        r.ledger
+            .histogram(names::EPOCH_WALL_SECONDS)
+            .map(|h| h.count)
+            .expect("epoch wall histogram")
+    };
+    assert_eq!(epochs(&a), 5 * 96, "five racks, one day each");
+    assert_eq!(epochs(&a), epochs(&b));
+    assert_eq!(
+        a.ledger.counter(names::TRAINING_RUNS),
+        b.ledger.counter(names::TRAINING_RUNS),
+    );
+    assert_eq!(
+        a.ledger.histogram(names::SOLVE_SECONDS).map(|h| h.count),
+        b.ledger.histogram(names::SOLVE_SECONDS).map(|h| h.count),
+    );
+}
+
+#[test]
+fn fleet_racks_differ_from_each_other_but_not_across_runs() {
+    let report = tiny_fleet(4).run().expect("fleet");
+    // Different seeds ⇒ rack trajectories should not be carbon copies.
+    let throughputs: std::collections::HashSet<u64> = report
+        .rack_summaries
+        .iter()
+        .map(|r| r.mean_throughput.value().to_bits())
+        .collect();
+    assert!(
+        throughputs.len() > 1,
+        "racks should diverge under distinct seeds"
+    );
+    // But the whole fleet is reproducible run over run.
+    let again = tiny_fleet(4).run().expect("fleet rerun");
+    assert_identical(&report, &again, "fleet rerun");
+}

@@ -59,6 +59,7 @@ fn jsonl_run_emits_one_line_per_epoch() {
 
     const REQUIRED: &[&str] = &[
         "epoch",
+        "rack_id",
         "time_s",
         "training",
         "case",
@@ -194,6 +195,46 @@ fn collecting_sink_sees_controller_and_engine_spans() {
         assert!(
             span_names.contains(expected),
             "missing span {expected}; saw {span_names:?}"
+        );
+    }
+}
+
+#[test]
+fn replay_accepts_logs_written_before_rack_id_existed() {
+    // A line captured from a run predating the fleet engine: 32 keys,
+    // no `rack_id`. The parser is schema-agnostic and the replayer sums
+    // by name, so old archives must keep replaying unchanged.
+    let vintage = r#"{"epoch":3,"time_s":2700,"training":false,"case":"B","degrade":"nominal","engine":"exact","predict_us":12,"sources_us":3,"solve_us":140,"enforce_us":9,"epoch_us":170,"budget_w":812.50,"demand_w":900.00,"solar_w":640.00,"load_w":810.10,"renewable_w":640.00,"battery_w":170.10,"grid_w":0.00,"charge_w":0.00,"curtailed_w":0.00,"unserved_w":0.00,"soc":0.7100,"intensity":0.90,"throughput":410.25,"shed":0,"offline":0,"rejected_feedback":1,"quarantines":0,"cache_hits":2,"cache_misses":1,"cache_evicts":0,"warm_starts":3}"#;
+    let event = EventLine::parse(vintage).expect("pre-fleet line still parses");
+    assert_eq!(event.fields().len(), 32);
+    assert_eq!(event.get("rack_id"), None, "fixture must predate rack_id");
+    assert_eq!(event.num("epoch"), Some(3.0));
+    assert_eq!(event.text("case"), Some("B"));
+
+    let training = r#"{"epoch":0,"time_s":0,"training":true,"case":"A","degrade":"nominal","engine":"none","predict_us":0,"sources_us":0,"solve_us":0,"enforce_us":4,"epoch_us":11,"budget_w":900.00,"demand_w":900.00,"solar_w":700.00,"load_w":450.00,"renewable_w":450.00,"battery_w":0.00,"grid_w":0.00,"charge_w":250.00,"curtailed_w":0.00,"unserved_w":0.00,"soc":0.5200,"intensity":0.90,"throughput":228.00,"shed":0,"offline":0,"rejected_feedback":0,"quarantines":0,"cache_hits":0,"cache_misses":0,"cache_evicts":0,"warm_starts":0}"#;
+    let totals = greenhetero_core::telemetry::replay_totals([training, vintage]);
+    assert_eq!(totals.events, 2);
+    assert_eq!(totals.training_epochs, 1);
+    assert_eq!(totals.rejected_feedback, 1);
+    assert_eq!(totals.engine_exact, 1);
+    assert_eq!(totals.cache_hits, 2);
+    assert_eq!(totals.warm_starts, 3);
+}
+
+#[test]
+fn current_jsonl_lines_carry_rack_id() {
+    let buf = SharedBuf::default();
+    let mut scenario = tiny(PolicyKind::GreenHetero);
+    scenario.telemetry = TelemetrySpec::Sink(Arc::new(JsonlSink::from_writer(buf.clone())));
+    run_scenario(scenario).expect("simulation runs");
+
+    let output = buf.contents();
+    for line in output.lines() {
+        let event = EventLine::parse(line).expect("parses");
+        assert_eq!(
+            event.num("rack_id"),
+            Some(0.0),
+            "single-rack runs stamp rack 0"
         );
     }
 }
