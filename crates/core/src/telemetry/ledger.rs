@@ -87,7 +87,11 @@ impl RunLedger {
     /// Folds `other` into this ledger, metric by metric.
     ///
     /// Counters with the same name sum; gauges keep the *last merged*
-    /// reading (last-write-wins, deterministic in merge order);
+    /// reading (last-write-wins, deterministic in merge order — so a
+    /// fleet-merged gauge holds the last-merged rack's reading, not a
+    /// fleet-wide aggregate; fleet-wide quantities come from
+    /// `FleetEpochRecord`, see the gauge notes in
+    /// [`names`](crate::telemetry::names));
     /// histograms sum `count` and `sum`, widen `min`/`max`, and
     /// approximate the merged quantiles as the count-weighted average of
     /// the parts — exact for counts and sums, an estimate for `p50`/`p99`

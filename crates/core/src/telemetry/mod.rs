@@ -79,8 +79,19 @@ pub mod names {
     /// Epochs spent running training plans.
     pub const TRAINING_RUNS: &str = "greenhetero_training_runs_total";
     /// Solar-trace synthesis requests served from the memo cache.
+    ///
+    /// Process-global (the memo outlives runs: the same scenario run
+    /// twice is a miss then a hit), so it is deliberately **never**
+    /// recorded into a per-run registry or [`RunLedger`] — ledgers must
+    /// be pure functions of the spec. Read the lifetime totals through
+    /// `greenhetero_power::solar::cache_stats`.
+    ///
+    /// [`RunLedger`]: crate::telemetry::RunLedger
     pub const SOLAR_CACHE_HIT: &str = "greenhetero_solar_cache_hit_total";
-    /// Solar-trace synthesis requests that had to synthesize from scratch.
+    /// Solar-trace synthesis requests that had to synthesize from
+    /// scratch. Process-global like [`SOLAR_CACHE_HIT`]: kept out of
+    /// per-run ledgers, surfaced by
+    /// `greenhetero_power::solar::cache_stats`.
     pub const SOLAR_CACHE_MISS: &str = "greenhetero_solar_cache_miss_total";
 
     /// Prediction-phase wall time per epoch, in seconds.
@@ -98,6 +109,11 @@ pub mod names {
     /// Time each sweep scenario waited in the runner queue, in seconds.
     pub const RUNNER_QUEUE_WAIT_SECONDS: &str = "greenhetero_runner_queue_wait_seconds";
 
+    // Gauges hold one run's most recent reading. When per-rack ledgers
+    // are merged into a fleet ledger, gauges resolve last-write-wins in
+    // merge (rack) order: a merged gauge is the highest rack id's last
+    // reading, **not** a fleet-wide aggregate. Fleet-wide flows and SoC
+    // live in `FleetEpochRecord` / the fleet CSV.
     /// Renewable power serving the load, in watts.
     pub const FLOW_RENEWABLE_WATTS: &str = "greenhetero_flow_renewable_watts";
     /// Battery power serving the load, in watts.

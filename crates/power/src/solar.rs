@@ -8,6 +8,7 @@
 //! seeded cloud process, and support loading real NREL CSV exports through
 //! [`crate::trace::PowerTrace::read_csv`].
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use greenhetero_core::error::CoreError;
@@ -230,6 +231,27 @@ const MEMO_CAPACITY: usize = 8;
 /// their full [`SolarConfig`], most recently used last.
 static MEMO: Mutex<Vec<(SolarConfig, Arc<PowerTrace>)>> = Mutex::new(Vec::new());
 
+/// Lifetime hit count of the synthesis memo, process-wide.
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+/// Lifetime miss count of the synthesis memo, process-wide.
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Lifetime `(hits, misses)` of the process-wide synthesis memo.
+///
+/// The memo is process-global state, so its counters live here — never
+/// in a run's [`RunLedger`](greenhetero_core::telemetry::RunLedger),
+/// which must be a pure function of the scenario (the same scenario run
+/// twice in one process is a miss then a hit). The corresponding
+/// catalog names are `names::SOLAR_CACHE_HIT`/`SOLAR_CACHE_MISS` in
+/// `greenhetero_core::telemetry`.
+#[must_use]
+pub fn cache_stats() -> (u64, u64) {
+    (
+        MEMO_HITS.load(Ordering::Relaxed),
+        MEMO_MISSES.load(Ordering::Relaxed),
+    )
+}
+
 /// As [`synthesize`], memoized: repeated requests for the same
 /// [`SolarConfig`] share one immutable [`PowerTrace`] behind an `Arc`
 /// instead of re-running the cloud process. Returns the trace and
@@ -238,7 +260,8 @@ static MEMO: Mutex<Vec<(SolarConfig, Arc<PowerTrace>)>> = Mutex::new(Vec::new())
 /// The cache is keyed by the *entire* config — any field change,
 /// including the seed, is a different trace — so memoization cannot
 /// change results, only skip recomputation. The cache holds at most
-/// [`MEMO_CAPACITY`] traces (LRU) and is shared process-wide.
+/// [`MEMO_CAPACITY`] traces (LRU) and is shared process-wide; lifetime
+/// hit/miss counts are readable through [`cache_stats`].
 ///
 /// # Errors
 ///
@@ -250,12 +273,14 @@ pub fn synthesize_shared(config: &SolarConfig) -> Result<(Arc<PowerTrace>, bool)
             let entry = memo.remove(idx);
             let trace = Arc::clone(&entry.1);
             memo.push(entry);
+            MEMO_HITS.fetch_add(1, Ordering::Relaxed);
             return Ok((trace, true));
         }
     }
     // Synthesize outside the lock: a miss is the slow path, and two
     // threads racing on the same config just do the work twice.
     let trace = Arc::new(synthesize(config)?);
+    MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
     let mut memo = MEMO.lock().unwrap_or_else(PoisonError::into_inner);
     if !memo.iter().any(|(key, _)| key == config) {
         if memo.len() >= MEMO_CAPACITY {
@@ -382,12 +407,18 @@ mod tests {
     fn shared_synthesis_memoizes_by_full_config() {
         // A seed no other test uses, so the first call must miss.
         let config = SolarConfig::high(Watts::new(1234.5), 0xFEED_F00D);
+        let (hits_before, misses_before) = cache_stats();
         let (first, first_hit) = synthesize_shared(&config).unwrap();
         assert!(!first_hit, "fresh config must synthesize");
         let (second, second_hit) = synthesize_shared(&config).unwrap();
         assert!(second_hit, "repeat config must hit the memo");
         assert!(Arc::ptr_eq(&first, &second), "hit must share the trace");
         assert_eq!(*first, synthesize(&config).unwrap());
+        // Stats are process-global and monotone, so with concurrent
+        // tests only lower bounds on the deltas are stable.
+        let (hits_after, misses_after) = cache_stats();
+        assert!(hits_after > hits_before);
+        assert!(misses_after > misses_before);
 
         // Any field change is a different cache key.
         let other = SolarConfig::low(Watts::new(1234.5), 0xFEED_F00D);

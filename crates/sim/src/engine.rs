@@ -67,16 +67,12 @@ impl Simulation {
     pub fn new(scenario: Scenario) -> Result<Self, CoreError> {
         scenario.validate()?;
         let rack = Arc::new(scenario.build_rack()?);
-        let (solar, cache_hit) = synthesize_shared(&scenario.solar_config()?)?;
+        // Solar memo hits/misses are process-global state (the same
+        // scenario run twice is a miss then a hit), so they are never
+        // recorded into the per-run registry — a ledger must be a pure
+        // function of the scenario. `solar::cache_stats` has the totals.
+        let (solar, _cache_hit) = synthesize_shared(&scenario.solar_config()?)?;
         let telemetry = scenario.telemetry.build()?;
-        telemetry
-            .registry()
-            .counter(if cache_hit {
-                names::SOLAR_CACHE_HIT
-            } else {
-                names::SOLAR_CACHE_MISS
-            })
-            .inc();
         Simulation::with_substrate(scenario, rack, solar, 1.0, 0, telemetry, None)
     }
 

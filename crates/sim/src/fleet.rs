@@ -160,15 +160,21 @@ impl FleetSpec {
     /// solar trace, one optional pretrained curve store, one sink.
     fn substrate(&self) -> Result<Substrate, CoreError> {
         let rack = Arc::new(self.base.build_rack()?);
-        // Shared synthesis; hit/miss counters are deliberately not
-        // recorded into any per-rack ledger — the memo is process-global
-        // state, and ledgers must depend only on the spec.
+        // Shared synthesis; hit/miss counts are deliberately not
+        // recorded into any ledger (solo path included) — the memo is
+        // process-global state, and ledgers must depend only on the
+        // spec. `solar::cache_stats` holds the process totals.
         let (solar, _cache_hit) = synthesize_shared(&self.base.solar_config()?)?;
         let profile_base = if self.pretrain {
             Some(Arc::new(pretrain_database(&rack, &self.base)?))
         } else {
             None
         };
+        // With >1 worker, racks emit into this one sink concurrently:
+        // each line stays atomic (JsonlSink locks its writer) and
+        // replay_totals is order-insensitive, but line *order* across
+        // racks is scheduling-dependent — reports, CSV, and merged
+        // ledgers are the byte-comparable artifacts, not the event log.
         let shared_sink: Option<Arc<dyn TelemetrySink>> = match &self.base.telemetry {
             TelemetrySpec::Off => None,
             spec => Some(Arc::new(SharedSink(spec.build()?))),
@@ -215,10 +221,15 @@ impl FleetSpec {
         for e in 0..epochs_per_rack {
             let mut agg =
                 FleetEpochRecord::zero_at(reports[0].epochs[e].epoch, reports[0].epochs[e].time);
+            // The SoC sum accumulates in a plain f64 (a Ratio would clamp
+            // to 1.0 as soon as two racks fold in); only the final mean is
+            // a Ratio again.
+            let mut soc_sum = 0.0;
             for report in &reports {
                 agg.absorb(&report.epochs[e]);
+                soc_sum += report.epochs[e].soc.value();
             }
-            agg.mean_soc = Ratio::saturating(agg.mean_soc.value() / reports.len() as f64);
+            agg.mean_soc = Ratio::saturating(soc_sum / reports.len() as f64);
             epochs.push(agg);
         }
 
@@ -530,8 +541,9 @@ impl FleetEpochRecord {
         }
     }
 
-    /// Folds one rack's epoch record in (callers fold in rack order;
-    /// `mean_soc` holds the running SoC *sum* until the caller divides).
+    /// Folds one rack's epoch record in (callers fold in rack order).
+    /// `mean_soc` is untouched: the caller accumulates the SoC sum in an
+    /// unclamped f64 and sets the mean after the last rack folds in.
     fn absorb(&mut self, e: &EpochRecord) {
         self.training_racks += u32::from(e.training);
         self.degraded_racks += u32::from(e.degraded);
@@ -547,7 +559,6 @@ impl FleetEpochRecord {
         self.throughput += e.throughput;
         self.shed_servers += e.shed_servers;
         self.offline_servers += e.offline_servers;
-        self.mean_soc = Ratio::saturating(self.mean_soc.value() + e.soc.value());
     }
 }
 
@@ -740,6 +751,25 @@ mod tests {
         // seeds differ) three times the power of one.
         let ratio = three.epochs[40].load.value() / one.epochs[40].load.value();
         assert!((2.5..3.5).contains(&ratio), "load ratio {ratio}");
+    }
+
+    #[test]
+    fn fleet_mean_soc_is_a_true_mean_not_a_saturated_sum() {
+        let one = tiny_fleet(1).run().unwrap();
+        let three = tiny_fleet(3).run().unwrap();
+        // Batteries start full: at epoch 0 every rack sits near the same
+        // SoC, so the 3-rack mean must match the 1-rack mean — a clamped
+        // sum-of-SoCs divided by 3 would report ~0.33 instead.
+        let (a, b) = (
+            one.epochs[0].mean_soc.value(),
+            three.epochs[0].mean_soc.value(),
+        );
+        assert!((a - b).abs() < 0.05, "epoch-0 mean SoC {b} vs 1-rack {a}");
+        // A clamped accumulator caps the reported mean at 1/racks.
+        assert!(
+            three.epochs.iter().any(|e| e.mean_soc.value() > 0.34),
+            "3-rack mean SoC never left the saturated-sum band"
+        );
     }
 
     #[test]
