@@ -8,7 +8,7 @@
 //! each epoch with the observed (power, performance) feedback
 //! (Algorithm 1, lines 7–10).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -131,7 +131,9 @@ impl ProfileEntry {
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PerfDatabase {
-    entries: HashMap<(ConfigId, WorkloadId), ProfileEntry>,
+    // Ordered map on purpose: `iter()` feeds checkpoint/report paths, and a
+    // hash map's seeded order would make those outputs differ across runs.
+    entries: BTreeMap<(ConfigId, WorkloadId), ProfileEntry>,
     max_samples: usize,
 }
 
@@ -170,7 +172,7 @@ impl PerfDatabase {
     pub fn with_max_samples(max_samples: usize) -> Self {
         assert!(max_samples >= 2, "max_samples must be at least 2");
         PerfDatabase {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             max_samples,
         }
     }

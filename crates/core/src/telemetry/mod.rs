@@ -87,11 +87,13 @@ pub mod names {
     /// `greenhetero_power::solar::cache_stats`.
     ///
     /// [`RunLedger`]: crate::telemetry::RunLedger
+    // greenhetero-lint: allow(GH009) documented name only: the process-global solar memo is read via solar::cache_stats, never registered per-run
     pub const SOLAR_CACHE_HIT: &str = "greenhetero_solar_cache_hit_total";
     /// Solar-trace synthesis requests that had to synthesize from
     /// scratch. Process-global like [`SOLAR_CACHE_HIT`]: kept out of
     /// per-run ledgers, surfaced by
     /// `greenhetero_power::solar::cache_stats`.
+    // greenhetero-lint: allow(GH009) documented name only: process-global like SOLAR_CACHE_HIT, surfaced by solar::cache_stats
     pub const SOLAR_CACHE_MISS: &str = "greenhetero_solar_cache_miss_total";
 
     /// Prediction-phase wall time per epoch, in seconds.

@@ -1,0 +1,31 @@
+//! GH007 violating fixture: unordered-container iteration in a
+//! determinism-tagged path. Every iteration below reads `RandomState`
+//! order and can differ between two runs of the same scenario.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct FleetLedger {
+    per_rack: HashMap<u64, f64>,
+}
+
+impl FleetLedger {
+    /// Folds rack totals in hash order — nondeterministic float sums.
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        for (_rack, v) in &self.per_rack {
+            sum += v;
+        }
+        sum
+    }
+
+    /// Counts in hash order; harmless result, but the pattern is banned
+    /// wholesale so reviewers never have to argue about closures.
+    pub fn live_racks(&self) -> usize {
+        self.per_rack.values().filter(|v| **v > 0.0).count()
+    }
+}
+
+/// Emits rows straight out of a `HashSet` — row order changes per run.
+pub fn rows(seen: HashSet<u64>) -> Vec<u64> {
+    seen.iter().copied().collect()
+}

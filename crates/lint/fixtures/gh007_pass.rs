@@ -1,0 +1,32 @@
+//! GH007 compliant fixture: the same reductions over ordered storage
+//! (`BTreeMap`/`BTreeSet`), plus an explicit sort before emission.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct FleetLedger {
+    per_rack: BTreeMap<u64, f64>,
+}
+
+impl FleetLedger {
+    /// Folds rack totals in key order — identical on every run.
+    pub fn total(&self) -> f64 {
+        let mut sum = 0.0;
+        for (_rack, v) in &self.per_rack {
+            sum += v;
+        }
+        sum
+    }
+
+    /// Counts in key order.
+    pub fn live_racks(&self) -> usize {
+        self.per_rack.values().filter(|v| **v > 0.0).count()
+    }
+}
+
+/// Ordered set iterates in key order; the extra sort shows the other
+/// accepted shape for data that arrives unordered.
+pub fn rows(seen: BTreeSet<u64>) -> Vec<u64> {
+    let mut out: Vec<u64> = seen.iter().copied().collect();
+    out.sort_unstable();
+    out
+}

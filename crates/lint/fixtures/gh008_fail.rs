@@ -1,0 +1,36 @@
+//! GH008 violating fixture: every accumulation below routes partial sums
+//! through the clamping `Ratio` constructor, so any sum that crosses 1.0
+//! silently saturates — the PR 5 fleet mean-SoC bug, in all four shapes.
+
+pub struct Accumulator {
+    mean_soc: Ratio,
+}
+
+impl Accumulator {
+    /// Shape 1: read-modify-write through the clamp.
+    pub fn absorb(&mut self, soc: Ratio) {
+        self.mean_soc = Ratio::saturating(self.mean_soc.value() + soc.value());
+    }
+}
+
+/// Shape 2: fold seeded with a clamped accumulator.
+pub fn fold_mean(socs: &[Ratio]) -> Ratio {
+    socs.iter()
+        .fold(Ratio::saturating(0.0), |acc, s| {
+            Ratio::saturating(acc.value() + s.value())
+        })
+}
+
+/// Shape 3: summing directly into the newtype.
+pub fn sum_mean(socs: &[Ratio]) -> Ratio {
+    socs.iter().copied().sum::<Ratio>()
+}
+
+/// Shape 4: `+=` on a clamping-typed binding.
+pub fn running(steps: &[Ratio]) -> Ratio {
+    let mut acc = Ratio::saturating(0.0);
+    for step in steps {
+        acc += *step;
+    }
+    acc
+}

@@ -1,0 +1,30 @@
+//! GH008 compliant fixture: the blessed accumulation pattern —
+//! partial sums live in plain `f64`, and the clamping `Ratio`
+//! constructor runs exactly once, on the final value.
+
+pub struct Accumulator {
+    soc_sum: f64,
+    count: u32,
+}
+
+impl Accumulator {
+    /// Accumulate in plain `f64`; nothing clamps mid-stream.
+    pub fn absorb(&mut self, soc: Ratio) {
+        self.soc_sum += soc.value();
+        self.count += 1;
+    }
+
+    /// Clamp once, at the end, on the already-averaged value.
+    pub fn mean(&self) -> Ratio {
+        Ratio::saturating(self.soc_sum / f64::from(self.count.max(1)))
+    }
+}
+
+/// The same discipline for a one-shot reduction.
+pub fn mean_soc(socs: &[Ratio]) -> Ratio {
+    let mut sum = 0.0;
+    for s in socs {
+        sum += s.value();
+    }
+    Ratio::saturating(sum / socs.len().max(1) as f64)
+}

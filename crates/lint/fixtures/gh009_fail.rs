@@ -1,0 +1,18 @@
+//! GH009 violating fixture: drift in both directions — a catalog
+//! constant nobody uses, and a registration literal the catalog has
+//! never heard of.
+
+/// The metric-name catalog.
+pub mod names {
+    /// Documented, exported… and never registered or read anywhere.
+    pub const ORPHAN: &str = "gh_orphan_total";
+    /// A live constant, so the fixture also shows the healthy case.
+    pub const USED: &str = "gh_used_total";
+}
+
+/// Wires instruments: one through the catalog, one rogue literal that
+/// drifted away from it (a rename that only happened on one side).
+pub fn wire(r: &Registry) {
+    r.counter(names::USED).inc();
+    r.counter("gh_rogue_total").inc();
+}

@@ -1,0 +1,17 @@
+//! GH009 compliant fixture: every registration goes through a catalog
+//! constant (or a literal that matches one), and every constant has a
+//! live use.
+
+/// The metric-name catalog.
+pub mod names {
+    /// Registered below through the constant.
+    pub const EPOCHS: &str = "gh_epochs_total";
+    /// Registered below by literal — allowed, since the value matches.
+    pub const RETRIES: &str = "gh_retries_total";
+}
+
+/// Wires instruments coherently with the catalog.
+pub fn wire(r: &Registry) {
+    r.counter(names::EPOCHS).inc();
+    r.counter("gh_retries_total").inc();
+}

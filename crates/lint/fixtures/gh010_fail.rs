@@ -1,0 +1,30 @@
+//! GH010 violating fixture: ambient nondeterminism in a module that is
+//! not tagged `Timing` — each site reads process state that differs
+//! between runs of the same seeded scenario.
+
+use std::collections::hash_map::RandomState;
+use std::time::{Instant, SystemTime};
+
+/// Stamps a result row with the ambient monotonic clock.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// Mixes wall-clock time into a report.
+pub fn wall_seconds() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Keys a reduction by scheduler-assigned worker identity.
+pub fn worker_key() -> u64 {
+    let id = std::thread::current().id();
+    format!("{id:?}").len() as u64
+}
+
+/// Builds a hasher seeded differently every process.
+pub fn hasher() -> RandomState {
+    RandomState::new()
+}

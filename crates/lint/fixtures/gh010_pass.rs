@@ -1,0 +1,21 @@
+//! GH010 compliant fixture: the same jobs done deterministically — time
+//! is threaded through as simulated epochs, identity comes from explicit
+//! rack ids, and hashing uses a fixed-seed hasher.
+
+/// Stamps a result row with simulated time passed in by the engine.
+pub fn stamp(epoch: u64, epoch_seconds: u64) -> u64 {
+    epoch * epoch_seconds
+}
+
+/// Keys a reduction by the rack's own id, not scheduler identity.
+pub fn worker_key(rack_id: u64) -> u64 {
+    rack_id
+}
+
+/// Mixes a deterministic seed instead of ambient state
+/// (splitmix64-style, same as the fleet substrate's seed derivation).
+pub fn mix(seed: u64, rack: u64) -> u64 {
+    let mut z = seed ^ rack.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 27)
+}

@@ -1,5 +1,6 @@
-//! Diagnostics: the violation record, ordering, and the two output
-//! formats (`text` and `json`).
+//! Diagnostics: the violation record, ordering, the two output formats
+//! (`text` and `json`), and the full analysis [`Report`] with its
+//! suppression census and telemetry drift inventory.
 
 use std::fmt;
 
@@ -77,6 +78,174 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         out.push('\n');
     }
     out.push_str("]\n");
+    out
+}
+
+/// One justified `greenhetero-lint: allow(...)` site, as recorded in the
+/// suppression census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionSite {
+    /// Workspace-relative file path of the directive.
+    pub file: String,
+    /// 1-based line the directive comment sits on.
+    pub line: u32,
+}
+
+/// Per-rule tally of justified escape hatches across the scanned tree.
+///
+/// The census counts every *justified* directive naming the rule,
+/// whether or not a violation currently sits under it — it is an
+/// inventory of where the codebase has opted out, not of masked
+/// diagnostics. (Reasonless directives are GH000 violations instead.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionRecord {
+    /// The rule code the directives name.
+    pub rule: String,
+    /// Number of justified directives naming this rule.
+    pub count: usize,
+    /// Every directive site, sorted by file then line.
+    pub sites: Vec<SuppressionSite>,
+}
+
+/// One catalog constant with no live use (GH009 drift, catalog → code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedCatalogEntry {
+    /// The constant's identifier.
+    pub const_name: String,
+    /// The metric name it holds.
+    pub metric: String,
+    /// File of the catalog declaration.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// `true` when a justified `allow(GH009)` covers the declaration.
+    pub suppressed: bool,
+}
+
+/// One registration literal missing from the catalog (GH009 drift,
+/// code → catalog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnregisteredLiteral {
+    /// The literal metric name.
+    pub metric: String,
+    /// Which instrument method it was passed to.
+    pub method: String,
+    /// File of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// `true` when a justified `allow(GH009)` covers the site.
+    pub suppressed: bool,
+}
+
+/// The GH009 drift inventory: both directions of catalog/code skew,
+/// *including* suppressed entries (a drift the team has signed off on is
+/// still drift worth seeing in CI artifacts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriftReport {
+    /// Number of constants in the `telemetry::names` catalog.
+    pub catalog_size: usize,
+    /// Catalog constants with no live use.
+    pub unused_catalog: Vec<UnusedCatalogEntry>,
+    /// Registration literals absent from the catalog.
+    pub unregistered_literals: Vec<UnregisteredLiteral>,
+}
+
+/// The full result of one analysis run: diagnostics plus the suppression
+/// census and the telemetry drift inventory.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Sorted rule violations.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-rule suppression census, sorted by rule code.
+    pub suppressions: Vec<SuppressionRecord>,
+    /// Telemetry-name drift, both directions.
+    pub drift: DriftReport,
+}
+
+/// Renders a full [`Report`] as a stable JSON object:
+///
+/// ```json
+/// {
+///   "diagnostics": [ {"rule", "file", "line", "message"}, … ],
+///   "suppressions": [ {"rule", "count", "sites": [{"file", "line"}, …]}, … ],
+///   "drift": {
+///     "catalog_size": N,
+///     "unused_catalog": [ {"const", "metric", "file", "line", "suppressed"}, … ],
+///     "unregistered_literals": [ {"metric", "method", "file", "line", "suppressed"}, … ]
+///   }
+/// }
+/// ```
+///
+/// `diagnostics` is exactly the array [`render_json`] produces.
+#[must_use]
+pub fn render_report_json(report: &Report) -> String {
+    let mut out = String::from("{\n\"diagnostics\": ");
+    out.push_str(render_json(&report.diagnostics).trim_end());
+    out.push_str(",\n\"suppressions\": [");
+    for (i, s) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"count\": {}, \"sites\": [",
+            escape(&s.rule),
+            s.count
+        ));
+        for (j, site) in s.sites.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"file\": \"{}\", \"line\": {}}}",
+                escape(&site.file),
+                site.line
+            ));
+        }
+        out.push_str("]}");
+    }
+    if !report.suppressions.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("],\n\"drift\": {\n");
+    out.push_str(&format!(
+        "  \"catalog_size\": {},\n  \"unused_catalog\": [",
+        report.drift.catalog_size
+    ));
+    for (i, u) in report.drift.unused_catalog.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"const\": \"{}\", \"metric\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}}}",
+            escape(&u.const_name),
+            escape(&u.metric),
+            escape(&u.file),
+            u.line,
+            u.suppressed
+        ));
+    }
+    if !report.drift.unused_catalog.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"unregistered_literals\": [");
+    for (i, l) in report.drift.unregistered_literals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"metric\": \"{}\", \"method\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}}}",
+            escape(&l.metric),
+            escape(&l.method),
+            escape(&l.file),
+            l.line,
+            l.suppressed
+        ));
+    }
+    if !report.drift.unregistered_literals.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n}\n");
     out
 }
 

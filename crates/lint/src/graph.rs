@@ -1,0 +1,732 @@
+//! Phase 1 of the two-phase analysis: the cross-file symbol graph.
+//!
+//! The per-file rules (GH001–GH006) only ever need one [`FileModel`] at a
+//! time. The determinism rules (GH007–GH010) need facts that live in a
+//! *different* file than the violation: a `HashMap` field declared in
+//! `store.rs` is iterated from an `impl` block that may sit anywhere, a
+//! metric-name literal must match the catalog in `telemetry/mod.rs`, and
+//! a catalog constant is dead only if *no* file uses it. This module
+//! walks every model once and builds the shared lookup tables those
+//! rules run against.
+//!
+//! Everything here iterates in sorted (`BTreeMap`/`BTreeSet`) or source
+//! order — the graph is itself subject to the determinism discipline it
+//! helps enforce: two runs over the same tree must report identically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::model::{matching_brace, FileModel};
+
+/// Container types whose iteration order is seeded per-process
+/// (`RandomState`) and therefore banned from reduction/telemetry paths
+/// by GH007.
+pub const UNORDERED_CONTAINERS: &[&str] = &["HashMap", "HashSet"];
+
+/// Newtypes whose constructors clamp their input into a fixed range.
+/// Accumulating *through* one of these (the GH008 ban) silently
+/// saturates partial sums — the PR 5 fleet-SoC bug. `Ratio` (which also
+/// carries battery SoC) clamps to `[0, 1]`.
+pub const CLAMPING_NEWTYPES: &[&str] = &["Ratio"];
+
+/// One struct field and what the graph knows about its declared type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInfo {
+    /// Base identifier of the declared type (last path segment before
+    /// any generics): `std::collections::HashMap<K, V>` → `HashMap`.
+    pub type_base: String,
+    /// `true` when any [`UNORDERED_CONTAINERS`] identifier appears
+    /// anywhere in the field's type (so `Arc<HashMap<..>>` counts).
+    pub unordered: bool,
+    /// `true` when the field's type is exactly one of the
+    /// [`CLAMPING_NEWTYPES`].
+    pub clamping: bool,
+    /// File the field is declared in.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// One `pub const NAME: &str = "metric_name";` inside a `mod names`
+/// catalog block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogConst {
+    /// The constant's identifier (`SOLVER_CACHE_HIT`).
+    pub const_name: String,
+    /// The metric name it holds (`greenhetero_solver_cache_hit_total`).
+    pub metric: String,
+    /// File the catalog block lives in.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// One `.counter("…")` / `.gauge("…")` / `.histogram("…")` call whose
+/// name argument is a string literal rather than a catalog constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricLiteral {
+    /// The literal metric name (quotes stripped).
+    pub metric: String,
+    /// Which instrument method it was passed to.
+    pub method: String,
+    /// File of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+}
+
+/// One `pub` item definition (unrestricted visibility).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubItem {
+    /// Item keyword: `fn`, `struct`, `enum`, `trait`, `const`, `static`,
+    /// `type`, or `mod`.
+    pub kind: String,
+    /// The item's name.
+    pub name: String,
+    /// File the item is declared in.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: u32,
+}
+
+/// The cross-file symbol graph the GH007–GH010 rules run against.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// Struct name → field name → declared-type facts.
+    pub struct_fields: BTreeMap<String, BTreeMap<String, FieldInfo>>,
+    /// Field name → every [`FieldInfo`] declared under that name, for
+    /// receiver chains the impl-target walk cannot resolve exactly.
+    pub fields_by_name: BTreeMap<String, Vec<FieldInfo>>,
+    /// File path → local binding name → base type it resolved to
+    /// (`HashMap`, `HashSet`, `Ratio`, …) via a `let` annotation or a
+    /// `Type::constructor(...)` initializer.
+    pub locals: BTreeMap<String, BTreeMap<String, String>>,
+    /// Every catalog constant, in catalog source order.
+    pub catalog: Vec<CatalogConst>,
+    /// The set of metric-name strings the catalog holds.
+    pub catalog_values: BTreeSet<String>,
+    /// Catalog constant name → number of live uses (a `names::CONST`
+    /// path outside the catalog block, or a string literal equal to the
+    /// constant's value anywhere in the tree).
+    pub catalog_uses: BTreeMap<String, u32>,
+    /// Non-test instrument registrations/lookups that pass a string
+    /// literal instead of a catalog constant.
+    pub metric_literals: Vec<MetricLiteral>,
+    /// Every unrestricted-`pub` item definition in the scanned set.
+    pub pub_items: Vec<PubItem>,
+}
+
+impl SymbolGraph {
+    /// Walks every model once and builds the graph.
+    #[must_use]
+    pub fn build(models: &[FileModel]) -> Self {
+        let mut graph = SymbolGraph::default();
+        // Catalog blocks first: literal-equality use counting needs the
+        // value set before the use scan.
+        for model in models {
+            collect_catalog(model, &mut graph);
+        }
+        for model in models {
+            collect_struct_fields(model, &mut graph);
+            collect_locals(model, &mut graph);
+            collect_metric_calls(model, &mut graph);
+            collect_catalog_uses(model, &mut graph);
+            collect_pub_items(model, &mut graph);
+        }
+        for fields in graph.struct_fields.values() {
+            for (name, info) in fields {
+                graph
+                    .fields_by_name
+                    .entry(name.clone())
+                    .or_default()
+                    .push(info.clone());
+            }
+        }
+        graph
+    }
+
+    /// Resolves a receiver chain (`["self", "entries"]`, `["seen"]`, …)
+    /// ending at token index `at` in `model` to the base type the graph
+    /// knows for it, if any.
+    ///
+    /// Resolution order: `self.field` through the innermost `impl`
+    /// block's target struct; a bare identifier through the file's local
+    /// bindings; any remaining trailing field name through the
+    /// name-indexed field table (an over-approximation, acceptable for a
+    /// lint with a per-site escape hatch).
+    #[must_use]
+    pub fn resolve_chain(&self, model: &FileModel, chain: &[String], at: usize) -> Option<String> {
+        match chain {
+            [] => None,
+            [single] if single == "self" => None,
+            [single] => self
+                .locals
+                .get(&model.path)
+                .and_then(|locals| locals.get(single))
+                .cloned(),
+            [head, field] if head == "self" => {
+                if let Some(target) = model.impl_at(at).map(|b| b.target.clone()) {
+                    if let Some(info) = self
+                        .struct_fields
+                        .get(&target)
+                        .and_then(|fields| fields.get(field))
+                    {
+                        return Some(info.type_base.clone());
+                    }
+                }
+                self.field_type_by_name(field)
+            }
+            [.., last] => self.field_type_by_name(last),
+        }
+    }
+
+    /// `true` when `type_base` (or the field's full type) names an
+    /// unordered container.
+    #[must_use]
+    pub fn is_unordered_type(type_base: &str) -> bool {
+        UNORDERED_CONTAINERS.contains(&type_base)
+    }
+
+    /// The single type every field called `name` is declared with, if
+    /// they all agree; `None` when the name is unknown or ambiguous.
+    fn field_type_by_name(&self, name: &str) -> Option<String> {
+        let infos = self.fields_by_name.get(name)?;
+        let first = &infos[0].type_base;
+        infos
+            .iter()
+            .all(|i| &i.type_base == first)
+            .then(|| first.clone())
+    }
+}
+
+/// Reads a type starting at `start` (exclusive of the leading `:`),
+/// stopping at `,`/`;`/`=`/`)`/`}` at nesting level zero. Returns the
+/// base identifier (last path segment before generics), whether any
+/// unordered-container identifier appears anywhere inside, and the index
+/// just past the type.
+fn read_field_type(tokens: &[Token], start: usize) -> (Option<String>, bool, usize) {
+    let mut base: Option<String> = None;
+    let mut unordered = false;
+    let mut nest = 0i64;
+    let mut i = start;
+    let mut prev_was_path_sep = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "<" | "(" | "[" => nest += 1,
+            ">" | ")" | "]" => {
+                if nest == 0 {
+                    break;
+                }
+                nest -= 1;
+            }
+            "," | ";" | "=" | "}" if nest == 0 => break,
+            _ => {}
+        }
+        if t.kind == TokenKind::Ident {
+            if UNORDERED_CONTAINERS.contains(&t.text.as_str()) {
+                unordered = true;
+            }
+            // The base is the last path segment read at nesting zero:
+            // `std::collections::HashMap<K, V>` keeps updating the base
+            // until `<` bumps the nest.
+            if nest == 0
+                && !matches!(t.text.as_str(), "dyn" | "mut" | "pub" | "crate")
+                && (prev_was_path_sep || base.is_none() || tokens[i - 1].text == ":")
+            {
+                base = Some(t.text.clone());
+            }
+        }
+        prev_was_path_sep = t.text == ":";
+        i += 1;
+    }
+    (base, unordered, i)
+}
+
+/// Collects named-struct field declarations into the graph.
+fn collect_struct_fields(model: &FileModel, graph: &mut SymbolGraph) {
+    let tokens = &model.tokens;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "struct" {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let struct_name = name_tok.text.clone();
+        // Skip generics, find `{` (named fields) or bail on `;`/`(`.
+        let mut j = i + 2;
+        if tokens.get(j).map(|t| t.text.as_str()) == Some("<") {
+            let mut depth = 0i64;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        while j < tokens.len() && !matches!(tokens[j].text.as_str(), "{" | ";" | "(") {
+            j += 1;
+        }
+        if tokens.get(j).map(|t| t.text.as_str()) != Some("{") {
+            i = j.max(i + 1);
+            continue;
+        }
+        let close = matching_brace(tokens, j);
+        let mut k = j + 1;
+        while k < close {
+            // Skip attributes and visibility before the field name.
+            match tokens[k].text.as_str() {
+                "#" => {
+                    // `#[...]` — jump past the bracket group.
+                    if tokens.get(k + 1).map(|t| t.text.as_str()) == Some("[") {
+                        let mut depth = 0i64;
+                        let mut m = k + 1;
+                        while m < close {
+                            match tokens[m].text.as_str() {
+                                "[" => depth += 1,
+                                "]" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        k = m + 1;
+                        continue;
+                    }
+                    k += 1;
+                    continue;
+                }
+                "pub" => {
+                    k += 1;
+                    if tokens.get(k).map(|t| t.text.as_str()) == Some("(") {
+                        // Visibility restriction `(crate)` / `(super)`.
+                        while k < close && tokens[k].text != ")" {
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            let (Some(field_tok), Some(colon)) = (tokens.get(k), tokens.get(k + 1)) else {
+                break;
+            };
+            if field_tok.kind != TokenKind::Ident || colon.text != ":" {
+                k += 1;
+                continue;
+            }
+            let (base, unordered, after) = read_field_type(tokens, k + 2);
+            if let Some(type_base) = base {
+                let info = FieldInfo {
+                    unordered: unordered || SymbolGraph::is_unordered_type(&type_base),
+                    clamping: CLAMPING_NEWTYPES.contains(&type_base.as_str()),
+                    type_base,
+                    file: model.path.clone(),
+                    line: field_tok.line,
+                };
+                graph
+                    .struct_fields
+                    .entry(struct_name.clone())
+                    .or_default()
+                    .insert(field_tok.text.clone(), info);
+            }
+            // Move past the trailing `,` if present.
+            k = after;
+            if tokens.get(k).map(|t| t.text.as_str()) == Some(",") {
+                k += 1;
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// Collects `let` bindings and `fn` parameters whose type the graph can
+/// pin down: an explicit annotation, or a `Type::constructor(...)`
+/// initializer.
+fn collect_locals(model: &FileModel, graph: &mut SymbolGraph) {
+    let tokens = &model.tokens;
+    let interesting: Vec<&str> = UNORDERED_CONTAINERS
+        .iter()
+        .chain(CLAMPING_NEWTYPES)
+        .copied()
+        .collect();
+    // Function parameters: `name: Type` pairs at paren-nesting zero of
+    // each signature's parameter list.
+    for sig in crate::rules::find_fns(model) {
+        let mut k = sig.params.start;
+        let mut nest = 0i64;
+        while k < sig.params.end {
+            match tokens[k].text.as_str() {
+                "(" | "[" | "<" => nest += 1,
+                ")" | "]" | ">" => nest -= 1,
+                _ => {}
+            }
+            if nest == 0
+                && tokens[k].kind == TokenKind::Ident
+                && tokens[k].text != "mut"
+                && tokens.get(k + 1).map(|t| t.text.as_str()) == Some(":")
+                && tokens.get(k + 2).map(|t| t.text.as_str()) != Some(":")
+            {
+                let (base, unordered, after) = read_field_type(tokens, k + 2);
+                if let Some(base) = base.filter(|b| interesting.contains(&b.as_str())) {
+                    graph
+                        .locals
+                        .entry(model.path.clone())
+                        .or_default()
+                        .insert(tokens[k].text.clone(), base);
+                } else if unordered {
+                    graph
+                        .locals
+                        .entry(model.path.clone())
+                        .or_default()
+                        .insert(tokens[k].text.clone(), "HashMap".to_string());
+                }
+                k = after;
+                continue;
+            }
+            k += 1;
+        }
+    }
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "let" {
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).map(|t| t.text.as_str()) == Some("mut") {
+            j += 1;
+        }
+        let Some(name_tok) = tokens.get(j) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue; // destructuring pattern — out of scope
+        }
+        let name = name_tok.text.clone();
+        let resolved = match tokens.get(j + 1).map(|t| t.text.as_str()) {
+            Some(":") => {
+                let (base, unordered, _) = read_field_type(tokens, j + 2);
+                base.filter(|b| interesting.contains(&b.as_str()))
+                    .or_else(|| unordered.then(|| "HashMap".to_string()))
+            }
+            Some("=") => {
+                // `let x = HashMap::new()` / `let r = Ratio::saturating(…)`.
+                let first = tokens.get(j + 2);
+                let is_path = tokens.get(j + 3).map(|t| t.text.as_str()) == Some(":")
+                    && tokens.get(j + 4).map(|t| t.text.as_str()) == Some(":");
+                first
+                    .filter(|t| t.kind == TokenKind::Ident && is_path)
+                    .map(|t| t.text.clone())
+                    .filter(|b| interesting.contains(&b.as_str()))
+            }
+            _ => None,
+        };
+        if let Some(type_base) = resolved {
+            graph
+                .locals
+                .entry(model.path.clone())
+                .or_default()
+                .insert(name, type_base);
+        }
+    }
+}
+
+/// Inclusive token spans of `mod names { … }` blocks in one file.
+fn names_block_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind == TokenKind::Ident
+            && tokens[i].text == "mod"
+            && tokens.get(i + 1).map(|t| t.text.as_str()) == Some("names")
+            && tokens.get(i + 2).map(|t| t.text.as_str()) == Some("{")
+        {
+            spans.push((i, matching_brace(tokens, i + 2)));
+        }
+    }
+    spans
+}
+
+/// Collects `pub const NAME: &str = "…";` declarations inside `mod
+/// names { … }` catalog blocks.
+fn collect_catalog(model: &FileModel, graph: &mut SymbolGraph) {
+    let tokens = &model.tokens;
+    for (open, close) in names_block_spans(tokens) {
+        let mut i = open;
+        while i < close {
+            if tokens[i].kind == TokenKind::Ident && tokens[i].text == "const" {
+                let name = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident);
+                // Find the `=` then the string literal after it.
+                let mut j = i + 2;
+                while j < close && tokens[j].text != "=" && tokens[j].text != ";" {
+                    j += 1;
+                }
+                let value = tokens
+                    .get(j + 1)
+                    .filter(|t| t.kind == TokenKind::Literal && t.text.starts_with('"'));
+                if let (Some(name), Some(value)) = (name, value) {
+                    let metric = value.text.trim_matches('"').to_string();
+                    graph.catalog_values.insert(metric.clone());
+                    graph.catalog_uses.entry(name.text.clone()).or_insert(0);
+                    graph.catalog.push(CatalogConst {
+                        const_name: name.text.clone(),
+                        metric,
+                        file: model.path.clone(),
+                        line: name.line,
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Counts live uses of catalog constants: `names::CONST` paths outside
+/// any catalog block, plus string literals equal to a catalog value.
+fn collect_catalog_uses(model: &FileModel, graph: &mut SymbolGraph) {
+    let tokens = &model.tokens;
+    let spans = names_block_spans(tokens);
+    let in_catalog = |idx: usize| spans.iter().any(|&(lo, hi)| (lo..=hi).contains(&idx));
+    // Metric → const names holding that value (values are unique in a
+    // healthy catalog, but drift is exactly what we're looking for).
+    let by_value: BTreeMap<&str, Vec<&str>> =
+        graph.catalog.iter().fold(BTreeMap::new(), |mut m, c| {
+            m.entry(c.metric.as_str()).or_default().push(&c.const_name);
+            m
+        });
+    let mut bump: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && t.text == "names"
+            && !in_catalog(i)
+            && tokens.get(i + 1).map(|n| n.text.as_str()) == Some(":")
+            && tokens.get(i + 2).map(|n| n.text.as_str()) == Some(":")
+        {
+            if let Some(konst) = tokens.get(i + 3).filter(|n| n.kind == TokenKind::Ident) {
+                bump.push(konst.text.clone());
+            }
+        }
+        // A literal equal to a catalog value is a live use — except the
+        // declaration literal inside the catalog block itself.
+        if t.kind == TokenKind::Literal && t.text.starts_with('"') && !in_catalog(i) {
+            if let Some(consts) = by_value.get(t.text.trim_matches('"')) {
+                bump.extend(consts.iter().map(|c| (*c).to_string()));
+            }
+        }
+    }
+    for konst in bump {
+        if let Some(count) = graph.catalog_uses.get_mut(&konst) {
+            *count += 1;
+        }
+    }
+}
+
+/// Collects non-test `.counter("…")` / `.gauge("…")` / `.histogram("…")`
+/// calls whose name argument is a direct string literal.
+fn collect_metric_calls(model: &FileModel, graph: &mut SymbolGraph) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text.as_str(), "counter" | "gauge" | "histogram")
+        {
+            continue;
+        }
+        let is_method = i > 0 && tokens[i - 1].text == ".";
+        if !is_method
+            || tokens.get(i + 1).map(|n| n.text.as_str()) != Some("(")
+            || model.in_test_code(t.line)
+        {
+            continue;
+        }
+        if let Some(lit) = tokens
+            .get(i + 2)
+            .filter(|n| n.kind == TokenKind::Literal && n.text.starts_with('"'))
+        {
+            graph.metric_literals.push(MetricLiteral {
+                metric: lit.text.trim_matches('"').to_string(),
+                method: t.text.clone(),
+                file: model.path.clone(),
+                line: lit.line,
+            });
+        }
+    }
+}
+
+/// Collects unrestricted-`pub` item definitions.
+fn collect_pub_items(model: &FileModel, graph: &mut SymbolGraph) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "pub" {
+            continue;
+        }
+        if tokens.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+            continue; // restricted visibility
+        }
+        // Walk over modifiers (`const fn`, `unsafe trait`, `async fn`).
+        let mut j = i + 1;
+        while j < tokens.len()
+            && matches!(
+                tokens[j].text.as_str(),
+                "const" | "async" | "unsafe" | "extern" | "static"
+            )
+        {
+            // `pub const NAME` (a constant, not `pub const fn`): when the
+            // token after `const`/`static` is not another keyword, the
+            // modifier *is* the item kind.
+            if matches!(tokens[j].text.as_str(), "const" | "static")
+                && tokens.get(j + 1).is_some_and(|t| {
+                    t.kind == TokenKind::Ident
+                        && !matches!(t.text.as_str(), "fn" | "unsafe" | "extern")
+                })
+            {
+                break;
+            }
+            j += 1;
+        }
+        let Some(kind_tok) = tokens.get(j) else {
+            continue;
+        };
+        let kind = kind_tok.text.as_str();
+        if !matches!(
+            kind,
+            "fn" | "struct" | "enum" | "trait" | "const" | "static" | "type" | "mod" | "use"
+        ) || kind == "use"
+        {
+            continue;
+        }
+        if let Some(name_tok) = tokens.get(j + 1).filter(|t| t.kind == TokenKind::Ident) {
+            graph.pub_items.push(PubItem {
+                kind: kind.to_string(),
+                name: name_tok.text.clone(),
+                file: model.path.clone(),
+                line: tokens[i].line,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(sources: &[(&str, &str)]) -> SymbolGraph {
+        let models: Vec<FileModel> = sources
+            .iter()
+            .map(|(p, s)| FileModel::build(p, s))
+            .collect();
+        SymbolGraph::build(&models)
+    }
+
+    #[test]
+    fn struct_fields_record_unordered_and_clamping_types() {
+        let g = build(&[(
+            "crates/core/src/db.rs",
+            "pub struct Store {\n    entries: std::collections::HashMap<u32, f64>,\n    cache: Arc<HashSet<u64>>,\n    soc: Ratio,\n    names: Vec<String>,\n}\n",
+        )]);
+        let fields = &g.struct_fields["Store"];
+        assert!(fields["entries"].unordered);
+        assert!(fields["cache"].unordered, "wrapped HashSet still counts");
+        assert!(fields["soc"].clamping);
+        assert!(!fields["names"].unordered);
+        assert_eq!(fields["entries"].type_base, "HashMap");
+    }
+
+    #[test]
+    fn chains_resolve_through_impl_targets_and_locals() {
+        let src = "pub struct Store { entries: HashMap<u32, f64> }\n\
+                   impl Store {\n  fn f(&self) -> usize { self.entries.len() }\n}\n\
+                   fn g() { let seen: HashSet<u32> = HashSet::new(); let n = seen.len(); }\n";
+        let model = FileModel::build("crates/core/src/db.rs", src);
+        let g = SymbolGraph::build(&[FileModel::build("crates/core/src/db.rs", src)]);
+        // `self.entries` inside the impl block (find a token index inside it).
+        let idx = model
+            .tokens
+            .iter()
+            .position(|t| t.text == "len")
+            .expect("len token");
+        let base = g.resolve_chain(&model, &["self".into(), "entries".into()], idx);
+        assert_eq!(base.as_deref(), Some("HashMap"));
+        let base = g.resolve_chain(&model, &["seen".into()], idx);
+        assert_eq!(base.as_deref(), Some("HashSet"));
+        assert_eq!(g.resolve_chain(&model, &["unknown".into()], idx), None);
+    }
+
+    #[test]
+    fn catalog_consts_and_uses_are_counted() {
+        let g = build(&[
+            (
+                "crates/core/src/telemetry/mod.rs",
+                "pub mod names {\n    /// Doc.\n    pub const USED: &str = \"gh_used_total\";\n    pub const ORPHAN: &str = \"gh_orphan_total\";\n}\n",
+            ),
+            (
+                "crates/sim/src/engine.rs",
+                "fn wire(r: &Registry) { r.counter(names::USED); r.gauge(\"gh_rogue_watts\"); }\n",
+            ),
+        ]);
+        assert_eq!(g.catalog.len(), 2);
+        assert_eq!(g.catalog_uses["USED"], 1);
+        assert_eq!(g.catalog_uses["ORPHAN"], 0);
+        assert_eq!(g.metric_literals.len(), 1);
+        assert_eq!(g.metric_literals[0].metric, "gh_rogue_watts");
+    }
+
+    #[test]
+    fn literal_equal_to_catalog_value_counts_as_a_use() {
+        let g = build(&[
+            (
+                "crates/core/src/telemetry/mod.rs",
+                "pub mod names { pub const A: &str = \"gh_a_total\"; }\n",
+            ),
+            (
+                "crates/sim/tests/t.rs",
+                "fn f(l: &Ledger) { l.counter(\"gh_a_total\"); }\n",
+            ),
+        ]);
+        assert_eq!(g.catalog_uses["A"], 1);
+    }
+
+    #[test]
+    fn test_code_metric_literals_are_not_recorded() {
+        let g = build(&[(
+            "crates/core/src/telemetry/registry.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f(r: &Registry) { r.counter(\"x\"); }\n}\n",
+        )]);
+        assert!(g.metric_literals.is_empty());
+    }
+
+    #[test]
+    fn pub_items_are_collected() {
+        let g = build(&[(
+            "crates/core/src/x.rs",
+            "pub struct A;\npub fn f() {}\npub const C: u32 = 1;\npub(crate) fn hidden() {}\n",
+        )]);
+        let kinds: Vec<(&str, &str)> = g
+            .pub_items
+            .iter()
+            .map(|p| (p.kind.as_str(), p.name.as_str()))
+            .collect();
+        assert!(kinds.contains(&("struct", "A")));
+        assert!(kinds.contains(&("fn", "f")));
+        assert!(kinds.contains(&("const", "C")));
+        assert!(!kinds.iter().any(|(_, n)| *n == "hidden"));
+    }
+}

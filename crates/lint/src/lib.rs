@@ -15,17 +15,32 @@
 //! | GH004 | every `*Error` variant constructed outside its definition |
 //! | GH005 | doc comments on all pub items of the library crates |
 //! | GH006 | no per-solve heap allocation in the solver hot-loop modules |
+//! | GH007 | no `HashMap`/`HashSet` iteration in reduction/telemetry paths |
+//! | GH008 | no accumulation (`+=`/`fold`/`sum`) through clamping newtypes |
+//! | GH009 | metric-name literals ↔ `telemetry::names` catalog coherence |
+//! | GH010 | no ambient nondeterminism outside `Timing`-tagged modules |
 //!
-//! The analysis is a hand-rolled lexer plus token-level structural model —
-//! the offline build environment has no `syn`/`proc-macro2`, and the rules
-//! here only need comment/string-aware token streams with brace matching,
-//! not full parse trees.
+//! The analysis runs in two phases. Phase 1 scans every file into a
+//! [`model::FileModel`] and builds the cross-file [`graph::SymbolGraph`]
+//! (struct fields and their types, catalog constants and their uses,
+//! metric-name literals, pub items). Phase 2 runs the per-file rules
+//! (GH001–GH003, GH005, GH006), the cross-file rules (GH004, GH009), and
+//! the graph-resolved determinism rules (GH007, GH008, GH010) — the last
+//! group scoped by the [`DETERMINISM_DOMAINS`] table below.
+//!
+//! The front end is a hand-rolled lexer plus token-level structural
+//! model — the offline build environment has no `syn`/`proc-macro2`, and
+//! the rules here only need comment/string-aware token streams with
+//! brace matching, not full parse trees.
 //!
 //! Violations can be suppressed per-site with a justified escape hatch on
 //! the same or preceding line: `// greenhetero-lint: allow(GH001) <reason>`.
+//! Every justified directive is tallied in the [`diag::Report`]
+//! suppression census so escape hatches stay visible in CI artifacts.
 
 pub mod diag;
 pub mod dimensions;
+pub mod graph;
 pub mod lexer;
 pub mod model;
 pub mod rules;
@@ -34,8 +49,101 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use diag::Diagnostic;
+use diag::{Diagnostic, Report, SuppressionRecord, SuppressionSite};
+use graph::SymbolGraph;
 use model::FileModel;
+
+/// Every rule code with a one-line description, in code order — the
+/// source of truth for `--list-rules` and `--rule` validation.
+pub const RULES: &[(&str, &str)] = &[
+    ("GH000", "allow directive without a reason"),
+    (
+        "GH001",
+        "no unwrap/expect/panic!/unreachable! in library code",
+    ),
+    ("GH002", "no bare f64/f32 in pub APIs of dimensional crates"),
+    ("GH003", "cross-newtype arithmetic must be sanctioned"),
+    ("GH004", "every *Error variant constructed somewhere"),
+    ("GH005", "doc comments on all pub items of library crates"),
+    ("GH006", "no per-solve heap allocation in solver hot loops"),
+    (
+        "GH007",
+        "no HashMap/HashSet iteration in reduction/telemetry paths",
+    ),
+    (
+        "GH008",
+        "no accumulation (+=/fold/sum) through clamping newtypes",
+    ),
+    (
+        "GH009",
+        "metric-name literals coherent with the telemetry::names catalog",
+    ),
+    (
+        "GH010",
+        "no ambient nondeterminism outside Timing-tagged modules",
+    ),
+];
+
+/// A determinism domain a module can be tagged with.
+///
+/// Tags drive rule scoping: GH007 runs inside `Reduction`/`Telemetry`
+/// files, and GH010 exempts `Timing` files (where reading the wall clock
+/// is the point — phase-duration histograms measure it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Folds per-rack/per-epoch data into run results (CSV, ledgers,
+    /// fleet summaries) — iteration order is observable in outputs.
+    Reduction,
+    /// Registers or exports metrics — name sets and merge order are
+    /// observable in ledgers and Prometheus dumps.
+    Telemetry,
+    /// Measures wall time as telemetry — the one sanctioned consumer of
+    /// ambient clocks.
+    Timing,
+}
+
+/// The declarative path → domain-tag table.
+///
+/// An entry matches any file whose workspace-relative path starts with
+/// its prefix (so `…/database/` tags the whole module tree); a file
+/// accumulates the tags of every matching entry. Documented in DESIGN.md
+/// §8 alongside the rules that consume each tag.
+pub const DETERMINISM_DOMAINS: &[(&str, &[Domain])] = &[
+    ("crates/core/src/database/", &[Domain::Reduction]),
+    ("crates/core/src/metrics.rs", &[Domain::Reduction]),
+    ("crates/core/src/telemetry/", &[Domain::Telemetry]),
+    ("crates/core/src/controller.rs", &[Domain::Timing]),
+    ("crates/power/src/gauges.rs", &[Domain::Telemetry]),
+    ("crates/sim/src/fleet.rs", &[Domain::Reduction]),
+    (
+        "crates/sim/src/report.rs",
+        &[Domain::Reduction, Domain::Telemetry],
+    ),
+    (
+        "crates/sim/src/engine.rs",
+        &[Domain::Reduction, Domain::Timing],
+    ),
+    (
+        "crates/sim/src/runner.rs",
+        &[Domain::Reduction, Domain::Timing],
+    ),
+];
+
+/// The union of domain tags matching `path` in [`DETERMINISM_DOMAINS`].
+#[must_use]
+pub fn domains_for(path: &str) -> Vec<Domain> {
+    let mut tags = Vec::new();
+    for (prefix, domains) in DETERMINISM_DOMAINS {
+        if path.starts_with(prefix) {
+            for d in *domains {
+                if !tags.contains(d) {
+                    tags.push(*d);
+                }
+            }
+        }
+    }
+    tags
+}
 
 /// Directory names never descended into when scanning a workspace.
 ///
@@ -112,10 +220,24 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<
 /// sorted diagnostics.
 #[must_use]
 pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    analyze_files_report(files, None).diagnostics
+}
+
+/// The two-phase analysis: builds every [`FileModel`] and the
+/// [`SymbolGraph`] (phase 1), runs every rule against them (phase 2),
+/// and returns the full [`Report`] — diagnostics, suppression census,
+/// and telemetry drift inventory.
+///
+/// When `rule_filter` names a rule code (e.g. `"GH008"`), only that
+/// rule's diagnostics are reported; the census and drift inventory are
+/// always complete.
+#[must_use]
+pub fn analyze_files_report(files: &[(String, String)], rule_filter: Option<&str>) -> Report {
     let models: Vec<FileModel> = files
         .iter()
         .map(|(path, src)| FileModel::build(path, src))
         .collect();
+    let graph = SymbolGraph::build(&models);
     let mut diags = Vec::new();
     for model in &models {
         // GH000: a directive that cannot suppress anything is a bug in
@@ -134,9 +256,14 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
                 ));
             }
         }
+        let domains = domains_for(&model.path);
         if is_lib_src(&model.path) {
             rules::gh001::check(model, &mut diags);
             rules::gh005::check(model, &mut diags);
+            rules::gh008::check(model, &graph, &mut diags);
+            if !domains.contains(&Domain::Timing) {
+                rules::gh010::check(model, &mut diags);
+            }
         }
         if is_dimensional_src(&model.path) {
             rules::gh002::check(model, &mut diags);
@@ -147,10 +274,99 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
         if is_solver_hot_loop(&model.path) {
             rules::gh006::check(model, &mut diags);
         }
+        if domains.contains(&Domain::Reduction) || domains.contains(&Domain::Telemetry) {
+            rules::gh007::check(model, &graph, &mut diags);
+        }
     }
     rules::gh004::check(&models, is_lib_src, &mut diags);
+    rules::gh009::check(&models, &graph, is_lib_src, &mut diags);
+    if let Some(rule) = rule_filter {
+        diags.retain(|d| d.rule == rule);
+    }
     diag::sort(&mut diags);
-    diags
+    Report {
+        diagnostics: diags,
+        suppressions: suppression_census(&models),
+        drift: drift_report(&models, &graph),
+    }
+}
+
+/// Tallies every justified `allow(...)` directive per rule code.
+fn suppression_census(models: &[FileModel]) -> Vec<SuppressionRecord> {
+    let mut by_rule: std::collections::BTreeMap<String, Vec<SuppressionSite>> =
+        std::collections::BTreeMap::new();
+    for model in models {
+        for a in &model.allows {
+            if !a.has_reason {
+                continue; // a GH000 diagnostic, not a working suppression
+            }
+            for rule in &a.rules {
+                // Doc comments and examples inside the lint crate spell out
+                // the directive syntax with placeholder codes; only tally
+                // directives naming a real rule.
+                if !RULES.iter().any(|(code, _)| code == rule) {
+                    continue;
+                }
+                by_rule
+                    .entry(rule.clone())
+                    .or_default()
+                    .push(SuppressionSite {
+                        file: model.path.clone(),
+                        line: a.line,
+                    });
+            }
+        }
+    }
+    by_rule
+        .into_iter()
+        .map(|(rule, mut sites)| {
+            sites.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+            SuppressionRecord {
+                count: sites.len(),
+                rule,
+                sites,
+            }
+        })
+        .collect()
+}
+
+/// Builds the GH009 drift inventory, suppressed entries included.
+fn drift_report(models: &[FileModel], graph: &SymbolGraph) -> diag::DriftReport {
+    let allowed = |path: &str, line: u32| {
+        models
+            .iter()
+            .find(|m| m.path == path)
+            .is_some_and(|m| m.is_allowed(rules::gh009::RULE, line))
+    };
+    let unused_catalog = graph
+        .catalog
+        .iter()
+        .filter(|c| graph.catalog_uses.get(&c.const_name).copied().unwrap_or(0) == 0)
+        .map(|c| diag::UnusedCatalogEntry {
+            const_name: c.const_name.clone(),
+            metric: c.metric.clone(),
+            file: c.file.clone(),
+            line: c.line,
+            suppressed: allowed(&c.file, c.line),
+        })
+        .collect();
+    let unregistered_literals = graph
+        .metric_literals
+        .iter()
+        .filter(|l| !graph.catalog_values.contains(&l.metric))
+        .map(|l| diag::UnregisteredLiteral {
+            metric: l.metric.clone(),
+            method: l.method.clone(),
+            file: l.file.clone(),
+            line: l.line,
+            suppressed: allowed(&l.file, l.line),
+        })
+        .collect();
+    diag::DriftReport {
+        catalog_size: graph.catalog.len(),
+        unused_catalog,
+        unregistered_literals,
+    }
 }
 
 /// Scans the workspace rooted at `root` and returns sorted diagnostics.
@@ -160,6 +376,19 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
 /// Propagates I/O failures from the file walk.
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     Ok(analyze_files(&collect_workspace_files(root)?))
+}
+
+/// Scans the workspace rooted at `root` and returns the full [`Report`],
+/// optionally restricted to one rule's diagnostics.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the file walk.
+pub fn analyze_workspace_report(root: &Path, rule_filter: Option<&str>) -> io::Result<Report> {
+    Ok(analyze_files_report(
+        &collect_workspace_files(root)?,
+        rule_filter,
+    ))
 }
 
 #[cfg(test)]

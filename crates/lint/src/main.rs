@@ -2,14 +2,29 @@
 //!
 //! ```text
 //! cargo run -p greenhetero-lint [-- --root PATH] [--format text|json]
+//!                               [--rule GH00N] [--list-rules]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use greenhetero_lint::{analyze_workspace, diag};
+use greenhetero_lint::{analyze_workspace_report, diag, RULES};
+
+/// Usage text printed for `--help` and echoed on bad usage.
+const USAGE: &str =
+    "usage: greenhetero-lint [--root PATH] [--format text|json] [--rule GH00N] [--list-rules]
+
+  --root PATH    workspace root to scan (default: walk up to [workspace])
+  --format FMT   `text` (default) or `json`; json emits the full report
+                 object with diagnostics, suppression census, and the
+                 telemetry drift inventory
+  --rule CODE    report only diagnostics from one rule (e.g. GH008);
+                 the census and drift inventory are still complete
+  --list-rules   print the rule table and exit
+
+exit codes: 0 clean, 1 violations found, 2 usage or I/O error";
 
 /// Output format selection.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -22,6 +37,8 @@ enum Format {
 struct Args {
     root: Option<PathBuf>,
     format: Format,
+    rule: Option<String>,
+    list_rules: bool,
 }
 
 /// Parses the argument list; returns an error message on bad usage.
@@ -29,6 +46,8 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         root: None,
         format: Format::Text,
+        rule: None,
+        list_rules: false,
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -44,11 +63,18 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     other => return Err(format!("unknown format `{other}`")),
                 };
             }
-            "--help" | "-h" => {
-                return Err(String::from(
-                    "usage: greenhetero-lint [--root PATH] [--format text|json]",
-                ))
+            "--rule" => {
+                let v = argv.next().ok_or("--rule needs a rule code, e.g. GH008")?;
+                let code = v.to_ascii_uppercase();
+                if !RULES.iter().any(|(c, _)| *c == code) {
+                    return Err(format!(
+                        "unknown rule `{v}`; run --list-rules for the catalog"
+                    ));
+                }
+                args.rule = Some(code);
             }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::from(USAGE)),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -80,6 +106,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.list_rules {
+        for (code, summary) in RULES {
+            println!("{code}  {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let root = match args.root.or_else(find_workspace_root) {
         Some(r) => r,
         None => {
@@ -87,8 +119,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = match analyze_workspace(Path::new(&root)) {
-        Ok(d) => d,
+    let report = match analyze_workspace_report(&root, args.rule.as_deref()) {
+        Ok(r) => r,
         Err(err) => {
             eprintln!("failed to scan {}: {err}", root.display());
             return ExitCode::from(2);
@@ -96,16 +128,19 @@ fn main() -> ExitCode {
     };
     match args.format {
         Format::Text => {
-            print!("{}", diag::render_text(&diags));
-            if diags.is_empty() {
+            print!("{}", diag::render_text(&report.diagnostics));
+            if report.diagnostics.is_empty() {
                 println!("greenhetero-lint: clean");
             } else {
-                println!("greenhetero-lint: {} violation(s)", diags.len());
+                println!(
+                    "greenhetero-lint: {} violation(s)",
+                    report.diagnostics.len()
+                );
             }
         }
-        Format::Json => print!("{}", diag::render_json(&diags)),
+        Format::Json => print!("{}", diag::render_report_json(&report)),
     }
-    if diags.is_empty() {
+    if report.diagnostics.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,0 +1,188 @@
+//! GH007: no unordered-map iteration in reduction or telemetry paths.
+//!
+//! `HashMap`/`HashSet` iterate in `RandomState`-seeded order, different
+//! every process. Any result that folds over such an iteration — a fleet
+//! reduction, a ledger merge, a report row — can differ between two runs
+//! of the same seeded scenario, breaking the bit-identical-replay
+//! guarantee. Inside files tagged `Reduction` or `Telemetry` in the
+//! [`DETERMINISM_DOMAINS`] table, iterating an unordered container is a
+//! violation: use `BTreeMap`/`BTreeSet`, or collect and sort first.
+//!
+//! [`DETERMINISM_DOMAINS`]: crate::DETERMINISM_DOMAINS
+
+use crate::diag::Diagnostic;
+use crate::graph::SymbolGraph;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::rules::{forward_chain, receiver_chain};
+
+/// The rule code.
+pub const RULE: &str = "GH007";
+
+/// Iteration methods whose order is the container's internal order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Runs GH007 over one domain-tagged file against the symbol graph.
+pub fn check(model: &FileModel, graph: &SymbolGraph, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // Pattern 1: `<chain>.iter()` and friends.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && tokens[i - 1].text == "."
+            && tokens.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+        {
+            let Some(chain) = receiver_chain(tokens, i - 1) else {
+                continue;
+            };
+            flag_if_unordered(model, graph, &chain, i, t.line, &t.text, diags);
+        }
+        // Pattern 2: `for pat in <chain> {` — iterating the container
+        // (or a reference to it) directly.
+        if t.text == "in" && i > 0 {
+            let mut j = i + 1;
+            while tokens.get(j).map(|n| n.text.as_str()) == Some("&")
+                || tokens.get(j).map(|n| n.text.as_str()) == Some("mut")
+            {
+                j += 1;
+            }
+            let (chain, after) = forward_chain(tokens, j);
+            if chain.is_empty() || tokens.get(after).map(|n| n.text.as_str()) != Some("{") {
+                continue;
+            }
+            let line = tokens[j].line;
+            flag_if_unordered(model, graph, &chain, j, line, "for … in", diags);
+        }
+    }
+}
+
+/// Pushes a diagnostic when `chain` resolves to an unordered container
+/// and the site is neither test code nor suppressed.
+fn flag_if_unordered(
+    model: &FileModel,
+    graph: &SymbolGraph,
+    chain: &[String],
+    at: usize,
+    line: u32,
+    how: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(type_base) = graph.resolve_chain(model, chain, at) else {
+        return;
+    };
+    if !SymbolGraph::is_unordered_type(&type_base) {
+        return;
+    }
+    if model.in_test_code(line) || model.is_allowed(RULE, line) {
+        return;
+    }
+    diags.push(Diagnostic::new(
+        RULE,
+        &model.path,
+        line,
+        format!(
+            "`{}` iterates a `{}` (`{}`) in a determinism-tagged path; its order is seeded per-process — use `BTreeMap`/`BTreeSet` or sort the keys first",
+            how,
+            type_base,
+            chain.join(".")
+        ),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let models: Vec<FileModel> = sources
+            .iter()
+            .map(|(p, s)| FileModel::build(p, s))
+            .collect();
+        let graph = SymbolGraph::build(&models);
+        let mut diags = Vec::new();
+        for m in &models {
+            check(m, &graph, &mut diags);
+        }
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            include_str!("../../fixtures/gh007_fail.rs"),
+        )]);
+        assert!(
+            diags.len() >= 3,
+            "expected the for-in, .values(), and .iter() sites, got {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == RULE));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            include_str!("../../fixtures/gh007_pass.rs"),
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn cross_file_field_resolution_flags_remote_iteration() {
+        // The HashMap field is declared in one file, iterated in another.
+        let diags = run(&[
+            (
+                "crates/core/src/database/store.rs",
+                "pub struct Db { entries: HashMap<u64, f64> }\n",
+            ),
+            (
+                "crates/core/src/database/mod.rs",
+                "impl Db {\n    pub fn rows(&self) -> usize { self.entries.values().count() }\n}\n",
+            ),
+        ]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].file, "crates/core/src/database/mod.rs");
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            "pub struct Db { entries: BTreeMap<u64, f64> }\nimpl Db {\n    pub fn rows(&self) -> usize { self.entries.values().count() }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn test_code_and_allows_are_exempt() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            "pub struct Db { entries: HashMap<u64, f64> }\n\
+             impl Db {\n\
+                 // greenhetero-lint: allow(GH007) order irrelevant: result is a count\n\
+                 pub fn rows(&self) -> usize { self.entries.values().count() }\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn f(d: &Db) { for _ in &d.entries { } }\n\
+             }\n",
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

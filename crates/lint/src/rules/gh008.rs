@@ -1,0 +1,332 @@
+//! GH008: no accumulation through clamping newtypes.
+//!
+//! `Ratio::saturating` clamps its argument into `[0, 1]`. Accumulating a
+//! sum *through* the newtype — `acc = Ratio::saturating(acc.value() + x)`
+//! — silently saturates every partial sum, so a fleet mean SoC computed
+//! that way reports `min(sum, 1) / n`. That exact bug shipped in the PR 5
+//! fleet substrate and survived until review caught it. The blessed
+//! pattern accumulates in plain `f64` and clamps **once** at the end;
+//! this rule bans the four accumulation shapes that route partial sums
+//! through a clamping constructor:
+//!
+//! 1. read-modify-write: `lhs = Ratio::…( … lhs … )`
+//! 2. `fold` seeded with a clamping newtype: `.fold(Ratio::…, …)`
+//! 3. `sum` collected into one: `.sum::<Ratio>()`
+//! 4. `+=` on a binding or field of clamping type
+
+use crate::diag::Diagnostic;
+use crate::graph::{SymbolGraph, CLAMPING_NEWTYPES};
+use crate::lexer::{Token, TokenKind};
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH008";
+
+/// Runs GH008 over one library file against the symbol graph.
+pub fn check(model: &FileModel, graph: &SymbolGraph, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident if CLAMPING_NEWTYPES.contains(&t.text.as_str()) => {
+                check_rmw(model, i, diags);
+            }
+            TokenKind::Ident if t.text == "fold" => check_fold(model, i, diags),
+            TokenKind::Ident if t.text == "sum" => check_sum(model, i, diags),
+            TokenKind::Punct if t.text == "+" => check_add_assign(model, graph, i, diags),
+            _ => {}
+        }
+    }
+}
+
+/// Shape 1: `lhs = Clamp::ctor( … lhs … )` — the assigned place feeds
+/// back into the clamping constructor's arguments.
+fn check_rmw(model: &FileModel, i: usize, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    // Must be `= Clamp :: ctor (` with a plain assignment before it.
+    if i < 2 || tokens[i - 1].text != "=" {
+        return;
+    }
+    // Exclude compound/comparison operators (`+=`, `==`, `<=`, …): their
+    // token before the `=` is another punctuation character.
+    if tokens[i - 2].kind == TokenKind::Punct {
+        return;
+    }
+    if tokens.get(i + 1).map(|t| t.text.as_str()) != Some(":")
+        || tokens.get(i + 2).map(|t| t.text.as_str()) != Some(":")
+        || tokens.get(i + 3).map(|t| t.kind) != Some(TokenKind::Ident)
+        || tokens.get(i + 4).map(|t| t.text.as_str()) != Some("(")
+    {
+        return;
+    }
+    // The assigned chain: walk back from the identifier before `=`.
+    let lhs_end = i - 2;
+    let Some(lhs_start) = token_chain_start(tokens, lhs_end) else {
+        return;
+    };
+    if tokens
+        .get(lhs_start.wrapping_sub(1))
+        .map(|t| t.text.as_str())
+        == Some("let")
+    {
+        return; // initialization, not read-modify-write
+    }
+    let chain: Vec<&str> = (lhs_start..=lhs_end)
+        .filter(|&k| tokens[k].kind == TokenKind::Ident)
+        .map(|k| tokens[k].text.as_str())
+        .collect();
+    // Scan the constructor's balanced argument list for the same chain.
+    let open = i + 4;
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if depth >= 1 && chain_matches_at(tokens, j, &chain) {
+            let line = tokens[i].line;
+            if !model.in_test_code(line) && !model.is_allowed(RULE, line) {
+                diags.push(Diagnostic::new(
+                    RULE,
+                    &model.path,
+                    line,
+                    format!(
+                        "`{lhs} = {clamp}::…({lhs}…)` accumulates through the clamping `{clamp}` constructor, saturating partial sums; accumulate in plain f64 and clamp once at the end",
+                        lhs = chain.join("."),
+                        clamp = tokens[i].text,
+                    ),
+                ));
+            }
+            return;
+        }
+        j += 1;
+    }
+}
+
+/// The token index where the dotted chain ending at `end` begins
+/// (`self . mean_soc` ending at `mean_soc` → index of `self`), or `None`
+/// when `end` is not an identifier.
+fn token_chain_start(tokens: &[Token], end: usize) -> Option<usize> {
+    if tokens.get(end).map(|t| t.kind) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let mut s = end;
+    while s >= 2 && tokens[s - 1].text == "." && tokens[s - 2].kind == TokenKind::Ident {
+        s -= 2;
+    }
+    Some(s)
+}
+
+/// `true` when the token sequence `a . b . c` matching `chain` starts at
+/// index `j` (and is not a suffix of a longer chain).
+fn chain_matches_at(tokens: &[Token], j: usize, chain: &[&str]) -> bool {
+    if j > 0 && tokens[j - 1].text == "." {
+        return false;
+    }
+    let mut k = j;
+    for (n, part) in chain.iter().enumerate() {
+        if tokens.get(k).map(|t| t.text.as_str()) != Some(*part) {
+            return false;
+        }
+        if n + 1 < chain.len() {
+            if tokens.get(k + 1).map(|t| t.text.as_str()) != Some(".") {
+                return false;
+            }
+            k += 2;
+        }
+    }
+    true
+}
+
+/// Shape 2: `.fold(Clamp::…, …)` — the accumulator is born clamped, so
+/// every intermediate combine saturates.
+fn check_fold(model: &FileModel, i: usize, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    if i == 0 || tokens[i - 1].text != "." {
+        return;
+    }
+    if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+        return;
+    }
+    let Some(init) = tokens.get(i + 2) else {
+        return;
+    };
+    if init.kind != TokenKind::Ident || !CLAMPING_NEWTYPES.contains(&init.text.as_str()) {
+        return;
+    }
+    let line = tokens[i].line;
+    if model.in_test_code(line) || model.is_allowed(RULE, line) {
+        return;
+    }
+    diags.push(Diagnostic::new(
+        RULE,
+        &model.path,
+        line,
+        format!(
+            "`.fold({}::…, …)` accumulates through a clamping newtype, saturating partial sums; fold in plain f64 and clamp once at the end",
+            init.text
+        ),
+    ));
+}
+
+/// Shape 3: `.sum::<Clamp>()`.
+fn check_sum(model: &FileModel, i: usize, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    if i == 0 || tokens[i - 1].text != "." {
+        return;
+    }
+    if tokens.get(i + 1).map(|t| t.text.as_str()) != Some(":")
+        || tokens.get(i + 2).map(|t| t.text.as_str()) != Some(":")
+        || tokens.get(i + 3).map(|t| t.text.as_str()) != Some("<")
+    {
+        return;
+    }
+    let Some(ty) = tokens.get(i + 4) else {
+        return;
+    };
+    if ty.kind != TokenKind::Ident || !CLAMPING_NEWTYPES.contains(&ty.text.as_str()) {
+        return;
+    }
+    let line = tokens[i].line;
+    if model.in_test_code(line) || model.is_allowed(RULE, line) {
+        return;
+    }
+    diags.push(Diagnostic::new(
+        RULE,
+        &model.path,
+        line,
+        format!(
+            "`.sum::<{}>()` accumulates through a clamping newtype, saturating partial sums; sum in plain f64 and clamp once at the end",
+            ty.text
+        ),
+    ));
+}
+
+/// Shape 4: `chain += …` where the chain resolves to a clamping type.
+fn check_add_assign(model: &FileModel, graph: &SymbolGraph, i: usize, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("=") {
+        return;
+    }
+    let Some(lhs_start) = (i >= 1).then(|| token_chain_start(tokens, i - 1)).flatten() else {
+        return;
+    };
+    let chain: Vec<String> = (lhs_start..i)
+        .filter(|&k| tokens[k].kind == TokenKind::Ident)
+        .map(|k| tokens[k].text.clone())
+        .collect();
+    let Some(type_base) = graph.resolve_chain(model, &chain, i) else {
+        return;
+    };
+    if !CLAMPING_NEWTYPES.contains(&type_base.as_str()) {
+        return;
+    }
+    let line = tokens[i].line;
+    if model.in_test_code(line) || model.is_allowed(RULE, line) {
+        return;
+    }
+    diags.push(Diagnostic::new(
+        RULE,
+        &model.path,
+        line,
+        format!(
+            "`{} += …` accumulates in the clamping newtype `{}`; accumulate in plain f64 and clamp once at the end",
+            chain.join("."),
+            type_base
+        ),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let models: Vec<FileModel> = sources
+            .iter()
+            .map(|(p, s)| FileModel::build(p, s))
+            .collect();
+        let graph = SymbolGraph::build(&models);
+        let mut diags = Vec::new();
+        for m in &models {
+            check(m, &graph, &mut diags);
+        }
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            include_str!("../../fixtures/gh008_fail.rs"),
+        )]);
+        assert!(
+            diags.len() >= 4,
+            "expected RMW, fold, sum, and += sites, got {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == RULE));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            include_str!("../../fixtures/gh008_pass.rs"),
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn the_pr5_mean_soc_pattern_is_caught() {
+        // The exact shape the PR 5 review found in fleet.rs.
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            "impl FleetAccumulator {\n    fn absorb(&mut self, e: &EpochRecord) {\n        self.mean_soc = Ratio::saturating(self.mean_soc.value() + e.soc.value());\n    }\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "got {diags:?}");
+        assert!(diags[0].message.contains("self.mean_soc"));
+    }
+
+    #[test]
+    fn single_final_clamp_is_the_blessed_pattern() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            "impl FleetAccumulator {\n    fn reduce(&mut self, soc_sum: f64, n: f64) {\n        self.mean_soc = Ratio::saturating(soc_sum / n);\n    }\n}\n",
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn let_initialization_is_not_rmw() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            "fn f(soc: f64) -> Ratio { let soc = Ratio::saturating(soc); soc }\n",
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn add_assign_on_clamping_local_is_flagged() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            "fn f(step: Ratio) {\n    let mut acc = Ratio::saturating(0.0);\n    acc += step;\n}\n",
+        )]);
+        assert_eq!(diags.len(), 1, "got {diags:?}");
+        assert!(diags[0].message.contains("acc"));
+    }
+
+    #[test]
+    fn plain_f64_add_assign_is_clean() {
+        let diags = run(&[(
+            "crates/sim/src/fleet.rs",
+            "fn f(xs: &[f64]) -> f64 {\n    let mut sum = 0.0;\n    for x in xs { sum += x; }\n    sum\n}\n",
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

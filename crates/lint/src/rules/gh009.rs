@@ -1,0 +1,152 @@
+//! GH009: metric-name coherence between code and the `names` catalog.
+//!
+//! Every counter/gauge/histogram name registered from a string literal
+//! must exist in the `telemetry::names` catalog, and every catalog
+//! constant must have a live use somewhere in the tree. Drift in either
+//! direction is how dashboards silently go dark: a renamed metric keeps
+//! emitting under the old name, or a catalog entry documents a series
+//! nobody produces. The full drift inventory (both directions, including
+//! suppressed entries) also lands in the `--format json` report.
+
+use crate::diag::Diagnostic;
+use crate::graph::SymbolGraph;
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH009";
+
+/// Runs GH009 across the whole workspace against the symbol graph.
+///
+/// `in_scope` selects the files whose literal registrations are audited
+/// (the library crates); catalog liveness is always workspace-wide.
+pub fn check(
+    models: &[FileModel],
+    graph: &SymbolGraph,
+    in_scope: impl Fn(&str) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let model_for = |path: &str| models.iter().find(|m| m.path == path);
+    // Direction 1: literals registered in code but missing from the
+    // catalog.
+    for lit in &graph.metric_literals {
+        if !in_scope(&lit.file) || graph.catalog_values.contains(&lit.metric) {
+            continue;
+        }
+        if model_for(&lit.file).is_some_and(|m| m.is_allowed(RULE, lit.line)) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            RULE,
+            &lit.file,
+            lit.line,
+            format!(
+                "metric name \"{}\" passed to `.{}()` is not in the `telemetry::names` catalog; add a documented constant and register through it",
+                lit.metric, lit.method
+            ),
+        ));
+    }
+    // Direction 2: catalog constants with no live use anywhere.
+    for entry in &graph.catalog {
+        if !in_scope(&entry.file) {
+            continue;
+        }
+        if graph
+            .catalog_uses
+            .get(&entry.const_name)
+            .copied()
+            .unwrap_or(0)
+            > 0
+        {
+            continue;
+        }
+        if model_for(&entry.file).is_some_and(|m| m.is_allowed(RULE, entry.line)) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            RULE,
+            &entry.file,
+            entry.line,
+            format!(
+                "catalog constant `{}` (\"{}\") has no live use; wire it into a registration or remove it from the catalog",
+                entry.const_name, entry.metric
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let models: Vec<FileModel> = sources
+            .iter()
+            .map(|(p, s)| FileModel::build(p, s))
+            .collect();
+        let graph = SymbolGraph::build(&models);
+        let mut diags = Vec::new();
+        check(&models, &graph, |p| p.starts_with("crates/"), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(&[(
+            "crates/core/src/telemetry/mod.rs",
+            include_str!("../../fixtures/gh009_fail.rs"),
+        )]);
+        assert_eq!(diags.len(), 2, "orphan const + rogue literal: {diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("ORPHAN")));
+        assert!(diags.iter().any(|d| d.message.contains("gh_rogue_total")));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(&[(
+            "crates/core/src/telemetry/mod.rs",
+            include_str!("../../fixtures/gh009_pass.rs"),
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn cross_file_use_keeps_a_constant_alive() {
+        let diags = run(&[
+            (
+                "crates/core/src/telemetry/mod.rs",
+                "pub mod names { pub const A: &str = \"gh_a_total\"; }\n",
+            ),
+            (
+                "crates/sim/src/engine.rs",
+                "fn wire(r: &Registry) { r.counter(names::A); }\n",
+            ),
+        ]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn allowed_orphans_are_suppressed() {
+        let diags = run(&[(
+            "crates/core/src/telemetry/mod.rs",
+            "pub mod names {\n    // greenhetero-lint: allow(GH009) read through an external stats hook, never registered\n    pub const EXTERNAL: &str = \"gh_external_total\";\n}\n",
+        )]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn literal_registration_of_a_cataloged_name_is_coherent() {
+        // Registering by literal is allowed as long as the name is in the
+        // catalog — the literal keeps the constant alive, too.
+        let diags = run(&[
+            (
+                "crates/core/src/telemetry/mod.rs",
+                "pub mod names { pub const A: &str = \"gh_a_total\"; }\n",
+            ),
+            (
+                "crates/sim/src/engine.rs",
+                "fn wire(r: &Registry) { r.counter(\"gh_a_total\"); }\n",
+            ),
+        ]);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

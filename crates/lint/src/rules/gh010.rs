@@ -1,0 +1,118 @@
+//! GH010: no ambient nondeterminism outside the allowlisted timing set.
+//!
+//! `Instant::now`, `SystemTime`, `thread::current().id()`, and default
+//! `RandomState` hashers all read process-ambient state. In a result path
+//! they make two runs of the same seeded scenario differ; the ROADMAP's
+//! determinism guarantee only tolerates them in the modules tagged
+//! `Timing` in [`DETERMINISM_DOMAINS`] (phase-duration histograms, bench
+//! harnesses), where wall time is the *measurement*, not an input.
+//!
+//! [`DETERMINISM_DOMAINS`]: crate::DETERMINISM_DOMAINS
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH010";
+
+/// Runs GH010 over one library file that is *not* tagged `Timing`.
+pub fn check(model: &FileModel, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let found: Option<(&str, &str)> = match t.text.as_str() {
+            "Instant"
+                if tokens.get(i + 1).map(|n| n.text.as_str()) == Some(":")
+                    && tokens.get(i + 2).map(|n| n.text.as_str()) == Some(":")
+                    && tokens.get(i + 3).map(|n| n.text.as_str()) == Some("now") =>
+            {
+                Some(("`Instant::now()`", "reads the ambient monotonic clock"))
+            }
+            "SystemTime" => Some(("`SystemTime`", "reads the ambient wall clock")),
+            "thread"
+                if tokens.get(i + 1).map(|n| n.text.as_str()) == Some(":")
+                    && tokens.get(i + 2).map(|n| n.text.as_str()) == Some(":")
+                    && tokens.get(i + 3).map(|n| n.text.as_str()) == Some("current") =>
+            {
+                Some(("`thread::current()`", "depends on scheduler identity"))
+            }
+            "RandomState" => Some((
+                "`RandomState`",
+                "is seeded per-process (the default hasher of `HashMap`)",
+            )),
+            _ => None,
+        };
+        let Some((what, why)) = found else {
+            continue;
+        };
+        if model.in_test_code(t.line) || model.is_allowed(RULE, t.line) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            RULE,
+            &model.path,
+            t.line,
+            format!(
+                "{what} {why}, which breaks seeded-run determinism; thread simulated time through explicitly, or move this into a `Timing`-tagged module"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(path, src);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(
+            "crates/sim/src/fleet.rs",
+            include_str!("../../fixtures/gh010_fail.rs"),
+        );
+        assert!(
+            diags.len() >= 4,
+            "expected Instant, SystemTime, thread::current, RandomState: {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == RULE));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(
+            "crates/sim/src/fleet.rs",
+            include_str!("../../fixtures/gh010_pass.rs"),
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn instant_elapsed_without_now_is_clean() {
+        // Taking a `Duration` parameter or mentioning the type is fine;
+        // only the ambient read is banned.
+        let diags = run(
+            "crates/sim/src/fleet.rs",
+            "use std::time::{Duration, Instant};\nfn f(started: Instant) -> Duration { started.elapsed() }\n",
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn test_code_and_allows_are_exempt() {
+        let diags = run(
+            "crates/sim/src/fleet.rs",
+            "// greenhetero-lint: allow(GH010) one-shot setup cost measured outside the result path\nfn f() { let t = Instant::now(); }\n#[cfg(test)]\nmod tests {\n    fn g() { let t = Instant::now(); }\n}\n",
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

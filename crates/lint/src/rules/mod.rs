@@ -1,4 +1,4 @@
-//! The GH001–GH006 rule implementations plus shared signature parsing.
+//! The GH001–GH010 rule implementations plus shared signature parsing.
 
 pub mod gh001;
 pub mod gh002;
@@ -6,6 +6,10 @@ pub mod gh003;
 pub mod gh004;
 pub mod gh005;
 pub mod gh006;
+pub mod gh007;
+pub mod gh008;
+pub mod gh009;
+pub mod gh010;
 
 use std::ops::Range;
 
@@ -137,9 +141,112 @@ pub fn find_fns(model: &FileModel) -> Vec<FnSig> {
     out
 }
 
+/// Walks backward from `dot_idx` (which must point at the `.` before a
+/// method name) and collects the dotted identifier chain of the receiver:
+/// `self.fleet.entries.iter()` → `["self", "fleet", "entries"]`.
+///
+/// Returns `None` when the receiver is dynamic — a call or index result
+/// (`f().iter()`, `v[0].iter()`) — since no name-based resolution can say
+/// what type that expression has.
+#[must_use]
+pub fn receiver_chain(tokens: &[Token], dot_idx: usize) -> Option<Vec<String>> {
+    let mut chain = Vec::new();
+    let mut d = dot_idx;
+    loop {
+        if tokens.get(d).map(|t| t.text.as_str()) != Some(".") || d == 0 {
+            return None;
+        }
+        let prev = &tokens[d - 1];
+        if prev.kind != TokenKind::Ident {
+            // `)`/`]`/literal receiver: dynamic, unresolvable by name.
+            return None;
+        }
+        chain.push(prev.text.clone());
+        if d >= 3 && tokens[d - 2].text == "." && tokens[d - 3].kind == TokenKind::Ident {
+            d -= 2;
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+    Some(chain)
+}
+
+/// Reads a dotted identifier chain forward from `start`:
+/// `self . entries` → (`["self", "entries"]`, index just past the chain).
+/// Returns an empty chain when `start` is not an identifier.
+#[must_use]
+pub fn forward_chain(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
+    let mut chain = Vec::new();
+    let mut i = start;
+    while let Some(t) = tokens.get(i) {
+        if t.kind != TokenKind::Ident {
+            break;
+        }
+        chain.push(t.text.clone());
+        if tokens.get(i + 1).map(|n| n.text.as_str()) == Some(".")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokenKind::Ident)
+        {
+            i += 2;
+        } else {
+            i += 1;
+            break;
+        }
+    }
+    (chain, i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn receiver_chains_walk_back_through_fields() {
+        let m = FileModel::build("x.rs", "fn f() { self.fleet.entries.iter(); }");
+        let dot = m
+            .tokens
+            .iter()
+            .position(|t| t.text == "iter")
+            .map(|i| i - 1)
+            .expect("iter token");
+        assert_eq!(
+            receiver_chain(&m.tokens, dot),
+            Some(vec![
+                "self".to_string(),
+                "fleet".to_string(),
+                "entries".to_string()
+            ])
+        );
+    }
+
+    #[test]
+    fn dynamic_receivers_are_unresolvable() {
+        let m = FileModel::build("x.rs", "fn f() { g().iter(); v[0].keys(); }");
+        for method in ["iter", "keys"] {
+            let dot = m
+                .tokens
+                .iter()
+                .position(|t| t.text == method)
+                .map(|i| i - 1)
+                .expect("method token");
+            assert_eq!(receiver_chain(&m.tokens, dot), None, "{method}");
+        }
+    }
+
+    #[test]
+    fn forward_chains_stop_at_non_idents() {
+        let m = FileModel::build("x.rs", "for (k, v) in self.entries { }");
+        let start = m
+            .tokens
+            .iter()
+            .position(|t| t.text == "self")
+            .expect("self token");
+        let (chain, after) = forward_chain(&m.tokens, start);
+        assert_eq!(chain, vec!["self".to_string(), "entries".to_string()]);
+        assert_eq!(m.tokens[after].text, "{");
+    }
 
     #[test]
     fn parses_pub_fn_with_generics_and_return() {

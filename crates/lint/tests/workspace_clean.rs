@@ -7,7 +7,9 @@
 
 use std::path::PathBuf;
 
-use greenhetero_lint::{analyze_workspace, diag};
+use greenhetero_lint::{
+    analyze_files_report, analyze_workspace, analyze_workspace_report, diag, RULES,
+};
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -31,6 +33,139 @@ fn real_workspace_is_clean() {
 fn clean_run_renders_empty_json_array() {
     let diags = analyze_workspace(&workspace_root()).expect("workspace scan succeeds");
     assert_eq!(diag::render_json(&diags), "[]\n");
+}
+
+#[test]
+fn self_lint_report_census_names_only_real_rules() {
+    // The suppression census is the inventory of every justified escape
+    // hatch in the tree: each record must name a catalogued rule, carry a
+    // positive count, and list concrete sites. A blanket or misspelled
+    // directive would either fail GH000 (no reason) or vanish from the
+    // census here — both visible.
+    let report =
+        analyze_workspace_report(&workspace_root(), None).expect("workspace scan succeeds");
+    assert!(report.diagnostics.is_empty());
+    assert!(!report.suppressions.is_empty(), "census unexpectedly empty");
+    for record in &report.suppressions {
+        assert!(
+            RULES.iter().any(|(code, _)| *code == record.rule),
+            "census names unknown rule {:?}",
+            record.rule
+        );
+        assert!(record.count > 0);
+        assert_eq!(record.count, record.sites.len());
+        assert!(record
+            .sites
+            .iter()
+            .all(|s| s.line > 0 && !s.file.is_empty()));
+    }
+    // The new determinism rules are in the catalog the census checks against.
+    for code in ["GH007", "GH008", "GH009", "GH010"] {
+        assert!(RULES.iter().any(|(c, _)| *c == code), "missing {code}");
+    }
+}
+
+#[test]
+fn drift_report_accounts_for_every_catalog_constant() {
+    let report =
+        analyze_workspace_report(&workspace_root(), None).expect("workspace scan succeeds");
+    assert!(report.drift.catalog_size > 0, "telemetry catalog not found");
+    // Every drift entry that survives without a diagnostic must be a
+    // signed-off (suppressed) one; unsuppressed drift is a GH009 violation
+    // and the clean-workspace test would already have failed.
+    assert!(report.drift.unused_catalog.iter().all(|u| u.suppressed));
+    assert!(report
+        .drift
+        .unregistered_literals
+        .iter()
+        .all(|l| l.suppressed));
+}
+
+#[test]
+fn rule_filter_narrows_diagnostics_but_not_the_census() {
+    let report = analyze_workspace_report(&workspace_root(), Some("GH008"))
+        .expect("workspace scan succeeds");
+    assert!(report.diagnostics.iter().all(|d| d.rule == "GH008"));
+    // The census and drift inventory stay complete under a filter.
+    assert!(!report.suppressions.is_empty());
+    assert!(report.drift.catalog_size > 0);
+}
+
+#[test]
+fn reintroducing_the_pr5_ratio_accumulation_is_caught() {
+    // Regression harness for the PR 5 fleet bug: feeding the exact
+    // saturating-partial-sum pattern back into fleet.rs must trip GH008.
+    let source = "\
+impl FleetAccumulator {
+    fn absorb(&mut self, e: &EpochRecord) {
+        self.mean_soc = Ratio::saturating(self.mean_soc.value() + e.soc.value());
+    }
+}
+";
+    let report = analyze_files_report(
+        &[("crates/sim/src/fleet.rs".to_string(), source.to_string())],
+        None,
+    );
+    let gh008: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "GH008")
+        .collect();
+    assert_eq!(
+        gh008.len(),
+        1,
+        "PR 5 pattern not caught: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(gh008[0].file, "crates/sim/src/fleet.rs");
+    assert!(gh008[0].message.contains("self.mean_soc"));
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair_that_trips_and_passes() {
+    // GH007–GH010 ship positive/negative fixtures; each fail fixture must
+    // trip exactly its own rule and each pass fixture must be clean under
+    // it. Paths are chosen so the fixtures land in the rules' scopes.
+    let cases: &[(&str, &str, &str, &str)] = &[
+        (
+            "GH007",
+            "crates/sim/src/fleet.rs",
+            include_str!("../fixtures/gh007_fail.rs"),
+            include_str!("../fixtures/gh007_pass.rs"),
+        ),
+        (
+            "GH008",
+            "crates/sim/src/fleet.rs",
+            include_str!("../fixtures/gh008_fail.rs"),
+            include_str!("../fixtures/gh008_pass.rs"),
+        ),
+        (
+            "GH009",
+            "crates/core/src/telemetry/mod.rs",
+            include_str!("../fixtures/gh009_fail.rs"),
+            include_str!("../fixtures/gh009_pass.rs"),
+        ),
+        (
+            "GH010",
+            "crates/sim/src/report.rs",
+            include_str!("../fixtures/gh010_fail.rs"),
+            include_str!("../fixtures/gh010_pass.rs"),
+        ),
+    ];
+    for (rule, path, fail_src, pass_src) in cases {
+        let fail = analyze_files_report(&[(path.to_string(), fail_src.to_string())], Some(rule));
+        assert!(
+            !fail.diagnostics.is_empty(),
+            "{rule} fail fixture produced no diagnostics"
+        );
+        assert!(fail.diagnostics.iter().all(|d| d.rule == *rule));
+        let pass = analyze_files_report(&[(path.to_string(), pass_src.to_string())], Some(rule));
+        assert!(
+            pass.diagnostics.is_empty(),
+            "{rule} pass fixture tripped: {:?}",
+            pass.diagnostics
+        );
+    }
 }
 
 #[test]
