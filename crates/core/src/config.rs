@@ -55,6 +55,19 @@ pub struct ControllerConfig {
     pub solver_cross_check_period: u64,
     /// Width of the allocation cache's budget lookup buckets.
     pub solver_cache_budget_quantum: Watts,
+    /// Serve daemon: epoch-step panics a session survives before it is
+    /// quarantined. `0` quarantines on the first panic.
+    pub serve_restart_budget: u32,
+    /// Serve daemon: backoff before the first restart, in milliseconds.
+    /// Each further restart doubles it (deterministic exponential
+    /// backoff) up to [`Self::serve_backoff_cap_ms`].
+    pub serve_backoff_base_ms: u64,
+    /// Serve daemon: upper bound on the per-restart backoff, in
+    /// milliseconds.
+    pub serve_backoff_cap_ms: u64,
+    /// Serve daemon: a session making no epoch progress for this long is
+    /// evicted by the watchdog, in milliseconds.
+    pub serve_heartbeat_timeout_ms: u64,
 }
 
 impl Default for ControllerConfig {
@@ -73,6 +86,10 @@ impl Default for ControllerConfig {
             solver_warm_budget_delta: Ratio::saturating(0.05),
             solver_cross_check_period: 64,
             solver_cache_budget_quantum: Watts::new(1.0),
+            serve_restart_budget: 3,
+            serve_backoff_base_ms: 50,
+            serve_backoff_cap_ms: 2_000,
+            serve_heartbeat_timeout_ms: 5_000,
         }
     }
 }
@@ -129,6 +146,18 @@ impl ControllerConfig {
                 "solver cache budget quantum must be positive and finite, got {quantum}"
             ));
         }
+        if self.serve_backoff_base_ms == 0 {
+            return fail("serve restart backoff base must be at least 1 ms".into());
+        }
+        if self.serve_backoff_cap_ms < self.serve_backoff_base_ms {
+            return fail(format!(
+                "serve backoff cap {} ms must be at least the base {} ms",
+                self.serve_backoff_cap_ms, self.serve_backoff_base_ms
+            ));
+        }
+        if self.serve_heartbeat_timeout_ms == 0 {
+            return fail("serve heartbeat timeout must be at least 1 ms".into());
+        }
         Ok(())
     }
 }
@@ -162,6 +191,41 @@ mod tests {
             ..ControllerConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serve_knob_defaults_and_validation() {
+        let cfg = ControllerConfig::default();
+        assert_eq!(cfg.serve_restart_budget, 3);
+        assert_eq!(cfg.serve_backoff_base_ms, 50);
+        assert_eq!(cfg.serve_backoff_cap_ms, 2_000);
+        assert_eq!(cfg.serve_heartbeat_timeout_ms, 5_000);
+
+        let zero_base = ControllerConfig {
+            serve_backoff_base_ms: 0,
+            ..ControllerConfig::default()
+        };
+        assert!(zero_base.validate().is_err());
+
+        let cap_below_base = ControllerConfig {
+            serve_backoff_base_ms: 100,
+            serve_backoff_cap_ms: 50,
+            ..ControllerConfig::default()
+        };
+        assert!(cap_below_base.validate().is_err());
+
+        let zero_heartbeat = ControllerConfig {
+            serve_heartbeat_timeout_ms: 0,
+            ..ControllerConfig::default()
+        };
+        assert!(zero_heartbeat.validate().is_err());
+
+        // A zero budget is legal: quarantine on the first panic.
+        let strict = ControllerConfig {
+            serve_restart_budget: 0,
+            ..ControllerConfig::default()
+        };
+        assert!(strict.validate().is_ok());
     }
 
     #[test]

@@ -148,12 +148,38 @@ impl EventLine {
     }
 }
 
-/// Parses a leading `"…"` string (no escape support — the schema emits
-/// none); returns the content and the rest of the input.
+/// Parses a leading `"…"` string, decoding the standard JSON escapes
+/// (`\" \\ \/ \n \r \t \uXXXX`); returns the content and the rest of
+/// the input. The telemetry schema itself emits no escapes, but the
+/// serve wire protocol shares this parser and its error messages may
+/// quote arbitrary session names.
 fn parse_string(input: &str) -> Option<(String, &str)> {
     let inner = input.strip_prefix('"')?;
-    let end = inner.find('"')?;
-    Some((inner[..end].to_owned(), &inner[end + 1..]))
+    let mut out = String::new();
+    let mut chars = inner.char_indices();
+    while let Some((at, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &inner[at + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
 }
 
 /// Parses one leading JSON scalar; returns it and the rest of the input.
@@ -328,6 +354,19 @@ mod tests {
         assert!(EventLine::parse("{\"a\":}").is_none());
         assert!(EventLine::parse("{\"a\"").is_none());
         assert!(EventLine::parse("{}").is_some());
+    }
+
+    #[test]
+    fn parse_decodes_string_escapes() {
+        let parsed =
+            EventLine::parse(r#"{"error":"session \"hog\" already\texists\nline2 é"}"#).unwrap();
+        assert_eq!(
+            parsed.text("error"),
+            Some("session \"hog\" already\texists\nline2 é")
+        );
+        // A dangling or unknown escape is malformed, not silently kept.
+        assert!(EventLine::parse(r#"{"a":"\q"}"#).is_none());
+        assert!(EventLine::parse(r#"{"a":"trailing\"#).is_none());
     }
 
     #[test]

@@ -218,6 +218,116 @@ mod tests {
     }
 
     #[test]
+    fn merging_an_empty_ledger_is_identity() {
+        // x ⊕ ∅ = x: an empty right-hand side changes nothing, including
+        // the float bits of every gauge and quantile.
+        let mut merged = part(3, 1.25, 4, 10.0);
+        let before = merged.clone();
+        merged.merge(&RunLedger::default());
+        assert_eq!(merged, before);
+
+        // ∅ ⊕ x = x (modulo the by-name sort merge always applies, which
+        // is a no-op for these single-instrument parts).
+        let mut from_empty = RunLedger::default();
+        from_empty.merge(&before);
+        assert_eq!(from_empty, before);
+    }
+
+    #[test]
+    fn merging_a_zero_count_histogram_preserves_the_receiver() {
+        // A registered-but-never-observed histogram must not drag the
+        // merged quantiles toward 0 or overwrite min/max.
+        let mut merged = part(1, 0.5, 4, 8.0);
+        let zero = RunLedger {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: vec![HistogramSnapshot {
+                name: "h_seconds".into(),
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p99: 0.0,
+            }],
+        };
+        merged.merge(&zero);
+        let h = merged.histogram("h_seconds").expect("histogram kept");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.p50.to_bits(), 2.0f64.to_bits());
+        assert_eq!(h.min.to_bits(), 2.0f64.to_bits());
+
+        // And the mirror case: an empty receiver adopts the incoming
+        // summary wholesale.
+        let mut empty_first = zero;
+        empty_first.merge(&part(1, 0.5, 4, 8.0));
+        let h = empty_first.histogram("h_seconds").expect("histogram");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.p50.to_bits(), 2.0f64.to_bits());
+    }
+
+    #[test]
+    fn single_rack_merge_is_the_rack() {
+        // A one-rack "fleet" ledger is exactly that rack's ledger: the
+        // degenerate fleet reduction must be bit-transparent.
+        let rack = part(9, 0.75, 3, 6.0);
+        let mut fleet = RunLedger::default();
+        fleet.merge(&rack);
+        assert_eq!(fleet, rack);
+    }
+
+    #[test]
+    fn three_way_merge_is_associative_with_count_weighted_quantiles() {
+        // Values and counts chosen so every count-weighted division is
+        // exact in binary floating point: both association orders must
+        // then agree to the bit, quantiles included.
+        let hist = |count: u64, p: f64| RunLedger {
+            counters: vec![CounterSnapshot {
+                name: "a_total".into(),
+                value: count,
+            }],
+            gauges: Vec::new(),
+            histograms: vec![HistogramSnapshot {
+                name: "h_seconds".into(),
+                count,
+                sum: p * count as f64,
+                min: p,
+                max: p,
+                p50: p,
+                p99: p,
+            }],
+        };
+        // Exactness check: left fold sees (1·2+3·2)/4 = 2 then
+        // (2·4+3·4)/8 = 2.5; right fold sees (3·2+3·4)/6 = 3 then
+        // (1·2+3·6)/8 = 2.5 — every quotient is a dyadic rational.
+        let (a, b, c) = (hist(2, 1.0), hist(2, 3.0), hist(4, 3.0));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = RunLedger::default();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = RunLedger::default();
+        bc.merge(&b);
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left, right, "fold order must not change the merge");
+        let h = left.histogram("h_seconds").expect("merged histogram");
+        assert_eq!(h.count, 8);
+        assert_eq!(h.sum.to_bits(), 20.0f64.to_bits());
+        // Count-weighted quantile: (1·2 + 3·2 + 3·4) / 8 = 2.5.
+        assert_eq!(h.p50.to_bits(), 2.5f64.to_bits());
+        assert_eq!(h.p99.to_bits(), 2.5f64.to_bits());
+        assert_eq!(h.min.to_bits(), 1.0f64.to_bits());
+        assert_eq!(h.max.to_bits(), 3.0f64.to_bits());
+        assert_eq!(left.counter("a_total"), Some(8));
+    }
+
+    #[test]
     fn merge_in_fixed_order_is_bit_identical() {
         let parts: Vec<RunLedger> = (0..8)
             .map(|i| part(i, i as f64 * 0.1, i + 1, i as f64 * 0.7 + 1.0))

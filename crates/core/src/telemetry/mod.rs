@@ -96,6 +96,23 @@ pub mod names {
     // greenhetero-lint: allow(GH009) documented name only: process-global like SOLAR_CACHE_HIT, surfaced by solar::cache_stats
     pub const SOLAR_CACHE_MISS: &str = "greenhetero_solar_cache_miss_total";
 
+    /// Serve sessions restarted after an epoch-step panic.
+    pub const SESSION_RESTARTS: &str = "greenhetero_session_restart_total";
+    /// Serve sessions quarantined after exhausting their restart budget.
+    pub const SESSION_QUARANTINED: &str = "greenhetero_session_quarantined_total";
+    /// Serve sessions evicted by the heartbeat watchdog.
+    pub const SESSION_EVICTED: &str = "greenhetero_session_evicted_total";
+    /// Serve sessions that ran their full epoch horizon to completion.
+    pub const SESSION_COMPLETED: &str = "greenhetero_session_completed_total";
+    /// Serve requests rejected with a reason because a bounded queue was
+    /// full (admission or tick backpressure) or the session cap was hit.
+    pub const SERVE_REJECTED: &str = "greenhetero_serve_rejected_total";
+    /// Wire frames rejected as malformed (bad length, bad UTF-8, bad
+    /// JSON); each closes only the offending connection.
+    pub const SERVE_MALFORMED_FRAMES: &str = "greenhetero_serve_malformed_frame_total";
+    /// Session checkpoints flushed by the graceful-drain protocol.
+    pub const SERVE_DRAIN_CHECKPOINTS: &str = "greenhetero_serve_drain_checkpoint_total";
+
     /// Prediction-phase wall time per epoch, in seconds.
     pub const PREDICT_SECONDS: &str = "greenhetero_controller_predict_seconds";
     /// Source-selection wall time per epoch, in seconds.

@@ -1,0 +1,26 @@
+//! GH011 violating fixture: unbounded queues in a backpressure-scoped
+//! module — overload accumulates in memory instead of surfacing as an
+//! explicit rejection.
+
+use std::sync::mpsc;
+
+/// Wires a supervisor to its sessions through an unbounded queue: a
+/// stalled session lets admissions pile up without limit.
+pub fn admission_queue() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}
+
+/// Same mistake with a turbofish.
+pub fn tick_queue() -> (mpsc::Sender<()>, mpsc::Receiver<()>) {
+    mpsc::channel::<()>()
+}
+
+/// A crossbeam-style unbounded constructor is no better.
+pub fn fan_out_queue() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    unbounded()
+}
+
+/// Stand-in for a vendored unbounded constructor.
+fn unbounded() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}

@@ -1,0 +1,18 @@
+//! GH011 compliant fixture: every queue is bounded and a full queue is
+//! an explicit, reasoned rejection — the daemon's backpressure contract.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+/// A bounded admission queue: depth is a config knob, not infinity.
+pub fn admission_queue(depth: usize) -> (SyncSender<u64>, Receiver<u64>) {
+    sync_channel(depth.max(1))
+}
+
+/// Submitting through the bounded queue: `try_send` failure becomes a
+/// reason the caller can act on instead of silent growth.
+pub fn submit(tx: &SyncSender<u64>, ticket: u64) -> Result<(), &'static str> {
+    tx.try_send(ticket).map_err(|e| match e {
+        TrySendError::Full(_) => "backpressure: admission queue full; retry",
+        TrySendError::Disconnected(_) => "daemon is draining",
+    })
+}

@@ -294,16 +294,15 @@ fn scan_quote(bytes: &[u8], start: usize) -> (usize, TokenKind) {
     let next = bytes.get(start + 1).copied();
     match next {
         Some(b'\\') => {
-            // Escaped char literal: consume through the closing quote.
-            let mut i = start + 2;
-            while i < bytes.len() {
-                match bytes[i] {
-                    b'\\' => i += 2,
-                    b'\'' => return (i + 1, TokenKind::Literal),
-                    _ => i += 1,
-                }
+            // Escaped char literal: the byte after the backslash is escape
+            // payload even when it is itself a backslash or quote (`'\\'`,
+            // `'\''`), so skip past it unconditionally, then scan to the
+            // closing quote (covers the longer `'\u{..}'`/`'\x41'` forms).
+            let mut i = start + 3;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
             }
-            (i, TokenKind::Literal)
+            ((i + 1).min(bytes.len()), TokenKind::Literal)
         }
         Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
             // 'x' is a char literal iff a quote follows immediately;
@@ -393,6 +392,23 @@ mod tests {
             .filter(|t| t.kind == TokenKind::Literal)
             .count();
         assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn backslash_and_quote_char_literals_end_at_their_closing_quote() {
+        // `'\\'` and `'\''` must not swallow the closing quote — doing so
+        // makes the scan run on to the next apostrophe in the file and
+        // corrupts line/test-range tracking for everything after.
+        let s = scan("let a = '\\\\'; let b = '\\''; after.unwrap()");
+        let names = idents("let a = '\\\\'; let b = '\\''; after.unwrap()");
+        assert_eq!(names, vec!["let", "a", "let", "b", "after", "unwrap"]);
+        let lits: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["'\\\\'", "'\\''"]);
     }
 
     #[test]

@@ -19,14 +19,16 @@
 //! | GH008 | no accumulation (`+=`/`fold`/`sum`) through clamping newtypes |
 //! | GH009 | metric-name literals ↔ `telemetry::names` catalog coherence |
 //! | GH010 | no ambient nondeterminism outside `Timing`-tagged modules |
+//! | GH011 | no unbounded channels in backpressure-scoped modules |
 //!
 //! The analysis runs in two phases. Phase 1 scans every file into a
 //! [`model::FileModel`] and builds the cross-file [`graph::SymbolGraph`]
 //! (struct fields and their types, catalog constants and their uses,
 //! metric-name literals, pub items). Phase 2 runs the per-file rules
-//! (GH001–GH003, GH005, GH006), the cross-file rules (GH004, GH009), and
-//! the graph-resolved determinism rules (GH007, GH008, GH010) — the last
-//! group scoped by the [`DETERMINISM_DOMAINS`] table below.
+//! (GH001–GH003, GH005, GH006, GH011), the cross-file rules (GH004,
+//! GH009), and the graph-resolved determinism rules (GH007, GH008,
+//! GH010) — the last group scoped by the [`DETERMINISM_DOMAINS`] table
+//! below.
 //!
 //! The front end is a hand-rolled lexer plus token-level structural
 //! model — the offline build environment has no `syn`/`proc-macro2`, and
@@ -82,6 +84,10 @@ pub const RULES: &[(&str, &str)] = &[
         "GH010",
         "no ambient nondeterminism outside Timing-tagged modules",
     ),
+    (
+        "GH011",
+        "no unbounded channels in backpressure-scoped modules",
+    ),
 ];
 
 /// A determinism domain a module can be tagged with.
@@ -127,6 +133,10 @@ pub const DETERMINISM_DOMAINS: &[(&str, &[Domain])] = &[
         "crates/sim/src/runner.rs",
         &[Domain::Reduction, Domain::Timing],
     ),
+    // The serve daemon measures wall time on purpose: heartbeats,
+    // backoff, and drain deadlines are real-time contracts, not
+    // simulated quantities.
+    ("crates/serve/src/", &[Domain::Timing]),
 ];
 
 /// The union of domain tags matching `path` in [`DETERMINISM_DOMAINS`].
@@ -154,9 +164,19 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "fixtures", "node_modul
 
 /// `true` for files inside a library crate's `src/` tree.
 fn is_lib_src(path: &str) -> bool {
-    ["core", "power", "server", "sim"]
+    ["core", "power", "serve", "server", "sim"]
         .iter()
         .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// `true` for modules under the backpressure contract (GH011): the serve
+/// daemon and the sim fan-out paths, where every inter-thread queue must
+/// be bounded so overload surfaces as an explicit rejection.
+#[must_use]
+pub fn is_bounded_channel_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/src/")
+        || path == "crates/sim/src/runner.rs"
+        || path == "crates/sim/src/fleet.rs"
 }
 
 /// `true` for files inside the dimensional crates (`core`, `power`).
@@ -273,6 +293,9 @@ pub fn analyze_files_report(files: &[(String, String)], rule_filter: Option<&str
         }
         if is_solver_hot_loop(&model.path) {
             rules::gh006::check(model, &mut diags);
+        }
+        if is_bounded_channel_scope(&model.path) {
+            rules::gh011::check(model, &mut diags);
         }
         if domains.contains(&Domain::Reduction) || domains.contains(&Domain::Telemetry) {
             rules::gh007::check(model, &graph, &mut diags);

@@ -1,0 +1,120 @@
+//! GH011: no unbounded channels in the backpressure-scoped modules.
+//!
+//! The serve daemon's robustness contract (DESIGN.md §13) is that a slow
+//! consumer surfaces as an explicit `backpressure` rejection, never as
+//! unbounded memory growth: every queue between the accept loop, the
+//! supervisor, and the session threads must be a bounded
+//! `mpsc::sync_channel(n)` whose `try_send` failure is handled. An
+//! unbounded `mpsc::channel()` (or a `crossbeam`-style `unbounded()`)
+//! silently converts overload into an OOM long after the cause. The rule
+//! is scoped by [`is_bounded_channel_scope`] to the serve crate and the
+//! sim fan-out modules (`runner.rs`, `fleet.rs`) — elsewhere, e.g. a
+//! rendezvous channel in a CLI, an unbounded queue can be fine.
+//!
+//! [`is_bounded_channel_scope`]: crate::is_bounded_channel_scope
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+
+/// The rule code.
+pub const RULE: &str = "GH011";
+
+/// Runs GH011 over one file inside the bounded-channel scope.
+pub fn check(model: &FileModel, diags: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let called = tokens.get(i + 1).map(|n| n.text.as_str()) == Some("(");
+        let what = match t.text.as_str() {
+            // `mpsc::channel()` / `channel::<T>()`; `sync_channel` is a
+            // different token and never matches.
+            "channel" if called => "`channel()`",
+            "channel"
+                if tokens.get(i + 1).map(|n| n.text.as_str()) == Some(":")
+                    && tokens.get(i + 2).map(|n| n.text.as_str()) == Some(":")
+                    && tokens.get(i + 3).map(|n| n.text.as_str()) == Some("<") =>
+            {
+                "`channel::<_>()`"
+            }
+            // crossbeam-style constructor, in case a vendored stand-in
+            // ever grows one.
+            "unbounded" if called => "`unbounded()`",
+            _ => continue,
+        };
+        if model.in_test_code(t.line) || model.is_allowed(RULE, t.line) {
+            continue;
+        }
+        diags.push(Diagnostic::new(
+            RULE,
+            &model.path,
+            t.line,
+            format!(
+                "{what} creates an unbounded queue in a backpressure-scoped module; use `mpsc::sync_channel(n)` and handle `try_send` failure as an explicit rejection"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::build(path, src);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn fixture_fail_is_flagged() {
+        let diags = run(
+            "crates/serve/src/supervisor.rs",
+            include_str!("../../fixtures/gh011_fail.rs"),
+        );
+        assert!(
+            diags.len() >= 2,
+            "expected channel() and unbounded() hits: {diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.rule == RULE));
+    }
+
+    #[test]
+    fn fixture_pass_is_clean() {
+        let diags = run(
+            "crates/serve/src/supervisor.rs",
+            include_str!("../../fixtures/gh011_pass.rs"),
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn sync_channel_is_not_channel() {
+        let diags = run(
+            "crates/serve/src/daemon.rs",
+            "use std::sync::mpsc::sync_channel;\nfn f() { let (tx, rx) = sync_channel::<u32>(8); }\n",
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn turbofish_channel_is_flagged() {
+        let diags = run(
+            "crates/sim/src/runner.rs",
+            "use std::sync::mpsc;\nfn f() { let (tx, rx) = mpsc::channel::<u32>(); }\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_and_allows_are_exempt() {
+        let diags = run(
+            "crates/serve/src/session.rs",
+            "// greenhetero-lint: allow(GH011) completion-ack channel holds at most one message by construction\nfn f() { let (tx, rx) = std::sync::mpsc::channel::<()>(); }\n#[cfg(test)]\nmod tests {\n    fn g() { let (tx, rx) = std::sync::mpsc::channel::<()>(); }\n}\n",
+        );
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

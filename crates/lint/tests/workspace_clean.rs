@@ -60,7 +60,7 @@ fn self_lint_report_census_names_only_real_rules() {
             .all(|s| s.line > 0 && !s.file.is_empty()));
     }
     // The new determinism rules are in the catalog the census checks against.
-    for code in ["GH007", "GH008", "GH009", "GH010"] {
+    for code in ["GH007", "GH008", "GH009", "GH010", "GH011"] {
         assert!(RULES.iter().any(|(c, _)| *c == code), "missing {code}");
     }
 }
@@ -123,7 +123,7 @@ impl FleetAccumulator {
 
 #[test]
 fn every_rule_has_a_fixture_pair_that_trips_and_passes() {
-    // GH007–GH010 ship positive/negative fixtures; each fail fixture must
+    // GH007–GH011 ship positive/negative fixtures; each fail fixture must
     // trip exactly its own rule and each pass fixture must be clean under
     // it. Paths are chosen so the fixtures land in the rules' scopes.
     let cases: &[(&str, &str, &str, &str)] = &[
@@ -150,6 +150,12 @@ fn every_rule_has_a_fixture_pair_that_trips_and_passes() {
             "crates/sim/src/report.rs",
             include_str!("../fixtures/gh010_fail.rs"),
             include_str!("../fixtures/gh010_pass.rs"),
+        ),
+        (
+            "GH011",
+            "crates/serve/src/supervisor.rs",
+            include_str!("../fixtures/gh011_fail.rs"),
+            include_str!("../fixtures/gh011_pass.rs"),
         ),
     ];
     for (rule, path, fail_src, pass_src) in cases {

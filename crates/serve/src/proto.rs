@@ -1,0 +1,349 @@
+//! The wire protocol: length-prefixed JSON frames plus flat-JSON
+//! rendering helpers.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many
+//! bytes of UTF-8, one flat JSON object per frame (no nesting — the
+//! same shape [`greenhetero_core::telemetry::EventLine`] parses).
+//! Frames above the configured maximum, empty frames, and non-UTF-8
+//! payloads are *malformed*: the daemon answers with an error frame
+//! when it can and closes only the offending connection.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Default upper bound on a frame's payload, in bytes.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Why reading or writing a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The peer violated the framing protocol; the connection should be
+    /// dropped.
+    Malformed(String),
+    /// The read or write timed out (the socket's configured timeout).
+    TimedOut,
+    /// Any other I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Malformed(reason) => write!(f, "malformed frame: {reason}"),
+            FrameError::TimedOut => write!(f, "frame I/O timed out"),
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Classifies an I/O error from a blocking socket read/write.
+fn classify(e: std::io::Error) -> FrameError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => FrameError::TimedOut,
+        _ => FrameError::Io(e),
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] when the payload exceeds
+/// [`DEFAULT_MAX_FRAME_LEN`]; otherwise the classified I/O failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), FrameError> {
+    let bytes = payload.as_bytes();
+    if bytes.is_empty() || bytes.len() > DEFAULT_MAX_FRAME_LEN {
+        return Err(FrameError::Malformed(format!(
+            "outgoing frame of {} bytes outside 1..={DEFAULT_MAX_FRAME_LEN}",
+            bytes.len()
+        )));
+    }
+    let len = bytes.len() as u32;
+    w.write_all(&len.to_be_bytes()).map_err(classify)?;
+    w.write_all(bytes).map_err(classify)?;
+    w.flush().map_err(classify)
+}
+
+/// Reads one frame of at most `max_len` payload bytes.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] when the peer hung up before the length
+/// prefix; [`FrameError::Malformed`] for a zero/oversized length, a
+/// truncated payload, or non-UTF-8 bytes; [`FrameError::TimedOut`] when
+/// the socket's read timeout expired; [`FrameError::Io`] otherwise.
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<String, FrameError> {
+    let mut len_buf = [0u8; 4];
+    if let Err(e) = r.read_exact(&mut len_buf) {
+        return Err(match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => FrameError::Closed,
+            _ => classify(e),
+        });
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > max_len {
+        return Err(FrameError::Malformed(format!(
+            "frame length {len} outside 1..={max_len}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    if let Err(e) = r.read_exact(&mut payload) {
+        return Err(match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                FrameError::Malformed("frame truncated mid-payload".into())
+            }
+            _ => classify(e),
+        });
+    }
+    String::from_utf8(payload).map_err(|_| FrameError::Malformed("frame is not UTF-8".into()))
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undoes [`json_escape`] (the escapes this module emits, plus `\/`).
+/// Unknown escapes are kept verbatim rather than rejected.
+#[must_use]
+pub fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                match u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    Some(decoded) => out.push(decoded),
+                    None => {
+                        out.push_str("\\u");
+                        out.push_str(&hex);
+                    }
+                }
+            }
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// An incrementally built flat JSON object: string, number, and bool
+/// fields only, rendered in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn sep(&mut self) {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        } else {
+            self.buf.push(',');
+        }
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":\"");
+        self.buf.push_str(&json_escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field with full-precision `Display` rendering
+    /// (shortest round-trip, so byte equality is bit equality);
+    /// non-finite values render as `null`.
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+        if value.is_finite() {
+            self.buf.push_str(&value.to_string());
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an explicit `null` field.
+    pub fn null(&mut self, key: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":null");
+        self
+    }
+
+    /// Renders the object.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Shorthand for the daemon's error responses: `{"ok":false,...}` with
+/// a machine-readable `reason` tag and a human-readable `error`.
+#[must_use]
+pub fn error_frame(reason: &str, detail: &str) -> String {
+    let mut o = JsonObject::new();
+    o.bool("ok", false)
+        .str("reason", reason)
+        .str("error", detail);
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"cmd":"status"}"#).unwrap();
+        write_frame(&mut buf, "x").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).unwrap(),
+            r#"{"cmd":"status"}"#
+        );
+        assert_eq!(read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN).unwrap(), "x");
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_LEN),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_malformed() {
+        let mut oversized = Vec::from(u32::MAX.to_be_bytes());
+        oversized.extend_from_slice(b"xxxx");
+        assert!(matches!(
+            read_frame(&mut &oversized[..], 1024),
+            Err(FrameError::Malformed(_))
+        ));
+        let zero = 0u32.to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &zero[..], 1024),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_malformed_not_closed() {
+        let mut buf = Vec::from(10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_frame(&mut &buf[..], 1024),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_malformed() {
+        let mut buf = Vec::from(2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            read_frame(&mut &buf[..], 1024),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let nasty = "a\"b\\c\nd\te\r\u{1}f";
+        assert_eq!(json_unescape(&json_escape(nasty)), nasty);
+    }
+
+    #[test]
+    fn json_object_renders_flat() {
+        let mut o = JsonObject::new();
+        o.bool("ok", true)
+            .str("name", "s\"1")
+            .u64("cursor", 42)
+            .f64("soc", 0.5)
+            .f64("bad", f64::NAN)
+            .null("par");
+        assert_eq!(
+            o.finish(),
+            r#"{"ok":true,"name":"s\"1","cursor":42,"soc":0.5,"bad":null,"par":null}"#
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn error_frames_parse_as_event_lines() {
+        let frame = error_frame("backpressure", "admission queue full");
+        let line = greenhetero_core::telemetry::EventLine::parse(&frame).expect("parses");
+        assert_eq!(line.flag("ok"), Some(false));
+        assert_eq!(line.text("reason"), Some("backpressure"));
+    }
+}

@@ -1,0 +1,640 @@
+//! The session supervisor: bounded admission, a substrate cache, the
+//! heartbeat watchdog, and the graceful-drain protocol.
+//!
+//! The supervision tree (DESIGN.md §13):
+//!
+//! ```text
+//! Daemon
+//! ├── accept thread        (TCP; never blocks on sessions)
+//! ├── watchdog thread      (evicts heartbeat-stale sessions)
+//! ├── spawner thread       (drains the bounded admission queue)
+//! └── session threads      (one per rack session, joinable)
+//! ```
+//!
+//! Admission is a bounded `sync_channel`: a full queue rejects the
+//! submit with a reason instead of blocking (the telemetry counter
+//! [`names::SERVE_REJECTED`] tracks every rejection). Drain follows the
+//! shutdown-channel + `AtomicBool` liveness + joinable-handle shape:
+//! raise every stop flag, nudge every tick channel, join session
+//! threads against a deadline, and flush one [`SessionCheckpoint`] per
+//! session before the map is cleared.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use greenhetero_core::database::PerfDatabase;
+use greenhetero_core::error::CoreError;
+use greenhetero_core::telemetry::{names, Telemetry};
+use greenhetero_server::rack::Rack;
+use greenhetero_sim::fleet::pretrain_database;
+
+use crate::session::{SessionMsg, SessionRuntime, SessionShared};
+use crate::spec::SessionSpec;
+use crate::{ServeClock, SessionCheckpoint, SessionState};
+
+/// A rejected request: a machine-readable tag plus a human-readable
+/// message, rendered onto the wire as `reason`/`error`.
+pub type Rejection = (&'static str, String);
+
+/// Supervisor sizing and pacing knobs (a subset of the daemon config).
+#[derive(Debug, Clone)]
+pub(crate) struct SupervisorLimits {
+    /// Non-terminal sessions the daemon will host at once.
+    pub(crate) max_sessions: usize,
+    /// Depth of the bounded admission queue.
+    pub(crate) admission_queue_depth: usize,
+    /// Depth of each session's bounded tick/shutdown channel.
+    pub(crate) tick_queue_depth: usize,
+    /// Watchdog scan period, ms.
+    pub(crate) watchdog_tick_ms: u64,
+    /// Where drain writes its checkpoint JSONL, when set.
+    pub(crate) checkpoint_path: Option<PathBuf>,
+}
+
+/// One session's supervision handle.
+struct SessionHandle {
+    shared: Arc<SessionShared>,
+    ctrl_tx: SyncSender<SessionMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A queued admission: everything the spawner needs to start the
+/// session thread.
+struct AdmissionTicket {
+    spec: SessionSpec,
+    shared: Arc<SessionShared>,
+    ctrl_rx: Receiver<SessionMsg>,
+}
+
+/// Cached per-substrate-key shared state: one rack model, plus the
+/// pretrained profile database once a `pretrain` session asked for it.
+struct SubstrateEntry {
+    rack: Arc<Rack>,
+    pretrained: Option<Arc<PerfDatabase>>,
+}
+
+/// Point-in-time status of one session.
+#[derive(Debug, Clone)]
+pub struct SessionStatus {
+    /// Session name.
+    pub session: String,
+    /// Wire name of the current state.
+    pub state: &'static str,
+    /// Decisions emitted so far.
+    pub cursor: u64,
+    /// The session's epoch horizon (0 until its stepper is built).
+    pub epochs_total: u64,
+    /// Panic restarts consumed.
+    pub restarts: u32,
+    /// Epochs that ran in a degraded mode.
+    pub degraded_epochs: u64,
+    /// The most recent quarantine/build error, if any.
+    pub last_error: Option<String>,
+}
+
+/// A point-in-time snapshot of the whole supervisor.
+#[derive(Debug, Clone, Default)]
+pub struct StatusSnapshot {
+    /// Sessions waiting for the spawner.
+    pub pending: u64,
+    /// Sessions actively stepping.
+    pub running: u64,
+    /// Sessions that completed their horizon.
+    pub finished: u64,
+    /// Sessions parked after exhausting their restart budget.
+    pub quarantined: u64,
+    /// Sessions evicted by the watchdog.
+    pub evicted: u64,
+    /// Sessions stopped by a drain.
+    pub drained: u64,
+    /// Panic restarts summed over hosted sessions.
+    pub restarts_total: u64,
+    /// Per-session detail, in name order.
+    pub sessions: Vec<SessionStatus>,
+}
+
+impl StatusSnapshot {
+    /// Sessions that can still make progress.
+    #[must_use]
+    pub fn active(&self) -> u64 {
+        self.pending + self.running
+    }
+
+    /// All hosted sessions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.sessions.len() as u64
+    }
+}
+
+/// The outcome of a graceful drain.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// One checkpoint per hosted session, flushed in name order.
+    pub checkpoints: Vec<SessionCheckpoint>,
+    /// Session threads joined within the deadline.
+    pub joined: usize,
+    /// Session threads still running when the deadline expired.
+    pub leaked: usize,
+    /// `true` when every thread joined before the deadline.
+    pub within_deadline: bool,
+    /// Wall time the drain took, ms.
+    pub elapsed_ms: u64,
+    /// Failure writing the checkpoint file, if one was configured.
+    pub checkpoint_write_error: Option<String>,
+}
+
+/// Hosts and supervises rack sessions. Constructed by
+/// [`Daemon::start`](crate::Daemon::start); connections reach it
+/// through the daemon's command dispatch.
+pub struct Supervisor {
+    limits: SupervisorLimits,
+    telemetry: Telemetry,
+    clock: ServeClock,
+    live: Arc<AtomicBool>,
+    sessions: Mutex<BTreeMap<String, SessionHandle>>,
+    admission_tx: Mutex<Option<SyncSender<AdmissionTicket>>>,
+    substrates: Mutex<BTreeMap<String, SubstrateEntry>>,
+    draining: AtomicBool,
+    drain_report: Mutex<Option<DrainReport>>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("draining", &self.draining.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Supervisor {
+    /// Builds the supervisor and starts its spawner and watchdog
+    /// threads; the caller joins the returned handles at shutdown.
+    pub(crate) fn start(
+        limits: SupervisorLimits,
+        telemetry: Telemetry,
+        clock: ServeClock,
+        live: Arc<AtomicBool>,
+    ) -> (Arc<Supervisor>, Vec<JoinHandle<()>>) {
+        let (admission_tx, admission_rx) = sync_channel(limits.admission_queue_depth.max(1));
+        let supervisor = Arc::new(Supervisor {
+            limits,
+            telemetry,
+            clock,
+            live,
+            sessions: Mutex::new(BTreeMap::new()),
+            admission_tx: Mutex::new(Some(admission_tx)),
+            substrates: Mutex::new(BTreeMap::new()),
+            draining: AtomicBool::new(false),
+            drain_report: Mutex::new(None),
+        });
+        let spawner = {
+            let sup = Arc::clone(&supervisor);
+            std::thread::spawn(move || sup.spawner_loop(&admission_rx))
+        };
+        let watchdog = {
+            let sup = Arc::clone(&supervisor);
+            std::thread::spawn(move || sup.watchdog_loop())
+        };
+        (supervisor, vec![spawner, watchdog])
+    }
+
+    fn reject(&self, tag: &'static str, message: String) -> Rejection {
+        self.telemetry
+            .registry()
+            .counter(names::SERVE_REJECTED)
+            .inc();
+        (tag, message)
+    }
+
+    /// Admits a new session. Returns its epoch horizon on success.
+    ///
+    /// # Errors
+    ///
+    /// Rejects (with a wire reason) invalid specs, duplicate names, a
+    /// full host, a full admission queue, and a draining daemon — the
+    /// queue-full path is the explicit backpressure contract: the
+    /// caller retries, nothing blocks.
+    pub fn submit(&self, spec: SessionSpec) -> Result<u64, Rejection> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(self.reject("draining", "daemon is draining".into()));
+        }
+        let epochs_total = spec
+            .epochs_total()
+            .map_err(|e| self.reject("invalid_spec", e.to_string()))?;
+        let shared = Arc::new(SessionShared::new(
+            &spec.name,
+            spec.controller.serve_heartbeat_timeout_ms,
+            self.clock.now_ms(),
+        ));
+        let (ctrl_tx, ctrl_rx) = sync_channel(self.limits.tick_queue_depth.max(1));
+        {
+            let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            if sessions.contains_key(&spec.name) {
+                return Err(self.reject(
+                    "duplicate",
+                    format!("session {:?} already exists", spec.name),
+                ));
+            }
+            let active = sessions
+                .values()
+                .filter(|h| !h.shared.state().is_terminal())
+                .count();
+            if active >= self.limits.max_sessions {
+                return Err(self.reject(
+                    "capacity",
+                    format!(
+                        "{active} active sessions at the cap of {}",
+                        self.limits.max_sessions
+                    ),
+                ));
+            }
+            sessions.insert(
+                spec.name.clone(),
+                SessionHandle {
+                    shared: Arc::clone(&shared),
+                    ctrl_tx,
+                    join: None,
+                },
+            );
+        }
+        let name = spec.name.clone();
+        let ticket = AdmissionTicket {
+            spec,
+            shared,
+            ctrl_rx,
+        };
+        let outcome = {
+            let tx = self
+                .admission_tx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match tx.as_ref() {
+                Some(tx) => tx.try_send(ticket).map_err(|e| match e {
+                    TrySendError::Full(_) => ("backpressure", "admission queue full; retry"),
+                    TrySendError::Disconnected(_) => ("draining", "daemon is draining"),
+                }),
+                None => Err(("draining", "daemon is draining")),
+            }
+        };
+        match outcome {
+            Ok(()) => Ok(epochs_total),
+            Err((tag, message)) => {
+                self.sessions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&name);
+                Err(self.reject(tag, message.into()))
+            }
+        }
+    }
+
+    /// Enqueues one manual-pacing tick (also the session's heartbeat).
+    /// Returns the session's decision cursor at enqueue time.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown or terminal sessions, and reports backpressure
+    /// when the bounded tick queue is full.
+    pub fn tick(&self, name: &str) -> Result<u64, Rejection> {
+        let (ctrl_tx, shared) = {
+            let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            let handle = sessions
+                .get(name)
+                .ok_or_else(|| ("unknown_session", format!("no session {name:?}")))?;
+            (handle.ctrl_tx.clone(), Arc::clone(&handle.shared))
+        };
+        let state = shared.state();
+        if state.is_terminal() {
+            return Err(("terminal", format!("session {name:?} is {}", state.name())));
+        }
+        match ctrl_tx.try_send(SessionMsg::Tick) {
+            Ok(()) => Ok(shared.cursor()),
+            Err(TrySendError::Full(_)) => Err(self.reject(
+                "backpressure",
+                format!("tick queue for {name:?} is full; retry"),
+            )),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(("terminal", format!("session {name:?} is gone")))
+            }
+        }
+    }
+
+    /// Copies out decision lines `[from, from+max)` for one session,
+    /// plus (total emitted, horizon, state name).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown sessions.
+    pub fn decisions(
+        &self,
+        name: &str,
+        from: u64,
+        max: u64,
+    ) -> Result<(Vec<String>, u64, u64, &'static str), Rejection> {
+        let shared = {
+            let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            let handle = sessions
+                .get(name)
+                .ok_or_else(|| ("unknown_session", format!("no session {name:?}")))?;
+            Arc::clone(&handle.shared)
+        };
+        let (lines, total) = shared.decisions_from(from, max);
+        Ok((
+            lines,
+            total,
+            shared.epochs_total.load(Ordering::Acquire),
+            shared.state().name(),
+        ))
+    }
+
+    /// Point-in-time status of one session.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown sessions.
+    pub fn session_status(&self, name: &str) -> Result<SessionStatus, Rejection> {
+        let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+        let handle = sessions
+            .get(name)
+            .ok_or_else(|| ("unknown_session", format!("no session {name:?}")))?;
+        Ok(status_of(&handle.shared))
+    }
+
+    /// Point-in-time status of every hosted session.
+    #[must_use]
+    pub fn status(&self) -> StatusSnapshot {
+        let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut snap = StatusSnapshot::default();
+        for handle in sessions.values() {
+            let status = status_of(&handle.shared);
+            match handle.shared.state() {
+                SessionState::Pending => snap.pending += 1,
+                SessionState::Running => snap.running += 1,
+                SessionState::Finished => snap.finished += 1,
+                SessionState::Quarantined => snap.quarantined += 1,
+                SessionState::Evicted => snap.evicted += 1,
+                SessionState::Drained => snap.drained += 1,
+            }
+            snap.restarts_total += u64::from(status.restarts);
+            snap.sessions.push(status);
+        }
+        snap
+    }
+
+    /// The spawner: drains the bounded admission queue, resolves the
+    /// shared substrate, and starts one joinable thread per session.
+    fn spawner_loop(self: &Arc<Self>, admission_rx: &Receiver<AdmissionTicket>) {
+        while let Ok(ticket) = admission_rx.recv() {
+            let name = ticket.spec.name.clone();
+            if self.draining.load(Ordering::Acquire) {
+                ticket
+                    .shared
+                    .transition(SessionState::Pending, SessionState::Drained);
+                continue;
+            }
+            let (rack, profile_base) = match self.substrate_for(&ticket.spec) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    self.fail_admission(&ticket.shared, format!("substrate build failed: {e}"));
+                    continue;
+                }
+            };
+            let runtime = SessionRuntime {
+                spec: ticket.spec,
+                shared: Arc::clone(&ticket.shared),
+                ctrl_rx: ticket.ctrl_rx,
+                telemetry: self.telemetry.clone(),
+                clock: self.clock.clone(),
+                rack,
+                profile_base,
+            };
+            let spawned = std::thread::Builder::new()
+                .name(format!("gh-session-{name}"))
+                .spawn(move || runtime.run());
+            match spawned {
+                Ok(handle) => {
+                    let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Some(entry) = sessions.get_mut(&name) {
+                        entry.join = Some(handle);
+                    }
+                }
+                Err(e) => {
+                    self.fail_admission(&ticket.shared, format!("thread spawn failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Marks an admitted-but-unstartable session quarantined.
+    fn fail_admission(&self, shared: &SessionShared, error: String) {
+        shared.record_admission_failure(error);
+        self.telemetry
+            .registry()
+            .counter(names::SESSION_QUARANTINED)
+            .inc();
+    }
+
+    /// Resolves (building and caching on first use) the shared
+    /// substrate for a spec: one rack model per substrate key, plus the
+    /// shared pretrained profile database when requested.
+    fn substrate_for(
+        &self,
+        spec: &SessionSpec,
+    ) -> Result<(Arc<Rack>, Option<Arc<PerfDatabase>>), CoreError> {
+        let key = spec.substrate_key();
+        let mut cache = self
+            .substrates
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !cache.contains_key(&key) {
+            let scenario = spec.scenario()?;
+            let rack = Arc::new(scenario.build_rack()?);
+            cache.insert(
+                key.clone(),
+                SubstrateEntry {
+                    rack,
+                    pretrained: None,
+                },
+            );
+        }
+        let entry = cache
+            .get_mut(&key)
+            .ok_or_else(|| CoreError::InvalidConfig {
+                reason: "substrate cache entry vanished".into(),
+            })?;
+        let profile_base = if spec.pretrain {
+            if entry.pretrained.is_none() {
+                let scenario = spec.scenario()?;
+                entry.pretrained = Some(Arc::new(pretrain_database(&entry.rack, &scenario)?));
+            }
+            entry.pretrained.clone()
+        } else {
+            None
+        };
+        Ok((Arc::clone(&entry.rack), profile_base))
+    }
+
+    /// The watchdog: evicts Running sessions whose heartbeat is older
+    /// than their timeout. Eviction stamps the state first (so the
+    /// session's own exit keeps it), then raises stop and nudges the
+    /// tick channel.
+    fn watchdog_loop(&self) {
+        while self.live.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(self.limits.watchdog_tick_ms.max(1)));
+            let now = self.clock.now_ms();
+            let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            for handle in sessions.values() {
+                if handle.shared.state() != SessionState::Running {
+                    continue;
+                }
+                let stale_ms = now.saturating_sub(handle.shared.heartbeat_ms());
+                if stale_ms <= handle.shared.heartbeat_timeout_ms {
+                    continue;
+                }
+                if handle
+                    .shared
+                    .transition(SessionState::Running, SessionState::Evicted)
+                {
+                    self.telemetry
+                        .registry()
+                        .counter(names::SESSION_EVICTED)
+                        .inc();
+                    handle.shared.stop.store(true, Ordering::Release);
+                    let _ = handle.ctrl_tx.try_send(SessionMsg::Shutdown);
+                }
+            }
+        }
+    }
+
+    /// The graceful drain: stop admissions, raise every session's stop
+    /// flag, join session threads against `deadline_ms`, flush one
+    /// checkpoint per session, and clear the session map. Idempotent —
+    /// a second call returns the stored report.
+    pub fn drain(&self, deadline_ms: u64) -> DrainReport {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return self
+                .drain_report
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+                .unwrap_or_default();
+        }
+        let started = self.clock.now_ms();
+        // Close the admission queue; the spawner exits once it drains.
+        *self
+            .admission_tx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        {
+            let sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            for handle in sessions.values() {
+                handle.shared.stop.store(true, Ordering::Release);
+                let _ = handle.ctrl_tx.try_send(SessionMsg::Shutdown);
+            }
+        }
+        let mut joined = 0usize;
+        loop {
+            let mut outstanding = 0usize;
+            {
+                let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+                for handle in sessions.values_mut() {
+                    match &handle.join {
+                        Some(join) if join.is_finished() => {
+                            if let Some(join) = handle.join.take() {
+                                let _ = join.join();
+                                joined += 1;
+                            }
+                        }
+                        Some(_) => outstanding += 1,
+                        None => {
+                            // Never spawned (still queued) — drain it in
+                            // place; a spawned-but-unregistered thread
+                            // shows up as Running and is counted
+                            // outstanding until the spawner registers it.
+                            handle
+                                .shared
+                                .transition(SessionState::Pending, SessionState::Drained);
+                            if !handle.shared.state().is_terminal() {
+                                outstanding += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            let elapsed = self.clock.now_ms().saturating_sub(started);
+            if outstanding == 0 || elapsed > deadline_ms {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (checkpoints, leaked) = self.flush_checkpoints();
+        let elapsed_ms = self.clock.now_ms().saturating_sub(started);
+        let report = DrainReport {
+            checkpoint_write_error: self.write_checkpoints(&checkpoints),
+            checkpoints,
+            joined,
+            leaked,
+            within_deadline: leaked == 0 && elapsed_ms <= deadline_ms,
+            elapsed_ms,
+        };
+        *self
+            .drain_report
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(report.clone());
+        report
+    }
+
+    /// Collects every session's checkpoint, counts the flushes, and
+    /// clears the map (the post-drain `/status` must be empty).
+    fn flush_checkpoints(&self) -> (Vec<SessionCheckpoint>, usize) {
+        let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut checkpoints = Vec::with_capacity(sessions.len());
+        let mut leaked = 0usize;
+        for (_, handle) in std::mem::take(&mut *sessions) {
+            if handle.join.is_some() {
+                // Still running past the deadline: leaked. Its thread
+                // keeps the shared Arc alive but the daemon forgets it.
+                leaked += 1;
+            }
+            checkpoints.push(handle.shared.checkpoint());
+            self.telemetry
+                .registry()
+                .counter(names::SERVE_DRAIN_CHECKPOINTS)
+                .inc();
+        }
+        (checkpoints, leaked)
+    }
+
+    /// Writes the checkpoint JSONL file, when configured.
+    fn write_checkpoints(&self, checkpoints: &[SessionCheckpoint]) -> Option<String> {
+        let path = self.limits.checkpoint_path.as_ref()?;
+        let render = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(path)?;
+            for checkpoint in checkpoints {
+                writeln!(file, "{}", checkpoint.to_json_line())?;
+            }
+            file.flush()
+        };
+        render().err().map(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Builds the status row for one session.
+fn status_of(shared: &SessionShared) -> SessionStatus {
+    SessionStatus {
+        session: shared.name.clone(),
+        state: shared.state().name(),
+        cursor: shared.cursor(),
+        epochs_total: shared.epochs_total.load(Ordering::Acquire),
+        restarts: shared.restarts(),
+        degraded_epochs: shared.degraded_epochs(),
+        last_error: shared.last_error(),
+    }
+}

@@ -84,8 +84,13 @@ impl Simulation {
     ///
     /// The scenario must already be validated; the caller owns telemetry
     /// construction so a fleet can pair per-rack registries with one
-    /// shared sink.
-    pub(crate) fn with_substrate(
+    /// shared sink, and a serve daemon can host many sessions on one
+    /// rack model and one solar trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller, bank, and grid construction failures.
+    pub fn with_substrate(
         scenario: Scenario,
         rack: Arc<Rack>,
         solar: Arc<PowerTrace>,
@@ -588,6 +593,99 @@ pub fn run_scenario(scenario: Scenario) -> Result<RunReport, CoreError> {
     Simulation::new(scenario)?.run()
 }
 
+/// Drives a [`Simulation`] one epoch at a time, owning the record and
+/// EPU accumulators that [`Simulation::run`] keeps on its stack.
+///
+/// This is the long-lived-session entry point: a serve daemon steps a
+/// `Stepper` on its own cadence, reads each decision as it lands, and
+/// can abandon the instance mid-run (e.g. after a panic) — rebuilding
+/// from the same scenario and re-stepping to the old cursor reproduces
+/// the abandoned state bit-for-bit, because stepping is deterministic.
+/// `step-all + finish` remains byte-identical to [`Simulation::run`].
+#[derive(Debug)]
+pub struct Stepper {
+    sim: Simulation,
+    records: Vec<EpochRecord>,
+    epu: EpuAccumulator,
+    epochs_total: u64,
+}
+
+impl Stepper {
+    /// Builds a stepper from a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::new`] failures.
+    pub fn new(scenario: Scenario) -> Result<Self, CoreError> {
+        Ok(Stepper::from_simulation(Simulation::new(scenario)?))
+    }
+
+    /// Wraps an already-built simulation (e.g. one constructed on a
+    /// shared substrate via [`Simulation::with_substrate`]).
+    #[must_use]
+    pub fn from_simulation(sim: Simulation) -> Self {
+        let epochs_total = sim.epochs_total();
+        Stepper {
+            sim,
+            records: Vec::with_capacity(epochs_total as usize),
+            epu: EpuAccumulator::new(),
+            epochs_total,
+        }
+    }
+
+    /// Steps one epoch. Returns the freshly produced record, or `None`
+    /// once the scenario's horizon has been reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller failures (bugs, not run-time conditions).
+    pub fn step(&mut self) -> Result<Option<&EpochRecord>, CoreError> {
+        if self.cursor() >= self.epochs_total {
+            return Ok(None);
+        }
+        self.sim.step_epoch(&mut self.records, &mut self.epu)?;
+        Ok(self.records.last())
+    }
+
+    /// Epochs stepped so far.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Epochs the scenario spans in total.
+    #[must_use]
+    pub fn epochs_total(&self) -> u64 {
+        self.epochs_total
+    }
+
+    /// `true` once every epoch has been stepped.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.cursor() >= self.epochs_total
+    }
+
+    /// The records stepped so far, oldest first.
+    #[must_use]
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// The underlying simulation's scenario.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        self.sim.scenario()
+    }
+
+    /// Consumes the stepper into a report over the epochs stepped so
+    /// far. After a full run this is byte-identical to
+    /// [`Simulation::run`] on the same scenario.
+    #[must_use]
+    pub fn finish(self) -> RunReport {
+        self.sim.finish(self.records, self.epu)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +706,55 @@ mod tests {
         // First epoch trains the database.
         assert!(report.epochs[0].training);
         assert!(!report.epochs[1].training);
+    }
+
+    #[test]
+    // Exact float equality is the contract under test: the stepper must
+    // reproduce the batch run bit for bit.
+    #[allow(clippy::float_cmp)]
+    fn stepper_matches_batch_run_bit_for_bit() {
+        let batch = run_scenario(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        let mut stepper = Stepper::new(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        assert_eq!(stepper.epochs_total(), 96);
+        let mut stepped = 0u64;
+        while let Some(record) = stepper.step().unwrap() {
+            assert_eq!(*record, batch.epochs[stepped as usize]);
+            stepped += 1;
+            assert_eq!(stepper.cursor(), stepped);
+        }
+        assert!(stepper.is_complete());
+        assert_eq!(stepped, 96);
+        let report = stepper.finish();
+        assert_eq!(report.epochs, batch.epochs);
+        assert_eq!(report.grid_energy, batch.grid_energy);
+        assert_eq!(report.grid_peak, batch.grid_peak);
+        assert_eq!(report.grid_cost, batch.grid_cost);
+        assert_eq!(report.unserved_energy, batch.unserved_energy);
+        assert_eq!(report.degraded_epochs, batch.degraded_epochs);
+    }
+
+    #[test]
+    fn stepper_rebuild_and_replay_resumes_mid_run() {
+        // The serve daemon's crash-recovery path: abandon a stepper at an
+        // arbitrary cursor, rebuild from the spec, replay to the cursor,
+        // and continue — the tail must match an undisturbed run exactly.
+        let mut undisturbed = Stepper::new(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        while undisturbed.step().unwrap().is_some() {}
+        let reference = undisturbed.finish();
+
+        let mut first = Stepper::new(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        for _ in 0..37 {
+            first.step().unwrap().unwrap();
+        }
+        let cursor = first.cursor();
+        drop(first); // "panic": the instance is lost
+
+        let mut rebuilt = Stepper::new(quick_scenario(PolicyKind::GreenHetero)).unwrap();
+        for _ in 0..cursor {
+            rebuilt.step().unwrap().unwrap();
+        }
+        while rebuilt.step().unwrap().is_some() {}
+        assert_eq!(rebuilt.finish().epochs, reference.epochs);
     }
 
     #[test]

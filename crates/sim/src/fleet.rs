@@ -335,7 +335,15 @@ fn rack_solar_scale(spread: f64, base_seed: u64, rack_id: u32) -> f64 {
 /// Builds the shared noise-free profiling database: one training sweep
 /// per distinct (configuration, workload) pair in the rack, exactly the
 /// sweep the engine's training epoch would run, minus meter noise.
-fn pretrain_database(rack: &Rack, base: &Scenario) -> Result<PerfDatabase, CoreError> {
+///
+/// Public so the serve daemon can pretrain once and share the result
+/// across sessions through a `CowDatabase`, the same way the fleet loop
+/// does.
+///
+/// # Errors
+///
+/// Propagates training-insertion failures from the profile database.
+pub fn pretrain_database(rack: &Rack, base: &Scenario) -> Result<PerfDatabase, CoreError> {
     let mut db = PerfDatabase::new();
     let samples_per_training = base.controller.samples_per_training() as usize;
     let intensity = base.intensity.at(SimTime::ZERO);

@@ -104,18 +104,46 @@ pub fn run_all(scenarios: Vec<Scenario>) -> Result<Vec<RunReport>, CoreError> {
 /// set to a positive integer (clamped to ≥ 1 — CI and benchmarks use it
 /// to pin parallelism), otherwise the machine's available parallelism,
 /// or one worker when that cannot be determined.
+///
+/// A set-but-unusable override (garbage, `0`, or a value that overflows
+/// `usize`) no longer degrades silently: the first call logs a one-line
+/// warning to stderr naming the rejected value and the width actually
+/// used.
 #[must_use]
 pub fn worker_count() -> usize {
-    worker_count_from(std::env::var("GH_SIM_THREADS").ok().as_deref())
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let (count, warning) = worker_count_from(std::env::var("GH_SIM_THREADS").ok().as_deref());
+    if let Some(warning) = warning {
+        WARN_ONCE.call_once(|| eprintln!("greenhetero-sim: {warning}"));
+    }
+    count
 }
 
 /// [`worker_count`] with the override injected, so tests never have to
-/// mutate process-global environment state.
-fn worker_count_from(override_: Option<&str>) -> usize {
-    if let Some(requested) = override_.and_then(|s| s.trim().parse::<usize>().ok()) {
-        return requested.max(1);
+/// mutate process-global environment state. Returns the width plus the
+/// warning (if any) that the caller should surface exactly once.
+fn worker_count_from(override_: Option<&str>) -> (usize, Option<String>) {
+    let machine = || std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let Some(raw) = override_ else {
+        return (machine(), None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => (
+            1,
+            Some("GH_SIM_THREADS=0 is not a valid pool width; clamping to 1 worker".into()),
+        ),
+        Ok(requested) => (requested, None),
+        Err(_) => {
+            let fallback = machine();
+            (
+                fallback,
+                Some(format!(
+                    "GH_SIM_THREADS={raw:?} is not a positive integer (unparseable or \
+                     overflowing); falling back to machine parallelism ({fallback} workers)"
+                )),
+            )
+        }
     }
-    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// Runs `f` over `items` on at most `workers` scoped threads, returning
@@ -252,14 +280,52 @@ mod tests {
 
     #[test]
     fn worker_count_override_parses_and_clamps() {
-        assert_eq!(worker_count_from(Some("3")), 3);
-        assert_eq!(worker_count_from(Some(" 2 ")), 2);
-        assert_eq!(worker_count_from(Some("0")), 1, "override clamps to ≥ 1");
-        let fallback = worker_count_from(None);
+        assert_eq!(worker_count_from(Some("3")), (3, None));
+        assert_eq!(worker_count_from(Some(" 2 ")), (2, None));
+        assert_eq!(worker_count_from(Some("0")).0, 1, "override clamps to ≥ 1");
+        let (fallback, none) = worker_count_from(None);
         assert!(fallback >= 1);
+        assert!(none.is_none(), "an absent override is not a warning");
         // Garbage falls back to machine parallelism.
-        assert_eq!(worker_count_from(Some("lots")), fallback);
-        assert_eq!(worker_count_from(Some("-4")), fallback);
+        assert_eq!(worker_count_from(Some("lots")).0, fallback);
+        assert_eq!(worker_count_from(Some("-4")).0, fallback);
+    }
+
+    #[test]
+    fn worker_count_garbage_override_warns() {
+        let (count, warning) = worker_count_from(Some("lots"));
+        assert!(count >= 1);
+        let warning = warning.expect("garbage override must warn");
+        assert!(
+            warning.contains("\"lots\""),
+            "warning names the value: {warning}"
+        );
+        assert!(
+            warning.contains("falling back"),
+            "warning says what happened: {warning}"
+        );
+    }
+
+    #[test]
+    fn worker_count_zero_override_warns_and_clamps() {
+        let (count, warning) = worker_count_from(Some("0"));
+        assert_eq!(count, 1);
+        let warning = warning.expect("zero override must warn");
+        assert!(warning.contains("GH_SIM_THREADS=0"), "warning: {warning}");
+        // Whitespace-padded zero takes the same path.
+        assert_eq!(worker_count_from(Some(" 0 ")).0, 1);
+        assert!(worker_count_from(Some(" 0 ")).1.is_some());
+    }
+
+    #[test]
+    fn worker_count_overflow_override_warns_and_falls_back() {
+        // One past usize::MAX: parses under u128 semantics but overflows
+        // usize, so it must take the warning fallback path, not wrap.
+        let overflow = format!("{}0", usize::MAX);
+        let (count, warning) = worker_count_from(Some(&overflow));
+        assert_eq!(count, worker_count_from(None).0);
+        let warning = warning.expect("overflowing override must warn");
+        assert!(warning.contains("overflowing"), "warning: {warning}");
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! End-to-end serving probe: start the daemon, drive a session over real
+//! TCP, compare the served decision stream to the batch oracle byte for
+//! byte, and drain gracefully.
+//!
+//! Run with: `cargo run --release --example serve_probe`
+
+// An example that dies on an error is the right failure mode, so the
+// workspace unwrap/expect lints are relaxed here.
+#![allow(clippy::expect_used)]
+
+use greenhetero::serve::{decision_line, Daemon, ServeClient, ServeConfig, SessionSpec};
+use greenhetero::sim::engine::run_scenario;
+
+fn main() {
+    let daemon = Daemon::start(ServeConfig::default()).expect("daemon start");
+    let addr = daemon.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    let spec = SessionSpec::named("probe");
+    let reply = client.submit(&spec).expect("submit");
+    println!("submit reply: ok={:?}", reply.flag("ok"));
+
+    // Wait for the session to finish, then page its decisions.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let s = client.session_status("probe").expect("status");
+        if s.text("state") == Some("finished") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session never finished"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let lines = client.decisions("probe", 0, 200).expect("decisions");
+    println!("served {} decisions", lines.len());
+
+    let oracle = run_scenario(spec.scenario().expect("scenario")).expect("oracle");
+    let want: Vec<String> = oracle.epochs.iter().map(decision_line).collect();
+    assert_eq!(lines, want, "served stream diverges from the batch oracle");
+    println!(
+        "served stream is byte-identical to run_scenario ({} lines)",
+        lines.len()
+    );
+
+    let m = client.metrics().expect("metrics");
+    assert!(m.contains("greenhetero_session_completed_total"));
+    let report = daemon.drain();
+    println!(
+        "drain: joined={} leaked={} checkpoints={} within_deadline={}",
+        report.joined,
+        report.leaked,
+        report.checkpoints.len(),
+        report.within_deadline
+    );
+    assert!(report.within_deadline && report.leaked == 0);
+}

@@ -13,11 +13,15 @@
 //! * [`server`] — server and workload substrates: the six Table II
 //!   platforms with DVFS, the Table I workload catalog, racks and monitors.
 //! * [`sim`] — the discrete-time simulation engine, scenarios and reports.
+//! * [`serve`] — the supervised control-plane daemon: fault-isolated rack
+//!   sessions over a length-prefixed TCP protocol, watchdog restarts, and
+//!   graceful drain.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `greenhetero-bench` crate for the per-figure reproduction harnesses.
 
 pub use greenhetero_core as core;
 pub use greenhetero_power as power;
+pub use greenhetero_serve as serve;
 pub use greenhetero_server as server;
 pub use greenhetero_sim as sim;
