@@ -20,10 +20,16 @@
 //!
 //! With `--fleet`, it instead benchmarks the fleet engine: a 1,000-rack
 //! (`--racks N`) one-day fleet stepped in lock-step at 1, 2, 4, and 8
-//! workers, writing `BENCH_fleet.json` (`--fleet-out PATH`) with wall
-//! times, scaling efficiency, rack-epoch throughput, and peak RSS per
-//! rack. Validating a fleet snapshot enforces the scaling floor:
-//! ≥ 2x speedup at 4 workers on a ≥ 4-core machine.
+//! workers, plus a homogeneous zero-noise 10,000-rack point that
+//! exercises the fleet-wide shared solve cache, writing
+//! `BENCH_fleet.json` (`--fleet-out PATH`) with wall times, scaling
+//! efficiency, rack-epoch throughput, peak RSS per rack, the shared-
+//! solve reuse rate, and a boolean `scaling_gated` recording whether
+//! the machine had the ≥ 4 cores needed to actually measure the 2x
+//! scaling floor. Validating a fleet snapshot enforces the floor only
+//! when `scaling_gated` is true, and rejects snapshots whose flag
+//! contradicts their recorded core count — a snapshot may not advertise
+//! the floor it never measured.
 //!
 //! Flags (all optional): `--days N` (default 1), `--servers N` servers
 //! per type (default 5), `--out PATH` (default `BENCH_telemetry.json`),
@@ -118,7 +124,8 @@ const SOLVER_SCHEMA_KEYS: &[&str] = &[
 ];
 
 /// Keys every fleet snapshot must carry, all with finite numeric
-/// values.
+/// values. (`scaling_gated`, the one boolean key, is checked
+/// separately.)
 const FLEET_SCHEMA_KEYS: &[&str] = &[
     "schema_version",
     "racks",
@@ -136,6 +143,10 @@ const FLEET_SCHEMA_KEYS: &[&str] = &[
     "rack_epochs_per_sec",
     "peak_rss_mb",
     "rss_kb_per_rack",
+    "racks10k",
+    "racks10k_secs",
+    "racks10k_rack_epochs_per_sec",
+    "shared_solve_reuse_rate",
 ];
 
 struct Args {
@@ -239,23 +250,52 @@ fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
     if is_fleet {
         // The fleet engine's reason to exist: lock-step sharding must
         // actually scale. The floor only binds when the recording
-        // machine had the cores to show it.
+        // machine had the cores to show it — and the snapshot must say
+        // so honestly via `scaling_gated`, so a floor that was never
+        // measured cannot silently pass as one that was.
         let scaling = event.num("scaling_w4").unwrap_or(0.0);
         let cores = event.num("cores").unwrap_or(0.0);
-        if cores >= 4.0 {
+        let gated = event
+            .flag("scaling_gated")
+            .ok_or("missing or non-boolean key scaling_gated")?;
+        if gated {
+            if cores < 4.0 {
+                return Err(format!(
+                    "scaling_gated is true but the snapshot records {cores:.0} cores; \
+                     the 2x floor cannot have been measured there"
+                ));
+            }
             if scaling < 2.0 {
                 return Err(format!(
                     "scaling_w4 {scaling:.2} is below the 2x floor on a {cores:.0}-core machine"
                 ));
             }
         } else {
+            if cores >= 4.0 {
+                return Err(format!(
+                    "snapshot records {cores:.0} cores but scaling_gated is false; \
+                     regenerate so the 2x floor is actually enforced"
+                ));
+            }
             println!(
-                "note: snapshot recorded on {cores:.0} cores; \
-                 2x scaling floor at 4 workers not enforced"
+                "note: snapshot recorded on {cores:.0} cores (scaling_gated: false); \
+                 2x scaling floor at 4 workers was not measurable"
             );
             if scaling <= 0.0 {
                 return Err(format!("scaling_w4 {scaling} is not positive"));
             }
+        }
+        // The shared solve cache's reason to exist: a homogeneous fleet
+        // must reuse nearly every solve.
+        let reuse = event.num("shared_solve_reuse_rate").unwrap_or(-1.0);
+        if !(0.0..=1.0).contains(&reuse) {
+            return Err(format!("shared_solve_reuse_rate {reuse} outside [0, 1]"));
+        }
+        if reuse < 0.9 {
+            return Err(format!(
+                "shared_solve_reuse_rate {reuse:.3} is below the 0.9 floor \
+                 for the homogeneous 10k-rack point"
+            ));
         }
     }
     Ok(())
@@ -313,7 +353,44 @@ fn bench_fleet(args: &Args) {
 
     let best_secs = wall_secs.iter().copied().fold(f64::INFINITY, f64::min);
     let rack_epochs = f64::from(args.racks) * epochs as f64;
+
+    // The honest-scaling gate: the 2x floor at 4 workers is only a
+    // measurement when this machine could run 4 workers in parallel.
+    let scaling_gated = cores >= 4;
+
+    // VmHWM is a process-lifetime high-water mark, so read it before
+    // the 10x-larger fleet below inflates it: `rss_kb_per_rack` is a
+    // claim about *this* fleet.
     let rss_kb = peak_rss_kb();
+
+    // A point an order of magnitude past the headline fleet,
+    // homogeneous and noise-free so every rack poses bit-identical
+    // problems: the fleet-wide shared solve cache pays one cold solve
+    // per distinct problem and the reuse rate approaches (N-1)/N.
+    let big_racks: u32 = 10_000;
+    let big_spec = FleetSpec::new(
+        Scenario {
+            days: args.days,
+            servers_per_type: args.servers,
+            meter_noise: Watts::new(0.0),
+            perf_noise: 0.0,
+            ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+        },
+        big_racks,
+    );
+    let started = Instant::now();
+    let big_report = big_spec.run().expect("10k-rack fleet benchmark runs");
+    let big_secs = started.elapsed().as_secs_f64();
+    let big_rack_epochs = f64::from(big_racks) * big_report.epochs.len() as f64;
+    let reuse = big_report.shared_solve.reuse_rate();
+    println!(
+        "fleet: {} homogeneous zero-noise racks x {} epochs in {:.2} s; \
+         shared-solve reuse rate {:.4}",
+        big_racks,
+        big_report.epochs.len(),
+        big_secs,
+        reuse
+    );
 
     let mut json = String::from("{");
     let push = |json: &mut String, key: &str, value: f64| {
@@ -362,6 +439,17 @@ fn bench_fleet(args: &Args) {
         "rss_kb_per_rack",
         rss_kb / f64::from(args.racks.max(1)),
     );
+    push(&mut json, "racks10k", f64::from(big_racks));
+    push(&mut json, "racks10k_secs", big_secs);
+    push(
+        &mut json,
+        "racks10k_rack_epochs_per_sec",
+        big_rack_epochs / big_secs.max(1e-9),
+    );
+    push(&mut json, "shared_solve_reuse_rate", reuse);
+    // The one boolean key: whether the 2x floor above was actually
+    // measured on this machine.
+    let _ = write!(json, ", \"scaling_gated\": {scaling_gated}");
     json.push_str("}\n");
 
     std::fs::write(&args.fleet_out, &json).expect("fleet snapshot file is writable");

@@ -19,7 +19,7 @@ use crate::policies::{AllocationOracle, AllocationPolicy, PolicyKind};
 use crate::predictor::{train_or_default, HoltParams, Predictor};
 use crate::solver::{
     allocation_is_sound, solve_grid, solve_uniform, Allocation, AllocationProblem, FastPathConfig,
-    ServerGroup, SolveEngine, SolverFastPath,
+    ServerGroup, SharedSolveCache, SolveEngine, SolverFastPath,
 };
 use crate::sources::{select_sources, BatteryView, SourceInputs, SourcePlan};
 use crate::telemetry::{names, Counter, Histogram, SpanRecord, Telemetry};
@@ -441,6 +441,15 @@ impl Controller {
     /// overlay.
     pub fn set_profile_base(&mut self, base: Arc<PerfDatabase>) {
         self.db.set_base(base);
+    }
+
+    /// Attaches a cross-controller [`SharedSolveCache`]: racks (or serve
+    /// sessions) facing bit-identical allocation problems pay one cold
+    /// solve and reuse the answer. Purely an acceleration — every output
+    /// of this controller, counters included, is bit-identical with the
+    /// cache attached, detached, or resized.
+    pub fn set_shared_solve_cache(&mut self, shared: Arc<SharedSolveCache>) {
+        self.fast.set_shared_cache(Some(shared));
     }
 
     /// The configuration in force.

@@ -23,9 +23,27 @@
 //!    cold solve on any mismatch, so a hit is always bit-identical to the
 //!    solve it replaced.
 //!
+//! A fourth, *cross-controller* layer can be attached on top:
+//! [`SharedSolveCache`] is a sharded, thread-safe store keyed the same way
+//! (model fingerprints via the group digest, quantized budget bucket) with
+//! the same full-equality revalidation on hit. Racks in a fleet that face
+//! bit-identical problems — common once noise is low and models converge —
+//! pay one cold solve and N bit-identical reuses per epoch (DESIGN.md §14).
+//! The shared layer only ever *stands in for* an engine call the local
+//! layers had already committed to: it never changes which path is taken,
+//! and a shared hit is remembered locally exactly as the solve it replaced
+//! would have been. Entries are tagged with the engine path that produced
+//! them (warm exact vs. cold max-of-engines) so a hit always returns the
+//! same bits that path would have computed; warm *grid* answers are seeded
+//! by the previous allocation — history-dependent — and are never shared.
+//!
 //! Every decision above is a pure function of the *problem sequence* —
 //! never of cache occupancy — which is why seeded runs are bit-identical
-//! with the cache on or off (`crates/sim/tests/fastpath.rs` proves it).
+//! with either cache on or off (`crates/sim/tests/fastpath.rs` and
+//! `crates/sim/tests/fleet.rs` prove it).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::error::CoreError;
 use crate::solver::grid::{solve_grid_seeded, solve_grid_with};
@@ -118,6 +136,240 @@ struct CacheEntry {
     stamp: u64,
 }
 
+/// Default capacity (entries) of a fleet- or daemon-wide
+/// [`SharedSolveCache`].
+pub const DEFAULT_SHARED_SOLVE_CAPACITY: usize = 1024;
+
+/// Shard count of a [`SharedSolveCache`]; lookups lock only the shard
+/// selected by the group digest, so racks working on different layouts
+/// never contend.
+const SHARED_SHARDS: usize = 16;
+
+/// Which engine path produced (and may reuse) a shared entry. Warm exact
+/// answers and cold max-of-engines answers for the same problem can differ
+/// bitwise, so a hit is only ever served to the path that stored it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SolveKind {
+    /// Produced by `solve_exact_with` on the warm path.
+    WarmExact,
+    /// Produced by `solve_with_engine_scratch` on the cold path.
+    Cold,
+}
+
+/// One shared solve. Like the local cache, the full problem is kept:
+/// digest and bucket narrow the lookup, bit-for-bit equality authorizes
+/// reuse.
+#[derive(Debug)]
+struct SharedEntry {
+    kind: SolveKind,
+    bucket: i64,
+    digest: u64,
+    problem: AllocationProblem,
+    allocation: Allocation,
+    engine: SolveEngine,
+    stamp: u64,
+}
+
+/// Snapshot of a [`SharedSolveCache`]'s lifetime counters.
+///
+/// These are *scheduling-dependent provenance*: which rack pays the one
+/// cold solve (and which ones reuse it) depends on thread interleaving, so
+/// these counters must never feed per-rack ledgers, JSONL events, or any
+/// byte-compared artifact — they belong next to fields like
+/// `FleetReport::workers`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedSolveStats {
+    /// Lookups that returned a revalidated stored allocation.
+    pub hits: u64,
+    /// Lookups that found no entry under the key.
+    pub misses: u64,
+    /// Lookups that found the key but failed full-equality revalidation
+    /// (digest collision or same-bucket budget neighbor).
+    pub revalidation_misses: u64,
+    /// Solves published into the cache.
+    pub insertions: u64,
+    /// Entries displaced by per-shard LRU eviction.
+    pub evictions: u64,
+}
+
+impl SharedSolveStats {
+    /// Fraction of lookups answered from the cache; 0 when no lookups
+    /// have happened. For a homogeneous N-rack fleet this approaches
+    /// (N − 1)/N: one rack pays each cold solve, the rest reuse it.
+    #[must_use]
+    // greenhetero-lint: allow(GH002) dimensionless counter ratio for bench snapshots, not a physical quantity
+    pub fn reuse_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses + self.revalidation_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// A thread-safe solve cache shared across controllers — the fleet-wide
+/// batched-solve substrate. Keyed exactly like the local LRU (quantized
+/// budget bucket + group digest over configs, counts, and model
+/// fingerprints) plus the engine-path tag, and revalidated by full problem
+/// equality on every hit, so a hit is bit-identical to the engine call it
+/// replaces.
+///
+/// Attaching or resizing this cache never changes any controller's output:
+/// it only substitutes bit-identical answers for redundant engine calls.
+/// Its counters are scheduling-dependent (see [`SharedSolveStats`]) and
+/// are surfaced only as run provenance and daemon metrics.
+#[derive(Debug)]
+pub struct SharedSolveCache {
+    shards: Vec<Mutex<Vec<SharedEntry>>>,
+    shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    revalidation_misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedSolveCache {
+    /// A cache holding roughly `capacity` entries (rounded up to fill the
+    /// fixed shard count; a capacity below 1 is clamped to 1 per shard).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let shard_capacity = capacity.div_ceil(SHARED_SHARDS).max(1);
+        SharedSolveCache {
+            shards: (0..SHARED_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            shard_capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            revalidation_misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry capacity across shards.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Entries currently held across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// `true` when no shard holds an entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counter snapshot (relaxed loads; exact once quiescent).
+    #[must_use]
+    pub fn stats(&self) -> SharedSolveStats {
+        SharedSolveStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            revalidation_misses: self.revalidation_misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, digest: u64) -> &Mutex<Vec<SharedEntry>> {
+        &self.shards[(digest as usize) % self.shards.len()]
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Returns the stored answer for `problem` under `kind` if one exists
+    /// and survives full-equality + feasibility revalidation.
+    fn lookup(
+        &self,
+        kind: SolveKind,
+        bucket: i64,
+        digest: u64,
+        problem: &AllocationProblem,
+    ) -> Option<(Allocation, SolveEngine)> {
+        let mut entries = self
+            .shard(digest)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut collided = false;
+        for e in entries.iter_mut() {
+            if e.kind == kind && e.bucket == bucket && e.digest == digest {
+                if e.problem == *problem && e.problem.is_feasible(&e.allocation.per_server) {
+                    e.stamp = self.next_stamp();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((e.allocation.clone(), e.engine));
+                }
+                collided = true;
+            }
+        }
+        drop(entries);
+        if collided {
+            self.revalidation_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Publishes a freshly computed answer. If another controller raced us
+    /// to the same problem the existing entry is kept (the answers are
+    /// bit-identical by construction) and only its stamp refreshes.
+    fn insert(
+        &self,
+        kind: SolveKind,
+        bucket: i64,
+        digest: u64,
+        problem: &AllocationProblem,
+        allocation: &Allocation,
+        engine: SolveEngine,
+    ) {
+        let mut entries = self
+            .shard(digest)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = entries.iter_mut().find(|e| {
+            e.kind == kind && e.bucket == bucket && e.digest == digest && e.problem == *problem
+        }) {
+            existing.stamp = self.next_stamp();
+            return;
+        }
+        if entries.len() >= self.shard_capacity {
+            if let Some(victim) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+            {
+                entries.swap_remove(victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = self.next_stamp();
+        entries.push(SharedEntry {
+            kind,
+            bucket,
+            digest,
+            problem: problem.clone(),
+            allocation: allocation.clone(),
+            engine,
+            stamp,
+        });
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The stateful solver front-end the controller holds across epochs.
 #[derive(Debug)]
 pub struct SolverFastPath {
@@ -125,6 +377,7 @@ pub struct SolverFastPath {
     scratch: SolverScratch,
     cache: Vec<CacheEntry>,
     last: Option<LastSolve>,
+    shared: Option<Arc<SharedSolveCache>>,
     stats: FastPathStats,
     taken: FastPathStats,
     clock: u64,
@@ -154,11 +407,27 @@ impl SolverFastPath {
             scratch: SolverScratch::new(),
             cache: Vec::with_capacity(config.cache_capacity),
             last: None,
+            shared: None,
             stats: FastPathStats::default(),
             taken: FastPathStats::default(),
             clock: 0,
             solves: 0,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a cross-controller
+    /// [`SharedSolveCache`]. Purely an acceleration: every answer returned
+    /// through the shared layer is bit-identical to the engine call it
+    /// replaces, and the local cache and counters evolve exactly as if the
+    /// shared layer were absent.
+    pub fn set_shared_cache(&mut self, shared: Option<Arc<SharedSolveCache>>) {
+        self.shared = shared;
+    }
+
+    /// The attached cross-controller cache, if any.
+    #[must_use]
+    pub fn shared_cache(&self) -> Option<&Arc<SharedSolveCache>> {
+        self.shared.as_ref()
     }
 
     /// The active configuration.
@@ -222,22 +491,38 @@ impl SolverFastPath {
         let (allocation, engine) = match plan {
             Plan::Warm => {
                 self.stats.warm_starts += 1;
-                let answer = match solve_exact_with(problem, &mut self.scratch) {
-                    Ok(exact) => (exact, SolveEngine::Exact),
-                    Err(CoreError::InvalidConfig { .. }) => {
-                        // Too many groups for the exact engine: refine the
-                        // grid locally around the previous allocation.
-                        let seeded = match &self.last {
-                            Some(last) => solve_grid_seeded(
+                // A shared warm-exact hit stands in for `solve_exact_with`
+                // below: same bits, and only possible for problems where
+                // the exact engine succeeds (it stored the entry).
+                let answer = match self.shared_lookup(SolveKind::WarmExact, problem) {
+                    Some(hit) => hit,
+                    None => match solve_exact_with(problem, &mut self.scratch) {
+                        Ok(exact) => {
+                            self.shared_insert(
+                                SolveKind::WarmExact,
                                 problem,
-                                &last.allocation.per_server,
-                                &mut self.scratch,
-                            ),
-                            None => solve_grid_with(problem, &mut self.scratch),
-                        };
-                        (seeded, SolveEngine::Grid)
-                    }
-                    Err(other) => return Err(other),
+                                &exact,
+                                SolveEngine::Exact,
+                            );
+                            (exact, SolveEngine::Exact)
+                        }
+                        Err(CoreError::InvalidConfig { .. }) => {
+                            // Too many groups for the exact engine: refine the
+                            // grid locally around the previous allocation.
+                            // Seeded answers depend on *this rack's* history,
+                            // so they are never published to the shared cache.
+                            let seeded = match &self.last {
+                                Some(last) => solve_grid_seeded(
+                                    problem,
+                                    &last.allocation.per_server,
+                                    &mut self.scratch,
+                                ),
+                                None => solve_grid_with(problem, &mut self.scratch),
+                            };
+                            (seeded, SolveEngine::Grid)
+                        }
+                        Err(other) => return Err(other),
+                    },
                 };
                 self.maybe_cross_check(problem, &answer.0, answer.1);
                 answer
@@ -280,32 +565,88 @@ impl SolverFastPath {
             self.stats.cache_misses += 1;
         }
 
-        let (allocation, engine) = solve_with_engine_scratch(problem, &mut self.scratch)?;
-        if caching {
-            if self.cache.len() >= self.config.cache_capacity {
-                // Evict the least-recently used entry (smallest stamp).
-                if let Some(victim) = self
-                    .cache
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.stamp)
-                    .map(|(i, _)| i)
-                {
-                    self.cache.swap_remove(victim);
-                    self.stats.cache_evictions += 1;
-                }
+        // Cross-controller layer: a shared hit stands in for the engine
+        // call below and is remembered locally exactly as that solve would
+        // have been, so the local LRU state, counters, and every future
+        // decision evolve bit-identically with the shared cache attached,
+        // detached, or resized.
+        if let Some(hit) = self.shared_lookup(SolveKind::Cold, problem) {
+            if caching {
+                self.remember(bucket, digest, problem, &hit.0, hit.1);
             }
-            self.clock += 1;
-            self.cache.push(CacheEntry {
-                bucket,
-                digest,
-                problem: problem.clone(),
-                allocation: allocation.clone(),
-                engine,
-                stamp: self.clock,
-            });
+            return Ok(hit);
+        }
+
+        let (allocation, engine) = solve_with_engine_scratch(problem, &mut self.scratch)?;
+        self.shared_insert(SolveKind::Cold, problem, &allocation, engine);
+        if caching {
+            self.remember(bucket, digest, problem, &allocation, engine);
         }
         Ok((allocation, engine))
+    }
+
+    /// Stores a cold answer in the local LRU, evicting the stalest entry
+    /// at capacity. Shared-cache hits go through the same door as real
+    /// engine solves — local state must not see the difference.
+    fn remember(
+        &mut self,
+        bucket: i64,
+        digest: u64,
+        problem: &AllocationProblem,
+        allocation: &Allocation,
+        engine: SolveEngine,
+    ) {
+        if self.cache.len() >= self.config.cache_capacity {
+            // Evict the least-recently used entry (smallest stamp).
+            if let Some(victim) = self
+                .cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+            {
+                self.cache.swap_remove(victim);
+                self.stats.cache_evictions += 1;
+            }
+        }
+        self.clock += 1;
+        self.cache.push(CacheEntry {
+            bucket,
+            digest,
+            problem: problem.clone(),
+            allocation: allocation.clone(),
+            engine,
+            stamp: self.clock,
+        });
+    }
+
+    /// Shared-cache lookup under this fast path's quantum; no-op `None`
+    /// when no shared cache is attached.
+    fn shared_lookup(
+        &self,
+        kind: SolveKind,
+        problem: &AllocationProblem,
+    ) -> Option<(Allocation, SolveEngine)> {
+        let shared = self.shared.as_ref()?;
+        let bucket = budget_bucket(problem.budget(), self.config.budget_quantum);
+        let digest = problem_digest(problem);
+        shared.lookup(kind, bucket, digest, problem)
+    }
+
+    /// Publishes a freshly computed answer to the shared cache, if one is
+    /// attached.
+    fn shared_insert(
+        &self,
+        kind: SolveKind,
+        problem: &AllocationProblem,
+        allocation: &Allocation,
+        engine: SolveEngine,
+    ) {
+        if let Some(shared) = &self.shared {
+            let bucket = budget_bucket(problem.budget(), self.config.budget_quantum);
+            let digest = problem_digest(problem);
+            shared.insert(kind, bucket, digest, problem, allocation, engine);
+        }
     }
 
     /// The sampled, observe-only cross-check: every Nth solve that skipped
@@ -571,4 +912,122 @@ mod tests {
     }
 
     const MAX_EXACT_GROUPS_PLUS_ONE: usize = crate::solver::MAX_EXACT_GROUPS + 1;
+
+    /// Runs the same problem sequence through two fast paths and asserts
+    /// every answer and every *local* counter is bit-identical.
+    fn assert_sequence_identical(budgets: &[f64], a: &mut SolverFastPath, b: &mut SolverFastPath) {
+        for &budget in budgets {
+            let p = problem(budget);
+            let (alloc_a, engine_a) = a.solve(&p).unwrap();
+            let (alloc_b, engine_b) = b.solve(&p).unwrap();
+            assert_eq!(alloc_a, alloc_b, "budget {budget}");
+            assert_eq!(engine_a, engine_b, "budget {budget}");
+        }
+        assert_eq!(a.stats(), b.stats(), "local counters diverged");
+    }
+
+    #[test]
+    fn shared_cache_never_changes_answers_or_local_counters() {
+        let budgets = [500.0, 505.0, 800.0, 500.0, 505.0, 200.0, 800.0, 201.0];
+        let shared = Arc::new(SharedSolveCache::new(64));
+        let mut with_shared = SolverFastPath::default();
+        with_shared.set_shared_cache(Some(Arc::clone(&shared)));
+        let mut without = SolverFastPath::default();
+        assert_sequence_identical(&budgets, &mut with_shared, &mut without);
+        assert!(
+            shared.stats().insertions > 0,
+            "shared cache never populated"
+        );
+    }
+
+    #[test]
+    fn second_controller_reuses_the_first_ones_solves() {
+        let budgets = [500.0, 505.0, 800.0, 200.0];
+        let shared = Arc::new(SharedSolveCache::new(64));
+        let mut first = SolverFastPath::default();
+        first.set_shared_cache(Some(Arc::clone(&shared)));
+        let mut second = SolverFastPath::default();
+        second.set_shared_cache(Some(Arc::clone(&shared)));
+        let mut reference = SolverFastPath::default();
+
+        for &b in &budgets {
+            first.solve(&problem(b)).unwrap();
+        }
+        let after_first = shared.stats();
+        // The second controller walks the same sequence: every engine call
+        // it would have made is answered from the shared cache, and its
+        // answers still match a cache-less reference bit for bit.
+        assert_sequence_identical(&budgets, &mut second, &mut reference);
+        let after_second = shared.stats();
+        assert_eq!(
+            after_second.insertions, after_first.insertions,
+            "second controller should not have inserted anything new"
+        );
+        assert!(
+            after_second.hits > after_first.hits,
+            "second controller never hit the shared cache"
+        );
+    }
+
+    #[test]
+    fn shared_cache_revalidates_and_evicts() {
+        let shared = SharedSolveCache::new(1); // 1 entry per shard
+        let p1 = problem(500.0);
+        let p2 = problem(800.0);
+        let (a1, e1) = solve_with_engine(&p1).unwrap();
+        let bucket1 = budget_bucket(p1.budget(), Watts::new(1.0));
+        let digest = problem_digest(&p1); // layout-only: same for p1 and p2
+        shared.insert(SolveKind::Cold, bucket1, digest, &p1, &a1, e1);
+        assert_eq!(shared.len(), 1);
+
+        // Same key fields, different problem bits → revalidation miss.
+        assert!(shared
+            .lookup(SolveKind::Cold, bucket1, digest, &p2)
+            .is_none());
+        // Path tag mismatch → plain miss, not a revalidation miss.
+        assert!(shared
+            .lookup(SolveKind::WarmExact, bucket1, digest, &p1)
+            .is_none());
+        let stats = shared.stats();
+        assert_eq!(stats.revalidation_misses, 1);
+        assert_eq!(stats.misses, 1);
+
+        // True hit returns the stored bits.
+        let (hit, engine) = shared
+            .lookup(SolveKind::Cold, bucket1, digest, &p1)
+            .expect("revalidated hit");
+        assert_eq!(hit, a1);
+        assert_eq!(engine, e1);
+
+        // A second insert into the same (full) shard evicts the first.
+        let bucket2 = budget_bucket(p2.budget(), Watts::new(1.0));
+        let (a2, e2) = solve_with_engine(&p2).unwrap();
+        shared.insert(SolveKind::Cold, bucket2, digest, &p2, &a2, e2);
+        assert_eq!(shared.stats().evictions, 1);
+        assert!(shared
+            .lookup(SolveKind::Cold, bucket1, digest, &p1)
+            .is_none());
+    }
+
+    #[test]
+    fn shared_insert_deduplicates_racing_publishers() {
+        let shared = SharedSolveCache::new(64);
+        let p = problem(500.0);
+        let (a, e) = solve_with_engine(&p).unwrap();
+        let bucket = budget_bucket(p.budget(), Watts::new(1.0));
+        let digest = problem_digest(&p);
+        shared.insert(SolveKind::Cold, bucket, digest, &p, &a, e);
+        shared.insert(SolveKind::Cold, bucket, digest, &p, &a, e);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared.stats().insertions, 1);
+    }
+
+    #[test]
+    fn shared_reuse_rate_reflects_hits() {
+        let mut stats = SharedSolveStats::default();
+        assert!(stats.reuse_rate().abs() < f64::EPSILON);
+        stats.hits = 9;
+        stats.misses = 1;
+        assert!((stats.reuse_rate() - 0.9).abs() < 1e-12);
+    }
 }

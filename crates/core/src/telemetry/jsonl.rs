@@ -153,6 +153,11 @@ impl EventLine {
 /// the input. The telemetry schema itself emits no escapes, but the
 /// serve wire protocol shares this parser and its error messages may
 /// quote arbitrary session names.
+///
+/// `\uXXXX` units follow RFC 8259: a high surrogate (`D800`–`DBFF`)
+/// must be immediately followed by an escaped low surrogate
+/// (`DC00`–`DFFF`) and the pair decodes to one supplementary code
+/// point; a lone surrogate in either direction rejects the string.
 fn parse_string(input: &str) -> Option<(String, &str)> {
     let inner = input.strip_prefix('"')?;
     let mut out = String::new();
@@ -168,10 +173,17 @@ fn parse_string(input: &str) -> Option<(String, &str)> {
                 'r' => out.push('\r'),
                 't' => out.push('\t'),
                 'u' => {
-                    let mut code = 0u32;
-                    for _ in 0..4 {
-                        code = code * 16 + chars.next()?.1.to_digit(16)?;
-                    }
+                    let unit = hex4(&mut chars)?;
+                    let code = match unit {
+                        0xD800..=0xDBFF => {
+                            (chars.next()?.1 == '\\' && chars.next()?.1 == 'u').then_some(())?;
+                            let low = hex4(&mut chars)?;
+                            (0xDC00..=0xDFFF).contains(&low).then_some(())?;
+                            0x1_0000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                        }
+                        0xDC00..=0xDFFF => return None,
+                        unit => unit,
+                    };
                     out.push(char::from_u32(code)?);
                 }
                 _ => return None,
@@ -180,6 +192,15 @@ fn parse_string(input: &str) -> Option<(String, &str)> {
         }
     }
     None
+}
+
+/// Reads four hex digits from `chars` as one UTF-16 code unit.
+fn hex4(chars: &mut std::str::CharIndices<'_>) -> Option<u32> {
+    let mut unit = 0u32;
+    for _ in 0..4 {
+        unit = unit * 16 + chars.next()?.1.to_digit(16)?;
+    }
+    Some(unit)
 }
 
 /// Parses one leading JSON scalar; returns it and the rest of the input.
@@ -367,6 +388,25 @@ mod tests {
         // A dangling or unknown escape is malformed, not silently kept.
         assert!(EventLine::parse(r#"{"a":"\q"}"#).is_none());
         assert!(EventLine::parse(r#"{"a":"trailing\"#).is_none());
+    }
+
+    #[test]
+    fn parse_decodes_unicode_escapes_and_surrogate_pairs() {
+        let parsed = EventLine::parse("{\"a\":\"snowman \\u2603\"}").unwrap();
+        assert_eq!(parsed.text("a"), Some("snowman \u{2603}"));
+        // A valid UTF-16 surrogate pair decodes to one supplementary
+        // code point rather than rejecting the whole frame.
+        let parsed = EventLine::parse("{\"a\":\"grin \\uD83D\\uDE00!\"}").unwrap();
+        assert_eq!(parsed.text("a"), Some("grin \u{1F600}!"));
+        // Lone surrogates in either direction are malformed.
+        assert!(EventLine::parse(r#"{"a":"\uD83D"}"#).is_none());
+        assert!(EventLine::parse(r#"{"a":"\uD83D!"}"#).is_none());
+        assert!(EventLine::parse(r#"{"a":"\uDE00"}"#).is_none());
+        assert!(EventLine::parse(r#"{"a":"\uD83DA"}"#).is_none());
+        assert!(EventLine::parse(r#"{"a":"\uD83D\uD83D"}"#).is_none());
+        // Truncated hex is malformed, not partially decoded.
+        assert!(EventLine::parse(r#"{"a":"\u26"}"#).is_none());
+        assert!(EventLine::parse(r#"{"a":"\uD83D\uDE"}"#).is_none());
     }
 
     #[test]

@@ -96,6 +96,23 @@ pub mod names {
     // greenhetero-lint: allow(GH009) documented name only: process-global like SOLAR_CACHE_HIT, surfaced by solar::cache_stats
     pub const SOLAR_CACHE_MISS: &str = "greenhetero_solar_cache_miss_total";
 
+    // The shared (cross-controller) solve cache's counters are
+    // scheduling-dependent — *which* rack pays a cold solve depends on
+    // thread interleaving — so, like the solar memo above, they are
+    // never recorded into a per-run registry or ledger. They surface as
+    // `FleetReport::shared_solve` provenance and through the serve
+    // daemon's Prometheus dump (`Supervisor::shared_solve_stats`).
+    /// Shared-solve lookups answered by a revalidated stored allocation.
+    pub const SHARED_SOLVE_HIT: &str = "greenhetero_shared_solve_hit_total";
+    /// Shared-solve lookups that found no entry under the key.
+    pub const SHARED_SOLVE_MISS: &str = "greenhetero_shared_solve_miss_total";
+    /// Shared-solve lookups that found the key but failed full-equality
+    /// revalidation (digest collision or same-bucket budget neighbor).
+    pub const SHARED_SOLVE_REVALIDATION_MISS: &str =
+        "greenhetero_shared_solve_revalidation_miss_total";
+    /// Shared-solve entries displaced by per-shard LRU eviction.
+    pub const SHARED_SOLVE_EVICT: &str = "greenhetero_shared_solve_evict_total";
+
     /// Serve sessions restarted after an epoch-step panic.
     pub const SESSION_RESTARTS: &str = "greenhetero_session_restart_total";
     /// Serve sessions quarantined after exhausting their restart budget.

@@ -448,3 +448,54 @@ proptest! {
         prop_assert!(plan.budget().value() >= 0.0);
     }
 }
+
+/// Escapes `s` the way a maximally-escaping JSON writer would: every
+/// non-ASCII character (and every control/quote/backslash) becomes
+/// `\uXXXX` UTF-16 code units — supplementary code points become
+/// surrogate pairs. Exercises the decoder far beyond what our own
+/// emitters produce.
+fn escape_utf16(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if c.is_ascii() && !c.is_ascii_control() => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{unit:04X}"));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// JSONL string escapes round-trip: any Unicode string survives a
+    /// strict UTF-16-escaping writer followed by `EventLine::parse`,
+    /// including characters outside the BMP (surrogate pairs on the
+    /// wire).
+    #[test]
+    fn jsonl_string_escapes_round_trip(
+        points in proptest::collection::vec(any::<u32>(), 0..64)
+    ) {
+        use greenhetero_core::telemetry::EventLine;
+        // Fold arbitrary u32s onto scalar values; the unassignable
+        // surrogate gap maps to a supplementary-plane char so pairs
+        // are exercised often.
+        let s: String = points
+            .into_iter()
+            .map(|p| char::from_u32(p % 0x11_0000).unwrap_or('\u{1F600}'))
+            .collect();
+        let line = format!("{{\"s\":\"{}\"}}", escape_utf16(&s));
+        let parsed = EventLine::parse(&line);
+        prop_assert_eq!(
+            parsed.as_ref().and_then(|e| e.text("s")),
+            Some(s.as_str()),
+            "line: {}",
+            line
+        );
+    }
+}

@@ -433,6 +433,24 @@ fn dispatch(
                 hit = names::SOLAR_CACHE_HIT,
                 miss = names::SOLAR_CACHE_MISS,
             ));
+            // Shared-solve counters are scheduling-dependent (which rack
+            // pays the cold solve depends on thread interleaving), so they
+            // live here in the scrape rather than in any per-run registry.
+            let solve = supervisor.shared_solve_stats();
+            dump.push_str(&format!(
+                "# TYPE {hit} counter\n{hit} {h}\n\
+                 # TYPE {miss} counter\n{miss} {m}\n\
+                 # TYPE {reval} counter\n{reval} {r}\n\
+                 # TYPE {evict} counter\n{evict} {e}\n",
+                hit = names::SHARED_SOLVE_HIT,
+                miss = names::SHARED_SOLVE_MISS,
+                reval = names::SHARED_SOLVE_REVALIDATION_MISS,
+                evict = names::SHARED_SOLVE_EVICT,
+                h = solve.hits,
+                m = solve.misses,
+                r = solve.revalidation_misses,
+                e = solve.evictions,
+            ));
             let mut o = JsonObject::new();
             o.bool("ok", true).str("metrics", &dump);
             let _ = write_frame(stream, &o.finish());

@@ -24,6 +24,7 @@ use std::time::Duration;
 
 use greenhetero_core::database::PerfDatabase;
 use greenhetero_core::error::CoreError;
+use greenhetero_core::solver::SharedSolveCache;
 use greenhetero_core::telemetry::{names, Telemetry};
 use greenhetero_power::solar::synthesize_shared;
 use greenhetero_server::rack::Rack;
@@ -292,14 +293,21 @@ pub(crate) struct SessionRuntime {
     pub(crate) clock: ServeClock,
     pub(crate) rack: Arc<Rack>,
     pub(crate) profile_base: Option<Arc<PerfDatabase>>,
+    /// The substrate's shared solve cache: sessions on the same
+    /// substrate key dedup bit-identical PAR solves across threads.
+    pub(crate) solve_cache: Arc<SharedSolveCache>,
 }
 
 impl SessionRuntime {
     /// Builds a fresh stepper for this spec on the shared substrate.
+    /// Crash-recovery replays rebuild through here too: shared-cache
+    /// hits never change a controller's output, so a replay against a
+    /// warmer (or colder) cache still reproduces the abandoned state
+    /// bit for bit.
     fn build_stepper(&self) -> Result<Stepper, CoreError> {
         let scenario = self.spec.scenario()?;
         let (solar, _memo_hit) = synthesize_shared(&scenario.solar_config()?)?;
-        let sim = Simulation::with_substrate(
+        let mut sim = Simulation::with_substrate(
             scenario,
             Arc::clone(&self.rack),
             solar,
@@ -308,6 +316,7 @@ impl SessionRuntime {
             Telemetry::disabled(),
             self.profile_base.clone(),
         )?;
+        sim.set_shared_solve_cache(Arc::clone(&self.solve_cache));
         Ok(Stepper::from_simulation(sim))
     }
 
@@ -500,6 +509,9 @@ mod tests {
             clock,
             rack,
             profile_base: None,
+            solve_cache: Arc::new(SharedSolveCache::new(
+                greenhetero_core::solver::DEFAULT_SHARED_SOLVE_CAPACITY,
+            )),
         };
         (rt, shared)
     }

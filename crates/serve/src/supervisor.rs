@@ -30,6 +30,7 @@ use std::time::Duration;
 
 use greenhetero_core::database::PerfDatabase;
 use greenhetero_core::error::CoreError;
+use greenhetero_core::solver::{SharedSolveCache, SharedSolveStats, DEFAULT_SHARED_SOLVE_CAPACITY};
 use greenhetero_core::telemetry::{names, Telemetry};
 use greenhetero_server::rack::Rack;
 use greenhetero_sim::fleet::pretrain_database;
@@ -72,11 +73,19 @@ struct AdmissionTicket {
     ctrl_rx: Receiver<SessionMsg>,
 }
 
-/// Cached per-substrate-key shared state: one rack model, plus the
-/// pretrained profile database once a `pretrain` session asked for it.
+/// Cached per-substrate-key shared state: one rack model, one shared
+/// solve cache (sessions on the same substrate dedup identical PAR
+/// solves), plus the pretrained profile database once a `pretrain`
+/// session asked for it.
+/// What [`Supervisor::substrate_for`] hands a new session: the shared
+/// rack model, the optional pretrained profile base, and the
+/// substrate's shared solve cache.
+type SubstrateParts = (Arc<Rack>, Option<Arc<PerfDatabase>>, Arc<SharedSolveCache>);
+
 struct SubstrateEntry {
     rack: Arc<Rack>,
     pretrained: Option<Arc<PerfDatabase>>,
+    solve_cache: Arc<SharedSolveCache>,
 }
 
 /// Point-in-time status of one session.
@@ -399,8 +408,8 @@ impl Supervisor {
                     .transition(SessionState::Pending, SessionState::Drained);
                 continue;
             }
-            let (rack, profile_base) = match self.substrate_for(&ticket.spec) {
-                Ok(pair) => pair,
+            let (rack, profile_base, solve_cache) = match self.substrate_for(&ticket.spec) {
+                Ok(parts) => parts,
                 Err(e) => {
                     self.fail_admission(&ticket.shared, format!("substrate build failed: {e}"));
                     continue;
@@ -414,6 +423,7 @@ impl Supervisor {
                 clock: self.clock.clone(),
                 rack,
                 profile_base,
+                solve_cache,
             };
             let spawned = std::thread::Builder::new()
                 .name(format!("gh-session-{name}"))
@@ -442,12 +452,13 @@ impl Supervisor {
     }
 
     /// Resolves (building and caching on first use) the shared
-    /// substrate for a spec: one rack model per substrate key, plus the
-    /// shared pretrained profile database when requested.
-    fn substrate_for(
-        &self,
-        spec: &SessionSpec,
-    ) -> Result<(Arc<Rack>, Option<Arc<PerfDatabase>>), CoreError> {
+    /// substrate for a spec: one rack model and one shared solve cache
+    /// per substrate key, plus the shared pretrained profile database
+    /// when requested. Sessions sharing a substrate key face the same
+    /// rack model, so bit-identical allocation problems across them pay
+    /// one cold solve; replay after a crash restart stays bit-identical
+    /// because shared-cache hits never change a controller's output.
+    fn substrate_for(&self, spec: &SessionSpec) -> Result<SubstrateParts, CoreError> {
         let key = spec.substrate_key();
         let mut cache = self
             .substrates
@@ -461,6 +472,7 @@ impl Supervisor {
                 SubstrateEntry {
                     rack,
                     pretrained: None,
+                    solve_cache: Arc::new(SharedSolveCache::new(DEFAULT_SHARED_SOLVE_CAPACITY)),
                 },
             );
         }
@@ -478,7 +490,33 @@ impl Supervisor {
         } else {
             None
         };
-        Ok((Arc::clone(&entry.rack), profile_base))
+        Ok((
+            Arc::clone(&entry.rack),
+            profile_base,
+            Arc::clone(&entry.solve_cache),
+        ))
+    }
+
+    /// Shared-solve counter totals summed over every cached substrate —
+    /// the daemon's Prometheus dump renders these. Scheduling-dependent
+    /// (which session pays a cold solve depends on arrival order), so
+    /// they never feed any replayable artifact.
+    #[must_use]
+    pub fn shared_solve_stats(&self) -> SharedSolveStats {
+        let cache = self
+            .substrates
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut totals = SharedSolveStats::default();
+        for entry in cache.values() {
+            let s = entry.solve_cache.stats();
+            totals.hits += s.hits;
+            totals.misses += s.misses;
+            totals.revalidation_misses += s.revalidation_misses;
+            totals.insertions += s.insertions;
+            totals.evictions += s.evictions;
+        }
+        totals
     }
 
     /// The watchdog: evicts Running sessions whose heartbeat is older

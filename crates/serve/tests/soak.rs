@@ -138,8 +138,10 @@ fn mixed_fleet_soaks_and_drains_cleanly() {
         assert_eq!(s.num("cursor"), Some(96.0), "{s:?}");
     }
 
-    // The Prometheus dump carries the supervision counters and the
-    // process-global solar memo stats.
+    // The Prometheus dump carries the supervision counters, the
+    // process-global solar memo stats, and the per-substrate shared
+    // solve-cache counters (scheduling-dependent, so scraped here
+    // rather than recorded into any per-run ledger).
     let metrics = client.metrics().expect("metrics dump");
     for name in [
         "greenhetero_session_restart_total",
@@ -148,6 +150,10 @@ fn mixed_fleet_soaks_and_drains_cleanly() {
         "greenhetero_serve_rejected_total",
         "greenhetero_solar_cache_hit_total",
         "greenhetero_solar_cache_miss_total",
+        "greenhetero_shared_solve_hit_total",
+        "greenhetero_shared_solve_miss_total",
+        "greenhetero_shared_solve_revalidation_miss_total",
+        "greenhetero_shared_solve_evict_total",
     ] {
         assert!(
             metrics.contains(name),

@@ -14,6 +14,7 @@ use greenhetero_core::database::{PerfDatabase, ProfileSample};
 use greenhetero_core::error::CoreError;
 use greenhetero_core::metrics::EpuAccumulator;
 use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::solver::SharedSolveCache;
 use greenhetero_core::telemetry::{names, EpochEvent, Histogram, SpanRecord, Telemetry};
 use greenhetero_core::types::{Ratio, SimTime, Throughput, WattHours, Watts};
 use greenhetero_power::battery::BatteryBank;
@@ -142,6 +143,17 @@ impl Simulation {
             enforce_seconds,
             queue_wait_seconds,
         })
+    }
+
+    /// Attaches a cross-rack [`SharedSolveCache`] to the controller: racks
+    /// (or serve sessions) on a shared substrate that face bit-identical
+    /// allocation problems pay one cold solve per epoch and reuse the
+    /// answer. Call before the first epoch is stepped. Purely an
+    /// acceleration — all records, ledgers, and events are bit-identical
+    /// with the cache attached, detached, or resized
+    /// (`crates/sim/tests/fleet.rs` proves it).
+    pub fn set_shared_solve_cache(&mut self, shared: Arc<SharedSolveCache>) {
+        self.controller.set_shared_solve_cache(shared);
     }
 
     /// The scenario being simulated.

@@ -18,23 +18,34 @@
 //!   solver scratch and cache are constructed per rack from a seed mixed
 //!   from the base seed and the rack id — never from worker identity —
 //!   so a fleet run is bit-identical at any worker count, including 1.
+//! * **Batched solves.** One fleet-wide
+//!   [`SharedSolveCache`] dedups the per-epoch PAR solve across racks:
+//!   controllers facing bit-identical problems (same model fingerprints,
+//!   same budget bucket, full-equality revalidation on hit) pay one cold
+//!   solve and reuse the answer. Attaching, detaching, or resizing the
+//!   cache never changes a single output bit (DESIGN.md §14).
 //! * **Lock-step sharding.** Racks are sharded contiguously across a
 //!   bounded worker pool; every worker steps its racks through epoch *e*
 //!   and then waits on a barrier before any rack enters epoch *e + 1*.
-//!   The reduction into a [`FleetReport`] always folds per-rack results
-//!   in rack order (never completion order), so every float sum is a
-//!   fixed-order reduction.
+//!   The reduction into a [`FleetReport`] is a structure-of-arrays pass
+//!   that always folds per-rack results in rack order (never completion
+//!   order), so every float sum is a fixed-order reduction. The shared
+//!   event sink buffers per-rack lines and flushes them in
+//!   (epoch, rack id) order at epoch boundaries, so the fleet JSONL log
+//!   is line-order deterministic at any worker count too.
 //!
 //! [`FleetSpec::run_sequential`] is the plain one-rack-after-another
 //! reference implementation the lock-step engine is tested against.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex, PoisonError};
 
 use greenhetero_core::database::PerfDatabase;
 use greenhetero_core::error::CoreError;
 use greenhetero_core::metrics::EpuAccumulator;
-use greenhetero_core::telemetry::{RunLedger, Telemetry, TelemetrySink};
+use greenhetero_core::solver::{SharedSolveCache, SharedSolveStats, DEFAULT_SHARED_SOLVE_CAPACITY};
+use greenhetero_core::telemetry::{EpochEvent, RunLedger, Telemetry, TelemetrySink};
 use greenhetero_core::types::{EpochId, Ratio, SimTime, Throughput, Watts};
 use greenhetero_power::solar::synthesize_shared;
 use greenhetero_power::trace::PowerTrace;
@@ -67,6 +78,11 @@ pub struct FleetSpec {
     /// every controller as a copy-on-write base, instead of every rack
     /// running its own training epoch.
     pub pretrain: bool,
+    /// Capacity (entries) of the fleet-wide [`SharedSolveCache`] that
+    /// dedups identical PAR solves across racks; `0` disables it. Purely
+    /// an acceleration: every report, CSV row, ledger entry, and event is
+    /// bit-identical at any capacity, including `0`.
+    pub shared_solve_capacity: usize,
 }
 
 impl FleetSpec {
@@ -80,6 +96,7 @@ impl FleetSpec {
             workers: 0,
             solar_scale_spread: 0.0,
             pretrain: true,
+            shared_solve_capacity: DEFAULT_SHARED_SOLVE_CAPACITY,
         }
     }
 
@@ -119,12 +136,16 @@ impl FleetSpec {
         let substrate = self.substrate()?;
         let workers = self.resolved_workers();
         let sims = self.build_sims(&substrate)?;
+        let sink = substrate.shared_sink.as_deref();
         let reports = if workers == 1 {
-            run_lock_step_inline(sims)?
+            run_lock_step_inline(sims, sink)?
         } else {
-            run_lock_step_pool(sims, workers)?
+            run_lock_step_pool(sims, workers, sink)?
         };
-        Ok(self.reduce(reports, workers))
+        if let Some(sink) = sink {
+            sink.flush_all();
+        }
+        Ok(self.reduce(reports, workers, substrate.solve_stats()))
     }
 
     /// Runs each rack to completion, one after another, with no worker
@@ -142,7 +163,13 @@ impl FleetSpec {
             .into_iter()
             .map(Simulation::run)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(self.reduce(reports, 1))
+        // Sequential racks buffer their whole event stream; one flush
+        // reorders it into the same (epoch, rack) sequence the lock-step
+        // loops produce.
+        if let Some(sink) = &substrate.shared_sink {
+            sink.flush_all();
+        }
+        Ok(self.reduce(reports, 1, substrate.solve_stats()))
     }
 
     /// The worker count this spec resolves to (before clamping to the
@@ -170,20 +197,22 @@ impl FleetSpec {
         } else {
             None
         };
-        // With >1 worker, racks emit into this one sink concurrently:
-        // each line stays atomic (JsonlSink locks its writer) and
-        // replay_totals is order-insensitive, but line *order* across
-        // racks is scheduling-dependent — reports, CSV, and merged
-        // ledgers are the byte-comparable artifacts, not the event log.
-        let shared_sink: Option<Arc<dyn TelemetrySink>> = match &self.base.telemetry {
+        // Racks emit into this one sink concurrently; it buffers epoch
+        // events and the run loops flush them in (epoch, rack id) order at
+        // epoch boundaries, so the fleet event log's line order is a pure
+        // function of the spec — identical at any worker count.
+        let shared_sink: Option<Arc<SharedSink>> = match &self.base.telemetry {
             TelemetrySpec::Off => None,
-            spec => Some(Arc::new(SharedSink(spec.build()?))),
+            spec => Some(Arc::new(SharedSink::new(spec.build()?))),
         };
+        let solve_cache = (self.shared_solve_capacity > 0)
+            .then(|| Arc::new(SharedSolveCache::new(self.shared_solve_capacity)));
         Ok(Substrate {
             rack,
             solar,
             profile_base,
             shared_sink,
+            solve_cache,
         })
     }
 
@@ -197,10 +226,10 @@ impl FleetSpec {
                 scenario.seed = mix_seed(self.base.seed, rack_id);
                 scenario.telemetry = TelemetrySpec::Off;
                 let telemetry = match &substrate.shared_sink {
-                    Some(sink) => Telemetry::with_sink(Arc::clone(sink)),
+                    Some(sink) => Telemetry::with_sink(Arc::clone(sink) as Arc<dyn TelemetrySink>),
                     None => Telemetry::disabled(),
                 };
-                Simulation::with_substrate(
+                let mut sim = Simulation::with_substrate(
                     scenario,
                     Arc::clone(&substrate.rack),
                     Arc::clone(&substrate.solar),
@@ -208,30 +237,38 @@ impl FleetSpec {
                     rack_id,
                     telemetry,
                     substrate.profile_base.clone(),
-                )
+                )?;
+                if let Some(cache) = &substrate.solve_cache {
+                    sim.set_shared_solve_cache(Arc::clone(cache));
+                }
+                Ok(sim)
             })
             .collect()
     }
 
     /// Deterministic reduction: folds per-rack reports into the fleet
     /// report in rack order, whatever order the workers finished in.
-    fn reduce(&self, reports: Vec<RunReport>, workers: usize) -> FleetReport {
+    ///
+    /// The per-epoch aggregation is a structure-of-arrays pass: one
+    /// column per aggregate field, each rack's record stream scanned
+    /// contiguously (rack-major). For any fixed (epoch, field) the
+    /// additions still land in ascending rack order, so every float sum
+    /// is the same fixed-order reduction as a record-at-a-time fold —
+    /// bit-identical results, but the hot loop walks one rack's
+    /// contiguous records instead of striding across N report vectors
+    /// per epoch.
+    fn reduce(
+        &self,
+        reports: Vec<RunReport>,
+        workers: usize,
+        shared_solve: SharedSolveStats,
+    ) -> FleetReport {
         let epochs_per_rack = reports.first().map_or(0, |r| r.epochs.len());
-        let mut epochs = Vec::with_capacity(epochs_per_rack);
-        for e in 0..epochs_per_rack {
-            let mut agg =
-                FleetEpochRecord::zero_at(reports[0].epochs[e].epoch, reports[0].epochs[e].time);
-            // The SoC sum accumulates in a plain f64 (a Ratio would clamp
-            // to 1.0 as soon as two racks fold in); only the final mean is
-            // a Ratio again.
-            let mut soc_sum = 0.0;
-            for report in &reports {
-                agg.absorb(&report.epochs[e]);
-                soc_sum += report.epochs[e].soc.value();
-            }
-            agg.mean_soc = Ratio::saturating(soc_sum / reports.len() as f64);
-            epochs.push(agg);
+        let mut columns = FleetColumns::zeroed(epochs_per_rack);
+        for report in &reports {
+            columns.fold_rack(&report.epochs);
         }
+        let epochs = columns.into_records(&reports[0].epochs, reports.len());
 
         let mut ledger = RunLedger::default();
         for report in &reports {
@@ -270,6 +307,7 @@ impl FleetSpec {
             rack_summaries,
             mean_epu: Ratio::saturating(mean_epu),
             ledger,
+            shared_solve,
         }
     }
 }
@@ -279,13 +317,182 @@ struct Substrate {
     rack: Arc<Rack>,
     solar: Arc<PowerTrace>,
     profile_base: Option<Arc<PerfDatabase>>,
-    shared_sink: Option<Arc<dyn TelemetrySink>>,
+    shared_sink: Option<Arc<SharedSink>>,
+    solve_cache: Option<Arc<SharedSolveCache>>,
 }
 
-/// Adapter exposing one built [`Telemetry`] handle's sink as a plain
-/// shareable sink, so every rack's events funnel into a single JSONL
+impl Substrate {
+    /// Counter snapshot of the fleet-wide solve cache (zeros when the
+    /// cache is disabled) — scheduling-dependent provenance, like
+    /// [`FleetReport::workers`].
+    fn solve_stats(&self) -> SharedSolveStats {
+        self.solve_cache
+            .as_ref()
+            .map_or_else(SharedSolveStats::default, |c| c.stats())
+    }
+}
+
+/// One epoch of the whole fleet in columns, one `Vec` per aggregate
+/// field — the SoA accumulator behind [`FleetSpec::reduce`]. SoC sums
+/// live in unclamped `f64`s (a [`Ratio`] would saturate at 1.0 as soon
+/// as two racks fold in); only the final mean becomes a `Ratio` again.
+#[derive(Debug)]
+struct FleetColumns {
+    training_racks: Vec<u32>,
+    degraded_racks: Vec<u32>,
+    budget: Vec<Watts>,
+    demand: Vec<Watts>,
+    solar: Vec<Watts>,
+    load: Vec<Watts>,
+    battery_discharge: Vec<Watts>,
+    battery_charge: Vec<Watts>,
+    grid_load: Vec<Watts>,
+    grid_charge: Vec<Watts>,
+    unserved: Vec<Watts>,
+    throughput: Vec<Throughput>,
+    shed_servers: Vec<u32>,
+    offline_servers: Vec<u32>,
+    soc_sum: Vec<f64>,
+}
+
+impl FleetColumns {
+    fn zeroed(epochs: usize) -> Self {
+        FleetColumns {
+            training_racks: vec![0; epochs],
+            degraded_racks: vec![0; epochs],
+            budget: vec![Watts::ZERO; epochs],
+            demand: vec![Watts::ZERO; epochs],
+            solar: vec![Watts::ZERO; epochs],
+            load: vec![Watts::ZERO; epochs],
+            battery_discharge: vec![Watts::ZERO; epochs],
+            battery_charge: vec![Watts::ZERO; epochs],
+            grid_load: vec![Watts::ZERO; epochs],
+            grid_charge: vec![Watts::ZERO; epochs],
+            unserved: vec![Watts::ZERO; epochs],
+            throughput: vec![Throughput::ZERO; epochs],
+            shed_servers: vec![0; epochs],
+            offline_servers: vec![0; epochs],
+            soc_sum: vec![0.0; epochs],
+        }
+    }
+
+    /// Folds one rack's full record stream into the columns. Callers
+    /// fold racks in ascending rack order: that keeps every per-epoch
+    /// float sum a fixed-order reduction.
+    fn fold_rack(&mut self, epochs: &[EpochRecord]) {
+        for (e, rec) in epochs.iter().enumerate() {
+            self.training_racks[e] += u32::from(rec.training);
+            self.degraded_racks[e] += u32::from(rec.degraded);
+            self.budget[e] += rec.budget;
+            self.demand[e] += rec.demand;
+            self.solar[e] += rec.solar;
+            self.load[e] += rec.load;
+            self.battery_discharge[e] += rec.battery_discharge;
+            self.battery_charge[e] += rec.battery_charge;
+            self.grid_load[e] += rec.grid_load;
+            self.grid_charge[e] += rec.grid_charge;
+            self.unserved[e] += rec.unserved;
+            self.throughput[e] += rec.throughput;
+            self.shed_servers[e] += rec.shed_servers;
+            self.offline_servers[e] += rec.offline_servers;
+            self.soc_sum[e] += rec.soc.value();
+        }
+    }
+
+    /// Assembles the columns back into per-epoch records. `template`
+    /// supplies the per-slot epoch id and time (lock-step: identical for
+    /// every rack); `racks` divides the SoC sums into means.
+    fn into_records(self, template: &[EpochRecord], racks: usize) -> Vec<FleetEpochRecord> {
+        template
+            .iter()
+            .enumerate()
+            .map(|(e, t)| FleetEpochRecord {
+                epoch: t.epoch,
+                time: t.time,
+                training_racks: self.training_racks[e],
+                degraded_racks: self.degraded_racks[e],
+                budget: self.budget[e],
+                demand: self.demand[e],
+                solar: self.solar[e],
+                load: self.load[e],
+                battery_discharge: self.battery_discharge[e],
+                battery_charge: self.battery_charge[e],
+                grid_load: self.grid_load[e],
+                grid_charge: self.grid_charge[e],
+                unserved: self.unserved[e],
+                throughput: self.throughput[e],
+                shed_servers: self.shed_servers[e],
+                offline_servers: self.offline_servers[e],
+                mean_soc: Ratio::saturating(self.soc_sum[e] / racks as f64),
+            })
+            .collect()
+    }
+}
+
+/// Shared fleet event sink: every rack's events funnel into one JSONL
 /// stream (or caller sink) while registries stay per-rack.
-struct SharedSink(Telemetry);
+///
+/// Epoch events are buffered keyed by (epoch, rack id) and forwarded in
+/// key order when the run loops call [`flush_through`] at epoch
+/// boundaries (all of epoch *e*'s events exist before any worker passes
+/// the barrier into *e + 1*), so the emitted line order is a pure
+/// function of the spec at any worker count. Lock-step runs hold at most
+/// one epoch of events; the sequential reference buffers the whole run
+/// and flushes once. Spans carry no rack id and are forwarded
+/// immediately (the JSONL sink drops them; ledgers don't depend on
+/// order).
+///
+/// [`flush_through`]: SharedSink::flush_through
+struct SharedSink {
+    inner: Telemetry,
+    pending: Mutex<BTreeMap<(u64, u32), EpochEvent>>,
+}
+
+impl SharedSink {
+    fn new(inner: Telemetry) -> Self {
+        SharedSink {
+            inner,
+            pending: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Forwards every buffered event with `event.epoch <= epoch`, in
+    /// (epoch, rack id) order. Sound to call once all racks have stepped
+    /// through `epoch`.
+    fn flush_through(&self, epoch: u64) {
+        let ready: Vec<EpochEvent> = {
+            let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+            let rest = pending.split_off(&(epoch + 1, 0));
+            std::mem::replace(&mut *pending, rest)
+                .into_values()
+                .collect()
+        };
+        let sink = self.inner.sink();
+        for event in &ready {
+            sink.record_epoch(event);
+        }
+    }
+
+    /// Forwards everything still buffered, in (epoch, rack id) order.
+    fn flush_all(&self) {
+        let ready: Vec<EpochEvent> = {
+            let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *pending).into_values().collect()
+        };
+        let sink = self.inner.sink();
+        for event in &ready {
+            sink.record_epoch(event);
+        }
+    }
+}
+
+impl Drop for SharedSink {
+    fn drop(&mut self) {
+        // Backstop for aborted runs: whatever ordered prefix is buffered
+        // still reaches the sink.
+        self.flush_all();
+    }
+}
 
 impl std::fmt::Debug for SharedSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -295,15 +502,18 @@ impl std::fmt::Debug for SharedSink {
 
 impl TelemetrySink for SharedSink {
     fn enabled(&self) -> bool {
-        self.0.sink_enabled()
+        self.inner.sink_enabled()
     }
 
     fn record_span(&self, span: &greenhetero_core::telemetry::SpanRecord) {
-        self.0.sink().record_span(span);
+        self.inner.sink().record_span(span);
     }
 
-    fn record_epoch(&self, event: &greenhetero_core::telemetry::EpochEvent) {
-        self.0.sink().record_epoch(event);
+    fn record_epoch(&self, event: &EpochEvent) {
+        self.pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((event.epoch.raw(), event.rack_id), event.clone());
     }
 }
 
@@ -372,16 +582,22 @@ pub fn pretrain_database(rack: &Rack, base: &Scenario) -> Result<PerfDatabase, C
 
 /// Lock-step with one worker: the same epoch-major stepping order as the
 /// pool, minus the threads and the barrier.
-fn run_lock_step_inline(mut sims: Vec<Simulation>) -> Result<Vec<RunReport>, CoreError> {
+fn run_lock_step_inline(
+    mut sims: Vec<Simulation>,
+    sink: Option<&SharedSink>,
+) -> Result<Vec<RunReport>, CoreError> {
     let epochs_total = sims.first().map_or(0, Simulation::epochs_total);
     let mut records: Vec<Vec<EpochRecord>> = sims
         .iter()
         .map(|_| Vec::with_capacity(epochs_total as usize))
         .collect();
     let mut epus: Vec<EpuAccumulator> = sims.iter().map(|_| EpuAccumulator::new()).collect();
-    for _ in 0..epochs_total {
+    for epoch in 0..epochs_total {
         for (i, sim) in sims.iter_mut().enumerate() {
             sim.step_epoch(&mut records[i], &mut epus[i])?;
+        }
+        if let Some(sink) = sink {
+            sink.flush_through(epoch);
         }
     }
     Ok(sims
@@ -397,7 +613,17 @@ fn run_lock_step_inline(mut sims: Vec<Simulation>) -> Result<Vec<RunReport>, Cor
 /// meeting the barrier (never abandoning it mid-epoch, which would
 /// deadlock the others) and all break together at the next epoch
 /// boundary. The first error in rack order is returned.
-fn run_lock_step_pool(sims: Vec<Simulation>, workers: usize) -> Result<Vec<RunReport>, CoreError> {
+///
+/// After each barrier, the elected leader flushes the shared sink
+/// through the epoch just completed — every rack's epoch-*e* event was
+/// recorded before the barrier, so the flush emits a complete, ordered
+/// epoch while the other workers proceed into *e + 1* (whose events sort
+/// strictly later and stay buffered).
+fn run_lock_step_pool(
+    sims: Vec<Simulation>,
+    workers: usize,
+    sink: Option<&SharedSink>,
+) -> Result<Vec<RunReport>, CoreError> {
     let total = sims.len();
     let workers = workers.clamp(1, total.max(1));
     let epochs_total = sims.first().map_or(0, Simulation::epochs_total);
@@ -430,7 +656,7 @@ fn run_lock_step_pool(sims: Vec<Simulation>, workers: usize) -> Result<Vec<RunRe
                     let mut epus: Vec<EpuAccumulator> =
                         shard.iter().map(|_| EpuAccumulator::new()).collect();
                     let mut failed = false;
-                    for _ in 0..epochs_total {
+                    for epoch in 0..epochs_total {
                         if !failed {
                             for (slot, (rack_idx, sim)) in shard.iter_mut().enumerate() {
                                 if let Err(e) = sim.step_epoch(&mut records[slot], &mut epus[slot])
@@ -444,9 +670,14 @@ fn run_lock_step_pool(sims: Vec<Simulation>, workers: usize) -> Result<Vec<RunRe
                                 }
                             }
                         }
-                        barrier.wait();
+                        let outcome = barrier.wait();
                         if abort.load(Ordering::SeqCst) {
                             return;
+                        }
+                        if outcome.is_leader() {
+                            if let Some(sink) = sink {
+                                sink.flush_through(epoch);
+                            }
                         }
                     }
                     for ((rack_idx, sim), (recs, epu)) in
@@ -525,51 +756,6 @@ pub struct FleetEpochRecord {
     pub mean_soc: Ratio,
 }
 
-impl FleetEpochRecord {
-    /// An all-zero record for one epoch slot, ready to absorb racks.
-    fn zero_at(epoch: EpochId, time: SimTime) -> Self {
-        FleetEpochRecord {
-            epoch,
-            time,
-            training_racks: 0,
-            degraded_racks: 0,
-            budget: Watts::ZERO,
-            demand: Watts::ZERO,
-            solar: Watts::ZERO,
-            load: Watts::ZERO,
-            battery_discharge: Watts::ZERO,
-            battery_charge: Watts::ZERO,
-            grid_load: Watts::ZERO,
-            grid_charge: Watts::ZERO,
-            unserved: Watts::ZERO,
-            throughput: Throughput::ZERO,
-            shed_servers: 0,
-            offline_servers: 0,
-            mean_soc: Ratio::ZERO,
-        }
-    }
-
-    /// Folds one rack's epoch record in (callers fold in rack order).
-    /// `mean_soc` is untouched: the caller accumulates the SoC sum in an
-    /// unclamped f64 and sets the mean after the last rack folds in.
-    fn absorb(&mut self, e: &EpochRecord) {
-        self.training_racks += u32::from(e.training);
-        self.degraded_racks += u32::from(e.degraded);
-        self.budget += e.budget;
-        self.demand += e.demand;
-        self.solar += e.solar;
-        self.load += e.load;
-        self.battery_discharge += e.battery_discharge;
-        self.battery_charge += e.battery_charge;
-        self.grid_load += e.grid_load;
-        self.grid_charge += e.grid_charge;
-        self.unserved += e.unserved;
-        self.throughput += e.throughput;
-        self.shed_servers += e.shed_servers;
-        self.offline_servers += e.offline_servers;
-    }
-}
-
 /// One rack's end-of-run summary within a fleet report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RackSummary {
@@ -610,6 +796,12 @@ pub struct FleetReport {
     /// Per-rack ledgers merged in rack order: counters summed,
     /// histograms combined (quantiles count-weighted).
     pub ledger: RunLedger,
+    /// Fleet-wide [`SharedSolveCache`] counter totals (zeros when the
+    /// cache is disabled). Like `workers`, this is provenance: *which*
+    /// rack pays a cold solve is scheduling-dependent, so these totals
+    /// may differ across worker counts and are excluded from the
+    /// byte-compared artifacts (CSV, ledger, events).
+    pub shared_solve: SharedSolveStats,
 }
 
 impl FleetReport {

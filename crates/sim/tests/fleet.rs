@@ -8,7 +8,9 @@ use std::io::Write;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::solver::DEFAULT_SHARED_SOLVE_CAPACITY;
 use greenhetero_core::telemetry::{names, JsonlSink};
+use greenhetero_core::types::Watts;
 use greenhetero_sim::fleet::{FleetReport, FleetSpec};
 use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
 
@@ -203,27 +205,29 @@ fn rerun_exports_are_byte_identical() {
         "fleet CSV export is not byte-identical across reruns"
     );
 
-    // The JSONL event log is only fully ordered with one worker (with
-    // more, rack interleaving is scheduling-dependent by design); under
-    // one worker its lines must reproduce byte for byte — except the
-    // `*_us` wall-clock block, the same carve-out `assert_identical`
-    // grants `_seconds` histograms. Everything semantic (epochs, cases,
-    // flows, SoC, counters) sits outside that block.
-    let jsonl_run = || {
+    // The ordered shared sink buffers per-rack lines and flushes them
+    // in (epoch, rack) order, so the JSONL event log reproduces byte
+    // for byte at ANY worker count — except the `*_us` wall-clock
+    // block, the same carve-out `assert_identical` grants `_seconds`
+    // histograms. Everything semantic (epochs, cases, flows, SoC,
+    // counters) sits outside that block.
+    let jsonl_run = |workers: usize| {
         let buf = SharedBuf::default();
         let mut spec = tiny_fleet(3);
-        spec.workers = 1;
+        spec.workers = workers;
         spec.base.telemetry = TelemetrySpec::Sink(Arc::new(JsonlSink::from_writer(buf.clone())));
-        spec.run().expect("single-worker fleet with JSONL sink");
+        spec.run().expect("fleet with JSONL sink");
         String::from_utf8(buf.bytes()).expect("JSONL is UTF-8")
     };
-    let first = strip_wall_clock(&jsonl_run());
-    let second = strip_wall_clock(&jsonl_run());
-    assert!(!first.is_empty(), "JSONL sink captured no events");
-    assert_eq!(
-        first, second,
-        "fleet JSONL export is not byte-identical across reruns"
-    );
+    let reference = strip_wall_clock(&jsonl_run(1));
+    assert!(!reference.is_empty(), "JSONL sink captured no events");
+    for workers in [1, 2, 4, 16] {
+        assert_eq!(
+            reference,
+            strip_wall_clock(&jsonl_run(workers)),
+            "fleet JSONL export is not byte-identical at {workers} workers"
+        );
+    }
 }
 
 /// Drops the contiguous `"predict_us"…"epoch_us"` wall-clock field block
@@ -241,6 +245,61 @@ fn strip_wall_clock(jsonl: &str) -> String {
         })
         .collect::<Vec<_>>()
         .join("\n")
+}
+
+#[test]
+fn shared_cache_on_off_or_resized_is_invisible_in_the_artifacts() {
+    // The fleet-wide solve cache is purely an acceleration: every
+    // report, CSV row, and ledger entry must be bit-identical whether
+    // the cache is at its default size, disabled outright, or squeezed
+    // so hard it thrashes — at every worker count, on the nastiest
+    // variant we have (chaos faults + solar spread + per-rack
+    // training).
+    let reference = {
+        let mut spec = chaos_fleet(6);
+        spec.shared_solve_capacity = 0;
+        spec.run_sequential()
+            .expect("uncached sequential reference")
+    };
+    for capacity in [DEFAULT_SHARED_SOLVE_CAPACITY, 0, 3] {
+        for workers in [1, 2, 16] {
+            let mut spec = chaos_fleet(6);
+            spec.shared_solve_capacity = capacity;
+            spec.workers = workers;
+            let report = spec.run().expect("lock-step chaos fleet");
+            assert_identical(
+                &reference,
+                &report,
+                &format!("shared cache capacity {capacity} at {workers} workers"),
+            );
+        }
+    }
+}
+
+#[test]
+fn homogeneous_fleet_pays_one_cold_solve_per_problem() {
+    // With noise zeroed, no solar spread, and the shared pretrained
+    // profile, all 16 racks pose bit-identical allocation problems
+    // every epoch: the fleet pays ~one cold solve per distinct problem
+    // and the other 15 racks reuse it from the shared cache.
+    let mut spec = tiny_fleet(16);
+    spec.base.meter_noise = Watts::new(0.0);
+    spec.base.perf_noise = 0.0;
+    let report = spec.run().expect("homogeneous fleet");
+    let stats = report.shared_solve;
+    let epochs = report.epochs.len() as u64;
+    assert!(epochs > 0, "fleet produced no epochs");
+    assert!(stats.hits > 0, "identical racks never hit the shared cache");
+    let cold = stats.misses + stats.revalidation_misses;
+    assert!(
+        cold <= 2 * epochs,
+        "expected ~one cold solve per epoch, got {cold} over {epochs} epochs"
+    );
+    assert!(
+        stats.reuse_rate() >= 0.9,
+        "homogeneous 16-rack fleet should reuse >=90% of solves, got {:.3} ({stats:?})",
+        stats.reuse_rate()
+    );
 }
 
 #[test]
