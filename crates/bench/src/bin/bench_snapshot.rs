@@ -18,23 +18,41 @@
 //! sequence, the cache hit rate, and heap allocations per solve from a
 //! counting global allocator.
 //!
-//! With `--fleet`, it instead benchmarks the fleet engine: a 1,000-rack
-//! (`--racks N`) one-day fleet stepped in lock-step at 1, 2, 4, and 8
-//! workers, plus a homogeneous zero-noise 10,000-rack point that
-//! exercises the fleet-wide shared solve cache, writing
-//! `BENCH_fleet.json` (`--fleet-out PATH`) with wall times, scaling
-//! efficiency, rack-epoch throughput, peak RSS per rack, the shared-
-//! solve reuse rate, and a boolean `scaling_gated` recording whether
-//! the machine had the ≥ 4 cores needed to actually measure the 2x
-//! scaling floor. Validating a fleet snapshot enforces the floor only
-//! when `scaling_gated` is true, and rejects snapshots whose flag
-//! contradicts their recorded core count — a snapshot may not advertise
-//! the floor it never measured.
+//! With `--fleet`, it instead benchmarks the work-stealing epoch
+//! scheduler end to end and writes `BENCH_fleet.json`
+//! (`--fleet-out PATH`) with three measurements:
+//!
+//! * the headline fleet: a 1,000-rack (`--racks N`) one-day fleet
+//!   stepped in lock-step at 1, 2, 4, and 8 workers — wall times,
+//!   scaling efficiency, rack-epoch throughput, peak RSS per rack, and
+//!   a boolean `scaling_gated` recording whether the machine had the
+//!   ≥ 4 cores needed to actually measure the 2x scaling floor;
+//! * the daemon point: `--sessions N` (default 1,000) serve sessions
+//!   hosted in-process on the bounded session pool — wall time plus the
+//!   peak daemon-attributable OS thread count against the structural
+//!   `cores + 4` cap (pool workers + accept + spawner + watchdog, with
+//!   one thread of slack), proving thread count does not grow with
+//!   session count;
+//! * the memory point: a homogeneous zero-noise `--racks100k N`
+//!   (default 100,000) fleet run last, so the process's `VmHWM`
+//!   high-water mark afterwards bounds its resident footprint — RSS per
+//!   rack against the 80 kB/rack budget, plus the shared-solve reuse
+//!   rate of the fleet-wide cache.
+//!
+//! Validating a fleet snapshot enforces the structural gates (thread
+//! cap, RSS budget, reuse floor) unconditionally and the wall-clock
+//! scaling floor only when `scaling_gated` is true, rejecting snapshots
+//! whose flag contradicts their recorded core count — a snapshot may
+//! not advertise a floor it never measured. Every gate failure names
+//! the offending key, the observed value, and the required bound.
 //!
 //! Flags (all optional): `--days N` (default 1), `--servers N` servers
 //! per type (default 5), `--out PATH` (default `BENCH_telemetry.json`),
 //! `--solver-out PATH` (default `BENCH_solver.json`), `--fleet`,
-//! `--racks N` (default 1000), `--fleet-out PATH` (default
+//! `--racks N` (default 1000), `--sessions N` (default 1000),
+//! `--racks100k N` (default 100000), `--epoch-secs N` (override the
+//! epoch length for the fleet/session benches — CI uses 3600 for a
+//! reduced 24-epoch day), `--fleet-out PATH` (default
 //! `BENCH_fleet.json`), and `--validate PATH` to schema-check an
 //! existing snapshot (any kind, auto-detected) instead of benchmarking.
 
@@ -51,7 +69,8 @@ use greenhetero_core::solver::{
     solve, AllocationProblem, FastPathConfig, ServerGroup, SolverFastPath,
 };
 use greenhetero_core::telemetry::{names, CollectingSink, EventLine};
-use greenhetero_core::types::{ConfigId, PowerRange, Watts};
+use greenhetero_core::types::{ConfigId, PowerRange, SimDuration, Watts};
+use greenhetero_serve::{Daemon, ServeConfig, SessionSpec};
 use greenhetero_sim::engine::run_scenario;
 use greenhetero_sim::fleet::FleetSpec;
 use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
@@ -143,11 +162,20 @@ const FLEET_SCHEMA_KEYS: &[&str] = &[
     "rack_epochs_per_sec",
     "peak_rss_mb",
     "rss_kb_per_rack",
-    "racks10k",
-    "racks10k_secs",
-    "racks10k_rack_epochs_per_sec",
+    "sessions",
+    "sessions_secs",
+    "sessions_peak_threads",
+    "sessions_thread_cap",
+    "racks100k",
+    "racks100k_epochs",
+    "racks100k_secs",
+    "racks100k_rack_epochs_per_sec",
+    "racks100k_rss_kb_per_rack",
     "shared_solve_reuse_rate",
 ];
+
+/// RSS budget per rack for the large-fleet memory point, kilobytes.
+const RSS_KB_PER_RACK_CEILING: f64 = 80.0;
 
 struct Args {
     days: u64,
@@ -156,6 +184,9 @@ struct Args {
     solver_out: PathBuf,
     fleet: bool,
     racks: u32,
+    sessions: u32,
+    racks100k: u32,
+    epoch_secs: Option<u64>,
     fleet_out: PathBuf,
     validate: Option<PathBuf>,
 }
@@ -168,6 +199,9 @@ fn parse_args() -> Args {
         solver_out: PathBuf::from("BENCH_solver.json"),
         fleet: false,
         racks: 1000,
+        sessions: 1000,
+        racks100k: 100_000,
+        epoch_secs: None,
         fleet_out: PathBuf::from("BENCH_fleet.json"),
         validate: None,
     };
@@ -190,6 +224,23 @@ fn parse_args() -> Args {
             "--racks" => {
                 parsed.racks = value("--racks").parse().expect("--racks takes an integer");
             }
+            "--sessions" => {
+                parsed.sessions = value("--sessions")
+                    .parse()
+                    .expect("--sessions takes an integer");
+            }
+            "--racks100k" => {
+                parsed.racks100k = value("--racks100k")
+                    .parse()
+                    .expect("--racks100k takes an integer");
+            }
+            "--epoch-secs" => {
+                parsed.epoch_secs = Some(
+                    value("--epoch-secs")
+                        .parse()
+                        .expect("--epoch-secs takes an integer"),
+                );
+            }
             "--fleet-out" => parsed.fleet_out = PathBuf::from(value("--fleet-out")),
             "--validate" => parsed.validate = Some(PathBuf::from(value("--validate"))),
             other => panic!("unknown flag {other}; see the module docs for usage"),
@@ -198,10 +249,58 @@ fn parse_args() -> Args {
     parsed
 }
 
+/// Formats one uniform gate-failure message: the offending key, the
+/// observed value, and the required bound, always in the same shape so
+/// CI logs and humans can grep them.
+fn gate_failure(key: &str, observed: impl std::fmt::Display, required: &str) -> String {
+    format!("{key} = {observed} violates required {required}")
+}
+
+/// A floor gate: `observed >= floor` or a uniform failure message.
+fn gate_floor(key: &str, observed: f64, floor: f64) -> Result<(), String> {
+    if observed >= floor {
+        Ok(())
+    } else {
+        Err(gate_failure(
+            key,
+            format!("{observed:.4}"),
+            &format!("floor {floor}"),
+        ))
+    }
+}
+
+/// A ceiling gate: `observed <= ceiling` or a uniform failure message.
+fn gate_ceiling(key: &str, observed: f64, ceiling: f64) -> Result<(), String> {
+    if observed <= ceiling {
+        Ok(())
+    } else {
+        Err(gate_failure(
+            key,
+            format!("{observed:.4}"),
+            &format!("ceiling {ceiling}"),
+        ))
+    }
+}
+
+/// A range gate: `observed` within `[lo, hi]` or a uniform failure
+/// message.
+fn gate_range(key: &str, observed: f64, lo: f64, hi: f64) -> Result<(), String> {
+    if (lo..=hi).contains(&observed) {
+        Ok(())
+    } else {
+        Err(gate_failure(
+            key,
+            format!("{observed:.4}"),
+            &format!("range [{lo}, {hi}]"),
+        ))
+    }
+}
+
 /// Validates an existing snapshot file. The schema is auto-detected:
 /// solver fast-path snapshots carry `cold_p50_us`, fleet snapshots carry
 /// `scaling_w4`, telemetry snapshots carry neither. Returns an error
-/// message on the first violation.
+/// message on the first violation; every message names the offending
+/// key, the observed value, and the required bound.
 fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -217,64 +316,55 @@ fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
         SCHEMA_KEYS
     };
     for key in keys {
-        let value = event
-            .num(key)
-            .ok_or_else(|| format!("missing or non-numeric key {key}"))?;
+        let value = event.num(key).ok_or_else(|| {
+            gate_failure(key, "<missing or non-numeric>", "a finite numeric value")
+        })?;
         if !value.is_finite() {
-            return Err(format!("key {key} is not finite: {value}"));
+            return Err(gate_failure(key, value, "a finite numeric value"));
         }
         if value < 0.0 {
-            return Err(format!("key {key} is negative: {value}"));
+            return Err(gate_failure(key, value, "a non-negative value"));
         }
     }
     if is_solver {
         // The fast path's reason to exist: warm solves must hold a 3×
         // median speedup over cold max-of-engines solves, and the
         // quantized cache must actually hit on a revisiting sequence.
-        let speedup = event.num("speedup_warm_p50").unwrap_or(0.0);
-        if speedup < 3.0 {
-            return Err(format!(
-                "speedup_warm_p50 {speedup:.2} is below the 3x floor"
-            ));
-        }
+        gate_floor(
+            "speedup_warm_p50",
+            event.num("speedup_warm_p50").unwrap_or(0.0),
+            3.0,
+        )?;
         let hit_rate = event.num("cache_hit_rate").unwrap_or(0.0);
-        if !(0.0..=1.0).contains(&hit_rate) {
-            return Err(format!("cache_hit_rate {hit_rate} outside [0, 1]"));
-        }
-        if hit_rate <= 0.5 {
-            return Err(format!(
-                "cache_hit_rate {hit_rate:.2} too low for the revisiting sequence"
-            ));
-        }
+        gate_range("cache_hit_rate", hit_rate, 0.0, 1.0)?;
+        gate_floor("cache_hit_rate", hit_rate, 0.5)?;
     }
     if is_fleet {
-        // The fleet engine's reason to exist: lock-step sharding must
-        // actually scale. The floor only binds when the recording
-        // machine had the cores to show it — and the snapshot must say
-        // so honestly via `scaling_gated`, so a floor that was never
+        // Wall-clock scaling: lock-step work stealing must actually
+        // scale — but the floor only binds when the recording machine
+        // had the cores to show it, and the snapshot must say so
+        // honestly via `scaling_gated`, so a floor that was never
         // measured cannot silently pass as one that was.
         let scaling = event.num("scaling_w4").unwrap_or(0.0);
         let cores = event.num("cores").unwrap_or(0.0);
-        let gated = event
-            .flag("scaling_gated")
-            .ok_or("missing or non-boolean key scaling_gated")?;
+        let gated = event.flag("scaling_gated").ok_or_else(|| {
+            gate_failure("scaling_gated", "<missing or non-boolean>", "a boolean")
+        })?;
         if gated {
             if cores < 4.0 {
-                return Err(format!(
-                    "scaling_gated is true but the snapshot records {cores:.0} cores; \
-                     the 2x floor cannot have been measured there"
+                return Err(gate_failure(
+                    "scaling_gated",
+                    "true",
+                    &format!("cores >= 4 to have measured the floor (cores = {cores:.0})"),
                 ));
             }
-            if scaling < 2.0 {
-                return Err(format!(
-                    "scaling_w4 {scaling:.2} is below the 2x floor on a {cores:.0}-core machine"
-                ));
-            }
+            gate_floor("scaling_w4", scaling, 2.0)?;
         } else {
             if cores >= 4.0 {
-                return Err(format!(
-                    "snapshot records {cores:.0} cores but scaling_gated is false; \
-                     regenerate so the 2x floor is actually enforced"
+                return Err(gate_failure(
+                    "scaling_gated",
+                    "false",
+                    &format!("true on a {cores:.0}-core machine (the 2x floor was measurable)"),
                 ));
             }
             println!(
@@ -282,21 +372,32 @@ fn validate_snapshot(path: &PathBuf) -> Result<(), String> {
                  2x scaling floor at 4 workers was not measurable"
             );
             if scaling <= 0.0 {
-                return Err(format!("scaling_w4 {scaling} is not positive"));
+                return Err(gate_failure("scaling_w4", scaling, "a positive value"));
             }
         }
+        // Structural gates hold on any machine — they are counts and
+        // budgets, not wall-clock races.
+        //
+        // The bounded pool's reason to exist: the daemon's peak
+        // thread bill must not grow with the session count.
+        gate_ceiling(
+            "sessions_peak_threads",
+            event.num("sessions_peak_threads").unwrap_or(f64::MAX),
+            event.num("sessions_thread_cap").unwrap_or(0.0),
+        )
+        .map_err(|e| format!("{e} (sessions_thread_cap)"))?;
+        // The streaming fleet state's reason to exist: resident memory
+        // per rack stays under the budget even at 100k racks.
+        gate_ceiling(
+            "racks100k_rss_kb_per_rack",
+            event.num("racks100k_rss_kb_per_rack").unwrap_or(f64::MAX),
+            RSS_KB_PER_RACK_CEILING,
+        )?;
         // The shared solve cache's reason to exist: a homogeneous fleet
         // must reuse nearly every solve.
         let reuse = event.num("shared_solve_reuse_rate").unwrap_or(-1.0);
-        if !(0.0..=1.0).contains(&reuse) {
-            return Err(format!("shared_solve_reuse_rate {reuse} outside [0, 1]"));
-        }
-        if reuse < 0.9 {
-            return Err(format!(
-                "shared_solve_reuse_rate {reuse:.3} is below the 0.9 floor \
-                 for the homogeneous 10k-rack point"
-            ));
-        }
+        gate_range("shared_solve_reuse_rate", reuse, 0.0, 1.0)?;
+        gate_floor("shared_solve_reuse_rate", reuse, 0.9)?;
     }
     Ok(())
 }
@@ -319,19 +420,100 @@ fn peak_rss_kb() -> f64 {
         .unwrap_or(0.0)
 }
 
-/// Benchmarks the fleet engine: the same `racks`-rack one-day fleet
-/// stepped in lock-step at 1, 2, 4, and 8 workers, writing the
+/// Current thread count of this process, from `/proc/self/status`, or
+/// 0 where `/proc` is unavailable.
+fn process_threads() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find_map(|line| line.strip_prefix("Threads:")?.trim().parse::<f64>().ok())
+        })
+        .unwrap_or(0.0)
+}
+
+/// The daemon point: hosts `args.sessions` serve sessions in-process on
+/// the bounded session pool and measures wall time plus the peak
+/// daemon-attributable thread count. Returns
+/// `(secs, peak_threads, thread_cap)` where `peak_threads` is the
+/// thread high-water delta over the pre-daemon baseline and the cap is
+/// the structural `cores + 4` bill (pool workers + accept + spawner +
+/// watchdog, with one thread of slack).
+fn bench_sessions(args: &Args, cores: usize) -> (f64, f64, f64) {
+    let threads_before = process_threads();
+    let daemon = Daemon::start(ServeConfig {
+        max_sessions: args.sessions as usize,
+        admission_queue_depth: 64,
+        drain_deadline_ms: 600_000,
+        ..ServeConfig::default()
+    })
+    .expect("bench daemon starts");
+    let supervisor = daemon.supervisor();
+    let started = Instant::now();
+    for i in 0..args.sessions {
+        let mut spec = SessionSpec::named(&format!("bench-{i:05}"));
+        spec.days = args.days;
+        spec.servers_per_type = args.servers;
+        if let Some(secs) = args.epoch_secs {
+            spec.controller.epoch_len = SimDuration::from_secs(secs);
+        }
+        loop {
+            match supervisor.submit(spec.clone()) {
+                Ok(_) => break,
+                Err(("backpressure", _)) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err((reason, msg)) => panic!("bench session rejected: {reason}: {msg}"),
+            }
+        }
+    }
+    let mut peak_threads = process_threads();
+    loop {
+        peak_threads = peak_threads.max(process_threads());
+        let snap = supervisor.status();
+        if snap.active() == 0 {
+            assert_eq!(
+                snap.finished,
+                u64::from(args.sessions),
+                "every bench session must finish cleanly"
+            );
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let report = daemon.drain();
+    assert_eq!(report.leaked, 0, "bench drain must not leak sessions");
+    let peak_delta = (peak_threads - threads_before).max(0.0);
+    let cap = cores as f64 + 4.0;
+    println!(
+        "sessions: {} sessions finished in {secs:.2} s on {} daemon threads \
+         (cap {cap:.0}: {cores} pool workers + accept + spawner + watchdog + slack)",
+        args.sessions, peak_delta
+    );
+    (secs, peak_delta, cap)
+}
+
+/// Benchmarks the work-stealing epoch scheduler end to end: the
+/// `racks`-rack headline fleet at 1, 2, 4, and 8 workers, the
+/// `sessions`-session daemon point on the bounded pool, and the
+/// homogeneous `racks100k`-rack memory point, writing the
 /// `BENCH_fleet.json` snapshot.
 fn bench_fleet(args: &Args) {
+    let scenario_base = |policy| {
+        let mut scenario = Scenario {
+            days: args.days,
+            servers_per_type: args.servers,
+            ..Scenario::paper_runtime(policy)
+        };
+        if let Some(secs) = args.epoch_secs {
+            scenario.controller.epoch_len = SimDuration::from_secs(secs);
+        }
+        scenario
+    };
     let spec_for = |workers: usize| {
-        let mut spec = FleetSpec::new(
-            Scenario {
-                days: args.days,
-                servers_per_type: args.servers,
-                ..Scenario::paper_runtime(PolicyKind::GreenHetero)
-            },
-            args.racks,
-        );
+        let mut spec = FleetSpec::new(scenario_base(PolicyKind::GreenHetero), args.racks);
         spec.workers = workers;
         spec
     };
@@ -359,37 +541,42 @@ fn bench_fleet(args: &Args) {
     let scaling_gated = cores >= 4;
 
     // VmHWM is a process-lifetime high-water mark, so read it before
-    // the 10x-larger fleet below inflates it: `rss_kb_per_rack` is a
+    // the much larger fleet below inflates it: `rss_kb_per_rack` is a
     // claim about *this* fleet.
     let rss_kb = peak_rss_kb();
 
-    // A point an order of magnitude past the headline fleet,
-    // homogeneous and noise-free so every rack poses bit-identical
-    // problems: the fleet-wide shared solve cache pays one cold solve
-    // per distinct problem and the reuse rate approaches (N-1)/N.
-    let big_racks: u32 = 10_000;
+    // The daemon point: thousands of sessions on the bounded pool.
+    let (sessions_secs, sessions_peak_threads, sessions_thread_cap) = bench_sessions(args, cores);
+
+    // The memory point, run LAST so the process's VmHWM afterwards
+    // bounds its resident footprint: two orders of magnitude past the
+    // headline fleet, homogeneous and noise-free so every rack poses
+    // bit-identical problems — the fleet-wide shared solve cache pays
+    // one cold solve per distinct problem and the reuse rate approaches
+    // (N-1)/N, while the streaming per-rack state keeps RSS/rack under
+    // the budget.
+    let big_racks: u32 = args.racks100k;
     let big_spec = FleetSpec::new(
         Scenario {
-            days: args.days,
-            servers_per_type: args.servers,
             meter_noise: Watts::new(0.0),
             perf_noise: 0.0,
-            ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+            ..scenario_base(PolicyKind::GreenHetero)
         },
         big_racks,
     );
     let started = Instant::now();
-    let big_report = big_spec.run().expect("10k-rack fleet benchmark runs");
+    let big_report = big_spec.run().expect("large-fleet benchmark runs");
     let big_secs = started.elapsed().as_secs_f64();
-    let big_rack_epochs = f64::from(big_racks) * big_report.epochs.len() as f64;
+    let big_epochs = big_report.epochs.len();
+    let big_rack_epochs = f64::from(big_racks) * big_epochs as f64;
     let reuse = big_report.shared_solve.reuse_rate();
+    let big_rss_kb = peak_rss_kb();
+    let big_rss_kb_per_rack = big_rss_kb / f64::from(big_racks.max(1));
     println!(
-        "fleet: {} homogeneous zero-noise racks x {} epochs in {:.2} s; \
-         shared-solve reuse rate {:.4}",
-        big_racks,
-        big_report.epochs.len(),
-        big_secs,
-        reuse
+        "fleet: {big_racks} homogeneous zero-noise racks x {big_epochs} epochs in \
+         {big_secs:.2} s; shared-solve reuse rate {reuse:.4}; \
+         peak RSS {:.1} MB ({big_rss_kb_per_rack:.2} kB/rack)",
+        big_rss_kb / 1024.0
     );
 
     let mut json = String::from("{");
@@ -439,13 +626,19 @@ fn bench_fleet(args: &Args) {
         "rss_kb_per_rack",
         rss_kb / f64::from(args.racks.max(1)),
     );
-    push(&mut json, "racks10k", f64::from(big_racks));
-    push(&mut json, "racks10k_secs", big_secs);
+    push(&mut json, "sessions", f64::from(args.sessions));
+    push(&mut json, "sessions_secs", sessions_secs);
+    push(&mut json, "sessions_peak_threads", sessions_peak_threads);
+    push(&mut json, "sessions_thread_cap", sessions_thread_cap);
+    push(&mut json, "racks100k", f64::from(big_racks));
+    push(&mut json, "racks100k_epochs", big_epochs as f64);
+    push(&mut json, "racks100k_secs", big_secs);
     push(
         &mut json,
-        "racks10k_rack_epochs_per_sec",
+        "racks100k_rack_epochs_per_sec",
         big_rack_epochs / big_secs.max(1e-9),
     );
+    push(&mut json, "racks100k_rss_kb_per_rack", big_rss_kb_per_rack);
     push(&mut json, "shared_solve_reuse_rate", reuse);
     // The one boolean key: whether the 2x floor above was actually
     // measured on this machine.

@@ -130,6 +130,22 @@ pub mod names {
     /// Session checkpoints flushed by the graceful-drain protocol.
     pub const SERVE_DRAIN_CHECKPOINTS: &str = "greenhetero_serve_drain_checkpoint_total";
 
+    // The bounded session pool's counters come from `TaskPool::stats()`
+    // atomics. Work-stealing activity is scheduling-dependent (which
+    // worker polls which task depends on timing), so like the shared
+    // solve cache these surface only through the serve daemon's
+    // Prometheus dump, never a per-run registry or ledger.
+    /// Worker threads in the serve daemon's bounded session pool.
+    pub const POOL_WORKERS: &str = "greenhetero_pool_workers";
+    /// Session tasks submitted to the bounded pool over its lifetime.
+    pub const POOL_TASKS_SPAWNED: &str = "greenhetero_pool_task_spawned_total";
+    /// Session tasks the bounded pool ran to completion.
+    pub const POOL_TASKS_COMPLETED: &str = "greenhetero_pool_task_completed_total";
+    /// Individual task polls executed by pool workers.
+    pub const POOL_POLLS: &str = "greenhetero_pool_poll_total";
+    /// Polls served from another worker's deque (work stealing).
+    pub const POOL_STEALS: &str = "greenhetero_pool_steal_total";
+
     /// Prediction-phase wall time per epoch, in seconds.
     pub const PREDICT_SECONDS: &str = "greenhetero_controller_predict_seconds";
     /// Source-selection wall time per epoch, in seconds.

@@ -1,0 +1,25 @@
+//! GH012 fail fixture: direct thread spawning in a non-allowlisted
+//! module — every flavour the rule must catch.
+
+/// Thread-per-session: the exact pattern the scheduler replaced.
+fn per_session(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}
+
+/// A named thread via the builder API is still an unbudgeted thread.
+fn named(work: impl FnOnce() + Send + 'static) {
+    let spawned = std::thread::Builder::new()
+        .name("rogue".into())
+        .spawn(work);
+    drop(spawned);
+}
+
+/// Scoped threads escape the pool budget just the same.
+fn scoped(items: &[u64]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| items.iter().sum::<u64>());
+        total = handle.join().unwrap_or(0);
+    });
+    total
+}

@@ -20,12 +20,13 @@
 //! | GH009 | metric-name literals ↔ `telemetry::names` catalog coherence |
 //! | GH010 | no ambient nondeterminism outside `Timing`-tagged modules |
 //! | GH011 | no unbounded channels in backpressure-scoped modules |
+//! | GH012 | no direct thread spawning outside the scheduler allowlist |
 //!
 //! The analysis runs in two phases. Phase 1 scans every file into a
 //! [`model::FileModel`] and builds the cross-file [`graph::SymbolGraph`]
 //! (struct fields and their types, catalog constants and their uses,
 //! metric-name literals, pub items). Phase 2 runs the per-file rules
-//! (GH001–GH003, GH005, GH006, GH011), the cross-file rules (GH004,
+//! (GH001–GH003, GH005, GH006, GH011, GH012), the cross-file rules (GH004,
 //! GH009), and the graph-resolved determinism rules (GH007, GH008,
 //! GH010) — the last group scoped by the [`DETERMINISM_DOMAINS`] table
 //! below.
@@ -88,6 +89,10 @@ pub const RULES: &[(&str, &str)] = &[
         "GH011",
         "no unbounded channels in backpressure-scoped modules",
     ),
+    (
+        "GH012",
+        "no direct thread spawning outside the scheduler allowlist",
+    ),
 ];
 
 /// A determinism domain a module can be tagged with.
@@ -133,6 +138,11 @@ pub const DETERMINISM_DOMAINS: &[(&str, &[Domain])] = &[
         "crates/sim/src/runner.rs",
         &[Domain::Reduction, Domain::Timing],
     ),
+    // The work-stealing pool's parking machinery (condvar timeouts,
+    // park deadlines) is wall-clock by nature, like the serve daemon's
+    // heartbeats below — timing there is infrastructure, never an input
+    // to any decision stream.
+    ("crates/sim/src/sched.rs", &[Domain::Timing]),
     // The serve daemon measures wall time on purpose: heartbeats,
     // backoff, and drain deadlines are real-time contracts, not
     // simulated quantities.
@@ -177,6 +187,23 @@ pub fn is_bounded_channel_scope(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
         || path == "crates/sim/src/runner.rs"
         || path == "crates/sim/src/fleet.rs"
+}
+
+/// `true` for the files allowed to create OS threads directly (GH012):
+/// the work-stealing pool, the sharded runner, and the serve layer's
+/// fixed supervision threads (accept loop, spawner, watchdog). All
+/// other library code must submit tasks to the pool, so the process
+/// thread count stays a structural invariant instead of a function of
+/// load.
+#[must_use]
+pub fn is_thread_spawn_site(path: &str) -> bool {
+    [
+        "crates/sim/src/sched.rs",
+        "crates/sim/src/runner.rs",
+        "crates/serve/src/supervisor.rs",
+        "crates/serve/src/daemon.rs",
+    ]
+    .contains(&path)
 }
 
 /// `true` for files inside the dimensional crates (`core`, `power`).
@@ -296,6 +323,9 @@ pub fn analyze_files_report(files: &[(String, String)], rule_filter: Option<&str
         }
         if is_bounded_channel_scope(&model.path) {
             rules::gh011::check(model, &mut diags);
+        }
+        if is_crate_src(&model.path) && !is_thread_spawn_site(&model.path) {
+            rules::gh012::check(model, &mut diags);
         }
         if domains.contains(&Domain::Reduction) || domains.contains(&Domain::Telemetry) {
             rules::gh007::check(model, &graph, &mut diags);
@@ -476,6 +506,26 @@ mod tests {
                 "crates/core/src/solver/grid.rs"
             ]
         );
+    }
+
+    #[test]
+    fn gh012_exempts_the_scheduler_allowlist() {
+        // The same spawn is flagged in session code but sanctioned in
+        // the pool, the runner, and the supervisor/daemon threads.
+        let src = "fn f() { std::thread::spawn(|| ()); }\n";
+        let diags = analyze_files(&[
+            file("crates/serve/src/session.rs", src),
+            file("crates/sim/src/sched.rs", src),
+            file("crates/sim/src/runner.rs", src),
+            file("crates/serve/src/supervisor.rs", src),
+            file("crates/serve/src/daemon.rs", src),
+        ]);
+        let hits: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.rule == "GH012")
+            .map(|d| d.file.as_str())
+            .collect();
+        assert_eq!(hits, vec!["crates/serve/src/session.rs"]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The GH001–GH011 rule implementations plus shared signature parsing.
+//! The GH001–GH012 rule implementations plus shared signature parsing.
 
 pub mod gh001;
 pub mod gh002;
@@ -11,6 +11,7 @@ pub mod gh008;
 pub mod gh009;
 pub mod gh010;
 pub mod gh011;
+pub mod gh012;
 
 use std::ops::Range;
 

@@ -16,21 +16,54 @@ pub struct ServeClient {
     max_frame_len: usize,
 }
 
+/// Socket timeouts for a [`ServeClient`] connection. The defaults are
+/// generous (the daemon's own read timeout paces its replies, so a
+/// short client read timeout would race it); callers embedding the
+/// client in latency-sensitive tooling tighten them with
+/// [`ServeClient::connect_with_timeouts`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientTimeouts {
+    /// Per-read socket timeout; `None` blocks indefinitely.
+    pub read: Option<Duration>,
+    /// Per-write socket timeout; `None` blocks indefinitely.
+    pub write: Option<Duration>,
+}
+
+impl Default for ClientTimeouts {
+    fn default() -> Self {
+        ClientTimeouts {
+            read: Some(Duration::from_secs(60)),
+            write: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
 impl ServeClient {
-    /// Connects to `addr` with a generous read timeout (the daemon's
-    /// own read timeout paces its replies, so a short client timeout
-    /// would race it).
+    /// Connects to `addr` with the default [`ClientTimeouts`].
     ///
     /// # Errors
     ///
     /// The classified connect/configure failure.
     pub fn connect(addr: &str) -> Result<ServeClient, FrameError> {
+        Self::connect_with_timeouts(addr, ClientTimeouts::default())
+    }
+
+    /// Connects to `addr` with explicit socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// The classified connect/configure failure (a zero `Duration` is
+    /// rejected by the OS and surfaces as [`FrameError::Io`]).
+    pub fn connect_with_timeouts(
+        addr: &str,
+        timeouts: ClientTimeouts,
+    ) -> Result<ServeClient, FrameError> {
         let stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
         stream
-            .set_read_timeout(Some(Duration::from_secs(60)))
+            .set_read_timeout(timeouts.read)
             .map_err(FrameError::Io)?;
         stream
-            .set_write_timeout(Some(Duration::from_secs(10)))
+            .set_write_timeout(timeouts.write)
             .map_err(FrameError::Io)?;
         Ok(ServeClient {
             stream,
@@ -158,5 +191,44 @@ impl ServeClient {
     /// Frame-level failures only.
     pub fn drain(&mut self) -> Result<EventLine, FrameError> {
         self.request_line(r#"{"cmd":"drain"}"#)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configured_read_timeout_bounds_a_silent_server() {
+        // A listener that accepts but never replies: a client with a
+        // short read timeout must surface TimedOut instead of hanging.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut client = ServeClient::connect_with_timeouts(
+            &addr,
+            ClientTimeouts {
+                read: Some(Duration::from_millis(50)),
+                write: Some(Duration::from_millis(500)),
+            },
+        )
+        .expect("connect");
+        let started = std::time::Instant::now();
+        let err = client
+            .request(r#"{"cmd":"status"}"#)
+            .expect_err("silent server must time the read out");
+        assert!(matches!(err, FrameError::TimedOut), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout must bound the wait"
+        );
+        drop(hold.join());
+    }
+
+    #[test]
+    fn default_timeouts_are_generous() {
+        let defaults = ClientTimeouts::default();
+        assert_eq!(defaults.read, Some(Duration::from_secs(60)));
+        assert_eq!(defaults.write, Some(Duration::from_secs(10)));
     }
 }

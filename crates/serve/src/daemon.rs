@@ -49,6 +49,10 @@ pub struct ServeConfig {
     pub idle_timeout_ms: u64,
     /// Watchdog scan period, ms.
     pub watchdog_tick_ms: u64,
+    /// Worker threads in the bounded session pool; 0 sizes the pool to
+    /// `available_parallelism`. Every hosted session is a poll task on
+    /// this pool — the daemon never spawns a thread per session.
+    pub worker_threads: usize,
     /// Deadline for [`Daemon::drain`] to join every session, ms.
     pub drain_deadline_ms: u64,
     /// Where drain writes its checkpoint JSONL, when set.
@@ -68,6 +72,7 @@ impl Default for ServeConfig {
             write_timeout_ms: 2_000,
             idle_timeout_ms: 30_000,
             watchdog_tick_ms: 50,
+            worker_threads: 0,
             drain_deadline_ms: 10_000,
             checkpoint_path: None,
         }
@@ -137,10 +142,11 @@ impl Daemon {
             admission_queue_depth: cfg.admission_queue_depth,
             tick_queue_depth: cfg.tick_queue_depth,
             watchdog_tick_ms: cfg.watchdog_tick_ms,
+            worker_threads: cfg.worker_threads,
             checkpoint_path: cfg.checkpoint_path.clone(),
         };
         let (supervisor, mut threads) =
-            Supervisor::start(limits, telemetry.clone(), clock, Arc::clone(&live));
+            Supervisor::start(limits, telemetry.clone(), clock, Arc::clone(&live))?;
         let accept = {
             let live = Arc::clone(&live);
             let supervisor = Arc::clone(&supervisor);
@@ -450,6 +456,27 @@ fn dispatch(
                 m = solve.misses,
                 r = solve.revalidation_misses,
                 e = solve.evictions,
+            ));
+            // Pool counters are work-stealing activity — scheduling-
+            // dependent like the shared-solve stats, so they live only
+            // in the scrape.
+            let pool = supervisor.pool_stats();
+            dump.push_str(&format!(
+                "# TYPE {workers} gauge\n{workers} {w}\n\
+                 # TYPE {spawned} counter\n{spawned} {sp}\n\
+                 # TYPE {completed} counter\n{completed} {c}\n\
+                 # TYPE {polls} counter\n{polls} {p}\n\
+                 # TYPE {steals} counter\n{steals} {st}\n",
+                workers = names::POOL_WORKERS,
+                spawned = names::POOL_TASKS_SPAWNED,
+                completed = names::POOL_TASKS_COMPLETED,
+                polls = names::POOL_POLLS,
+                steals = names::POOL_STEALS,
+                w = pool.workers,
+                sp = pool.spawned,
+                c = pool.completed,
+                p = pool.polls,
+                st = pool.steals,
             ));
             let mut o = JsonObject::new();
             o.bool("ok", true).str("metrics", &dump);

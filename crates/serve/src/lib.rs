@@ -50,7 +50,7 @@ pub mod spec;
 /// The session supervisor: admission, watchdog, and graceful drain.
 pub mod supervisor;
 
-pub use client::ServeClient;
+pub use client::{ClientTimeouts, ServeClient};
 pub use daemon::{Daemon, ServeConfig};
 pub use proto::{read_frame, write_frame, FrameError};
 pub use session::{SessionCheckpoint, SessionState};

@@ -2,10 +2,14 @@
 //! isolation, deterministic restart-and-replay recovery, and a
 //! progress heartbeat.
 //!
-//! The session thread owns a [`Stepper`]; everything the rest of the
-//! daemon needs to observe lives in [`SessionShared`] (atomics plus a
-//! decisions log behind a mutex), so supervision never blocks on a
-//! stepping session.
+//! A session is a [`SessionTask`] — a poll-able state machine scheduled
+//! onto the supervisor's bounded work-stealing pool
+//! ([`greenhetero_sim::sched::TaskPool`]), one epoch step (or one
+//! waiting quantum) per poll, so thousands of sessions share ~cores
+//! worker threads instead of owning one OS thread each. Everything the
+//! rest of the daemon needs to observe lives in [`SessionShared`]
+//! (atomics plus a decisions log behind a mutex), so supervision never
+//! blocks on a stepping session.
 //!
 //! **Crash recovery.** Each epoch step runs under
 //! [`std::panic::catch_unwind`]. On a panic the stepper is discarded
@@ -18,7 +22,7 @@
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -29,6 +33,7 @@ use greenhetero_core::telemetry::{names, Telemetry};
 use greenhetero_power::solar::synthesize_shared;
 use greenhetero_server::rack::Rack;
 use greenhetero_sim::engine::{Simulation, Stepper};
+use greenhetero_sim::sched::{PollTask, TaskPoll};
 
 use crate::proto::JsonObject;
 use crate::spec::{decision_line, SessionSpec};
@@ -337,22 +342,6 @@ impl SessionRuntime {
         Ok(stepper)
     }
 
-    /// Sleeps `ms` in heartbeat-refreshing chunks. Returns `false` when
-    /// the stop flag was raised mid-sleep.
-    fn sleep_with_heartbeat(&self, ms: u64) -> bool {
-        let mut remaining = ms;
-        while remaining > 0 {
-            if self.shared.stop.load(Ordering::Acquire) {
-                return false;
-            }
-            let chunk = remaining.min(WAIT_CHUNK_MS);
-            std::thread::sleep(Duration::from_millis(chunk));
-            self.shared.beat(self.clock.now_ms());
-            remaining -= chunk;
-        }
-        !self.shared.stop.load(Ordering::Acquire)
-    }
-
     fn quarantine(&self, error: String) {
         self.shared.record_error(error);
         self.shared.set_state(SessionState::Quarantined);
@@ -370,115 +359,234 @@ impl SessionRuntime {
         base.saturating_mul(1u64 << doublings).min(cap)
     }
 
-    /// The session control loop. Runs on a dedicated thread; returns
-    /// when the session reaches a terminal state or stop is raised.
+    /// Drives the session's poll task to completion on the calling
+    /// thread — the blocking form the unit tests use to exercise the
+    /// state machine in isolation; the daemon schedules the same
+    /// [`SessionTask`] on its bounded pool instead.
+    #[cfg(test)]
     pub(crate) fn run(self) {
-        let mut fired: BTreeSet<u64> = BTreeSet::new();
-        let mut stalled = false;
-        let mut stepper = match self.build_stepper() {
-            Ok(stepper) => stepper,
-            Err(e) => {
-                self.quarantine(format!("session build failed: {e}"));
-                return;
-            }
-        };
-        self.shared
-            .epochs_total
-            .store(stepper.epochs_total(), Ordering::Release);
-        self.shared
-            .transition(SessionState::Pending, SessionState::Running);
-        self.shared.beat(self.clock.now_ms());
-
+        let mut task = SessionTask::new(self);
         loop {
-            if self.shared.stop.load(Ordering::Acquire) {
-                break;
+            match task.poll() {
+                TaskPoll::Done => return,
+                TaskPoll::After(ms) => {
+                    std::thread::sleep(Duration::from_millis(ms.min(WAIT_CHUNK_MS)));
+                }
+                TaskPoll::Again => {}
             }
-            let cursor = stepper.cursor();
+        }
+    }
+}
 
-            if self.spec.manual {
-                // Manual pacing: one epoch per tick; ticks are the
-                // heartbeat, so a silent client eventually trips the
-                // watchdog. The timeout only re-checks the stop flag.
-                match self
-                    .ctrl_rx
-                    .recv_timeout(Duration::from_millis(WAIT_CHUNK_MS * 5))
-                {
-                    Ok(SessionMsg::Tick) => {}
-                    Ok(SessionMsg::Shutdown) | Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => break,
+/// A crash backoff in progress: the cursor to replay to once the
+/// deadline passes.
+#[derive(Debug, Clone, Copy)]
+struct Backoff {
+    until_ms: u64,
+    cursor: u64,
+}
+
+/// The session control loop as a poll-able state machine for the
+/// supervisor's bounded [`TaskPool`](greenhetero_sim::sched::TaskPool).
+///
+/// Each poll performs at most one of: build the stepper (first poll),
+/// wait out a pacing/backoff quantum (returning [`TaskPoll::After`] so
+/// no worker thread blocks), or step one epoch under
+/// [`std::panic::catch_unwind`]. All PR 7 robustness semantics are
+/// preserved per-step: panics discard the stepper and rebuild-and-replay
+/// deterministically after an exponential backoff, an exhausted restart
+/// budget quarantines, heartbeats are beaten exactly where the
+/// thread-per-session loop beat them (waiting manual sessions stay
+/// silent so the watchdog can evict silent clients), and the stop flag
+/// is honoured at every poll entry.
+pub(crate) struct SessionTask {
+    rt: SessionRuntime,
+    stepper: Option<Stepper>,
+    fired: BTreeSet<u64>,
+    stalled: bool,
+    started: bool,
+    backoff: Option<Backoff>,
+    pace_until: Option<u64>,
+}
+
+impl SessionTask {
+    pub(crate) fn new(rt: SessionRuntime) -> Self {
+        SessionTask {
+            rt,
+            stepper: None,
+            fired: BTreeSet::new(),
+            stalled: false,
+            started: false,
+            backoff: None,
+            pace_until: None,
+        }
+    }
+
+    /// Terminal stop transition: eviction already stamped its state; a
+    /// drain stop lands here still Running (or never-started Pending).
+    fn drained(&self) -> TaskPoll {
+        self.rt
+            .shared
+            .transition(SessionState::Running, SessionState::Drained);
+        self.rt
+            .shared
+            .transition(SessionState::Pending, SessionState::Drained);
+        TaskPoll::Done
+    }
+}
+
+impl PollTask for SessionTask {
+    fn poll(&mut self) -> TaskPoll {
+        if !self.started {
+            self.started = true;
+            match self.rt.build_stepper() {
+                Ok(stepper) => {
+                    self.rt
+                        .shared
+                        .epochs_total
+                        .store(stepper.epochs_total(), Ordering::Release);
+                    self.rt
+                        .shared
+                        .transition(SessionState::Pending, SessionState::Running);
+                    self.rt.shared.beat(self.rt.clock.now_ms());
+                    self.stepper = Some(stepper);
                 }
-            } else if self.spec.pace_ms > 0 && !self.sleep_with_heartbeat(self.spec.pace_ms) {
-                continue;
+                Err(e) => {
+                    self.rt.quarantine(format!("session build failed: {e}"));
+                    return TaskPoll::Done;
+                }
             }
+        }
+        if self.rt.shared.stop.load(Ordering::Acquire) {
+            return self.drained();
+        }
 
-            // Injected stall: sleep without heartbeating, exactly once,
-            // so the watchdog's eviction path can be tested end to end.
-            if self.spec.stall_epoch == Some(cursor) && !stalled {
-                stalled = true;
-                std::thread::sleep(Duration::from_millis(self.spec.stall_ms));
-                continue;
+        // A backoff in progress waits in heartbeat-beating quanta, then
+        // rebuilds and silently replays to the abandoned cursor.
+        if let Some(backoff) = self.backoff {
+            let now = self.rt.clock.now_ms();
+            if now < backoff.until_ms {
+                self.rt.shared.beat(now);
+                return TaskPoll::After((backoff.until_ms - now).min(WAIT_CHUNK_MS));
             }
+            self.backoff = None;
+            self.rt.shared.beat(now);
+            match self.rt.rebuild_to(backoff.cursor) {
+                Ok(rebuilt) => self.stepper = Some(rebuilt),
+                Err(e) => {
+                    self.rt.quarantine(format!("restart rebuild failed: {e}"));
+                    return TaskPoll::Done;
+                }
+            }
+            return TaskPoll::Again;
+        }
 
-            let panic_due = self.spec.panic_epochs.contains(&cursor);
-            let step = catch_unwind(AssertUnwindSafe(|| {
-                if panic_due && fired.insert(cursor) {
-                    std::panic::panic_any(InjectedPanic { epoch: cursor });
-                }
-                stepper
-                    .step()
-                    .map(|record| record.map(|r| (decision_line(r), r.degraded)))
-            }));
+        let Some(stepper) = self.stepper.as_mut() else {
+            // Unreachable by construction (stepper exists outside
+            // backoff); quarantine rather than poison the pool.
+            self.rt.quarantine("session lost its stepper".into());
+            return TaskPoll::Done;
+        };
+        let cursor = stepper.cursor();
 
-            match step {
-                Err(_panic) => {
-                    let restart = self.shared.restarts.fetch_add(1, Ordering::AcqRel) + 1;
-                    self.telemetry
-                        .registry()
-                        .counter(names::SESSION_RESTARTS)
-                        .inc();
-                    if restart > self.spec.controller.serve_restart_budget {
-                        self.quarantine(format!(
-                            "panicked at epoch {cursor}; restart budget {} exhausted",
-                            self.spec.controller.serve_restart_budget
-                        ));
-                        return;
-                    }
-                    if !self.sleep_with_heartbeat(self.backoff_ms(restart)) {
-                        continue; // stop raised mid-backoff
-                    }
-                    match self.rebuild_to(cursor) {
-                        Ok(rebuilt) => stepper = rebuilt,
-                        Err(e) => {
-                            self.quarantine(format!("restart rebuild failed: {e}"));
-                            return;
-                        }
-                    }
+        if self.rt.spec.manual {
+            // Manual pacing: one epoch per tick; ticks are the
+            // heartbeat, so a silent client eventually trips the
+            // watchdog (waiting here deliberately does NOT beat).
+            match self.rt.ctrl_rx.try_recv() {
+                Ok(SessionMsg::Tick) => {}
+                Ok(SessionMsg::Shutdown) => return TaskPoll::Again,
+                Err(TryRecvError::Empty) => return TaskPoll::After(WAIT_CHUNK_MS * 5),
+                Err(TryRecvError::Disconnected) => return self.drained(),
+            }
+        } else if self.rt.spec.pace_ms > 0 {
+            // Free-running pace: wait out the interval in beating
+            // quanta before each step, like the old paced sleep.
+            let now = self.rt.clock.now_ms();
+            match self.pace_until {
+                None => {
+                    self.pace_until = Some(now.saturating_add(self.rt.spec.pace_ms));
+                    self.rt.shared.beat(now);
+                    return TaskPoll::After(self.rt.spec.pace_ms.min(WAIT_CHUNK_MS));
                 }
-                Ok(Err(e)) => {
-                    self.quarantine(format!("controller error at epoch {cursor}: {e}"));
-                    return;
+                Some(until) if now < until => {
+                    self.rt.shared.beat(now);
+                    return TaskPoll::After((until - now).min(WAIT_CHUNK_MS));
                 }
-                Ok(Ok(None)) => {
-                    self.shared.set_state(SessionState::Finished);
-                    self.telemetry
-                        .registry()
-                        .counter(names::SESSION_COMPLETED)
-                        .inc();
-                    return;
-                }
-                Ok(Ok(Some((line, degraded)))) => {
-                    self.shared.push_decision(line, degraded);
-                    self.shared.beat(self.clock.now_ms());
+                Some(_) => {
+                    self.pace_until = None;
+                    self.rt.shared.beat(now);
                 }
             }
         }
 
-        // Stopped mid-run: eviction already stamped its state; a drain
-        // stop lands here still Running.
-        self.shared
-            .transition(SessionState::Running, SessionState::Drained);
-        self.shared
-            .transition(SessionState::Pending, SessionState::Drained);
+        // Injected stall: block the worker without heartbeating, exactly
+        // once, so the watchdog's eviction path can be tested end to
+        // end (a genuinely wedged step blocks a pool worker the same
+        // way; the other workers keep stealing).
+        if self.rt.spec.stall_epoch == Some(cursor) && !self.stalled {
+            self.stalled = true;
+            std::thread::sleep(Duration::from_millis(self.rt.spec.stall_ms));
+            return TaskPoll::Again;
+        }
+
+        let panic_due = self.rt.spec.panic_epochs.contains(&cursor);
+        let fired = &mut self.fired;
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            if panic_due && fired.insert(cursor) {
+                std::panic::panic_any(InjectedPanic { epoch: cursor });
+            }
+            stepper
+                .step()
+                .map(|record| record.map(|r| (decision_line(r), r.degraded)))
+        }));
+
+        match step {
+            Err(_panic) => {
+                // The stepper may be mid-update: discard it wholesale.
+                self.stepper = None;
+                let restart = self.rt.shared.restarts.fetch_add(1, Ordering::AcqRel) + 1;
+                self.rt
+                    .telemetry
+                    .registry()
+                    .counter(names::SESSION_RESTARTS)
+                    .inc();
+                if restart > self.rt.spec.controller.serve_restart_budget {
+                    self.rt.quarantine(format!(
+                        "panicked at epoch {cursor}; restart budget {} exhausted",
+                        self.rt.spec.controller.serve_restart_budget
+                    ));
+                    return TaskPoll::Done;
+                }
+                let now = self.rt.clock.now_ms();
+                let wait = self.rt.backoff_ms(restart);
+                self.backoff = Some(Backoff {
+                    until_ms: now.saturating_add(wait),
+                    cursor,
+                });
+                self.rt.shared.beat(now);
+                TaskPoll::After(wait.min(WAIT_CHUNK_MS))
+            }
+            Ok(Err(e)) => {
+                self.rt
+                    .quarantine(format!("controller error at epoch {cursor}: {e}"));
+                TaskPoll::Done
+            }
+            Ok(Ok(None)) => {
+                self.rt.shared.set_state(SessionState::Finished);
+                self.rt
+                    .telemetry
+                    .registry()
+                    .counter(names::SESSION_COMPLETED)
+                    .inc();
+                TaskPoll::Done
+            }
+            Ok(Ok(Some((line, degraded)))) => {
+                self.rt.shared.push_decision(line, degraded);
+                self.rt.shared.beat(self.rt.clock.now_ms());
+                TaskPoll::Again
+            }
+        }
     }
 }
 

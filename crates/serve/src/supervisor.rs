@@ -1,23 +1,29 @@
 //! The session supervisor: bounded admission, a substrate cache, the
 //! heartbeat watchdog, and the graceful-drain protocol.
 //!
-//! The supervision tree (DESIGN.md §13):
+//! The supervision tree (DESIGN.md §13, §15):
 //!
 //! ```text
 //! Daemon
 //! ├── accept thread        (TCP; never blocks on sessions)
 //! ├── watchdog thread      (evicts heartbeat-stale sessions)
 //! ├── spawner thread       (drains the bounded admission queue)
-//! └── session threads      (one per rack session, joinable)
+//! └── session pool         (~cores workers hosting every session as
+//!                           a poll task; work-stealing, bounded)
 //! ```
 //!
-//! Admission is a bounded `sync_channel`: a full queue rejects the
-//! submit with a reason instead of blocking (the telemetry counter
-//! [`names::SERVE_REJECTED`] tracks every rejection). Drain follows the
-//! shutdown-channel + `AtomicBool` liveness + joinable-handle shape:
-//! raise every stop flag, nudge every tick channel, join session
-//! threads against a deadline, and flush one [`SessionCheckpoint`] per
-//! session before the map is cleared.
+//! Sessions are not threads: each one is a
+//! [`SessionTask`](crate::session) polled by the supervisor's bounded
+//! [`TaskPool`], so thousands of sessions fit on roughly
+//! `available_parallelism` worker threads (the `worker_threads` limit
+//! overrides the auto sizing). Admission is a bounded `sync_channel`: a
+//! full queue rejects the submit with a reason instead of blocking (the
+//! telemetry counter [`names::SERVE_REJECTED`] tracks every rejection).
+//! Drain raises every stop flag, nudges every tick channel,
+//! [`kick`](TaskPool::kick)s the pool so parked sessions observe the
+//! flags immediately, waits for every submitted session to reach a
+//! terminal state against a deadline, and flushes one
+//! [`SessionCheckpoint`] per session before the map is cleared.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -34,8 +40,9 @@ use greenhetero_core::solver::{SharedSolveCache, SharedSolveStats, DEFAULT_SHARE
 use greenhetero_core::telemetry::{names, Telemetry};
 use greenhetero_server::rack::Rack;
 use greenhetero_sim::fleet::pretrain_database;
+use greenhetero_sim::sched::{TaskPool, TaskPoolStats};
 
-use crate::session::{SessionMsg, SessionRuntime, SessionShared};
+use crate::session::{SessionMsg, SessionRuntime, SessionShared, SessionTask};
 use crate::spec::SessionSpec;
 use crate::{ServeClock, SessionCheckpoint, SessionState};
 
@@ -54,6 +61,9 @@ pub(crate) struct SupervisorLimits {
     pub(crate) tick_queue_depth: usize,
     /// Watchdog scan period, ms.
     pub(crate) watchdog_tick_ms: u64,
+    /// Session-pool worker threads; 0 sizes the pool to
+    /// `available_parallelism`.
+    pub(crate) worker_threads: usize,
     /// Where drain writes its checkpoint JSONL, when set.
     pub(crate) checkpoint_path: Option<PathBuf>,
 }
@@ -62,7 +72,10 @@ pub(crate) struct SupervisorLimits {
 struct SessionHandle {
     shared: Arc<SessionShared>,
     ctrl_tx: SyncSender<SessionMsg>,
-    join: Option<JoinHandle<()>>,
+    /// `true` once the spawner submitted the session's task to the
+    /// pool; drain counts submitted sessions that reach a terminal
+    /// state as joined and the rest as leaked.
+    submitted: bool,
 }
 
 /// A queued admission: everything the spawner needs to start the
@@ -147,11 +160,12 @@ impl StatusSnapshot {
 pub struct DrainReport {
     /// One checkpoint per hosted session, flushed in name order.
     pub checkpoints: Vec<SessionCheckpoint>,
-    /// Session threads joined within the deadline.
+    /// Submitted sessions that reached a terminal state within the
+    /// deadline.
     pub joined: usize,
-    /// Session threads still running when the deadline expired.
+    /// Submitted sessions still non-terminal when the deadline expired.
     pub leaked: usize,
-    /// `true` when every thread joined before the deadline.
+    /// `true` when every session settled before the deadline.
     pub within_deadline: bool,
     /// Wall time the drain took, ms.
     pub elapsed_ms: u64,
@@ -167,6 +181,7 @@ pub struct Supervisor {
     telemetry: Telemetry,
     clock: ServeClock,
     live: Arc<AtomicBool>,
+    pool: TaskPool,
     sessions: Mutex<BTreeMap<String, SessionHandle>>,
     admission_tx: Mutex<Option<SyncSender<AdmissionTicket>>>,
     substrates: Mutex<BTreeMap<String, SubstrateEntry>>,
@@ -183,20 +198,27 @@ impl std::fmt::Debug for Supervisor {
 }
 
 impl Supervisor {
-    /// Builds the supervisor and starts its spawner and watchdog
-    /// threads; the caller joins the returned handles at shutdown.
+    /// Builds the supervisor, starts its bounded session pool, and
+    /// starts its spawner and watchdog threads; the caller joins the
+    /// returned handles at shutdown (the pool joins itself on drop).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a pool worker thread cannot be spawned.
     pub(crate) fn start(
         limits: SupervisorLimits,
         telemetry: Telemetry,
         clock: ServeClock,
         live: Arc<AtomicBool>,
-    ) -> (Arc<Supervisor>, Vec<JoinHandle<()>>) {
+    ) -> Result<(Arc<Supervisor>, Vec<JoinHandle<()>>), CoreError> {
         let (admission_tx, admission_rx) = sync_channel(limits.admission_queue_depth.max(1));
+        let pool = TaskPool::start(limits.worker_threads)?;
         let supervisor = Arc::new(Supervisor {
             limits,
             telemetry,
             clock,
             live,
+            pool,
             sessions: Mutex::new(BTreeMap::new()),
             admission_tx: Mutex::new(Some(admission_tx)),
             substrates: Mutex::new(BTreeMap::new()),
@@ -211,7 +233,14 @@ impl Supervisor {
             let sup = Arc::clone(&supervisor);
             std::thread::spawn(move || sup.watchdog_loop())
         };
-        (supervisor, vec![spawner, watchdog])
+        Ok((supervisor, vec![spawner, watchdog]))
+    }
+
+    /// Activity counters of the bounded session pool, for the daemon's
+    /// Prometheus dump.
+    #[must_use]
+    pub fn pool_stats(&self) -> TaskPoolStats {
+        self.pool.stats()
     }
 
     fn reject(&self, tag: &'static str, message: String) -> Rejection {
@@ -269,7 +298,7 @@ impl Supervisor {
                 SessionHandle {
                     shared: Arc::clone(&shared),
                     ctrl_tx,
-                    join: None,
+                    submitted: false,
                 },
             );
         }
@@ -398,7 +427,8 @@ impl Supervisor {
     }
 
     /// The spawner: drains the bounded admission queue, resolves the
-    /// shared substrate, and starts one joinable thread per session.
+    /// shared substrate, and submits one poll task per session to the
+    /// bounded pool — no per-session OS thread is ever created.
     fn spawner_loop(self: &Arc<Self>, admission_rx: &Receiver<AdmissionTicket>) {
         while let Ok(ticket) = admission_rx.recv() {
             let name = ticket.spec.name.clone();
@@ -425,20 +455,15 @@ impl Supervisor {
                 profile_base,
                 solve_cache,
             };
-            let spawned = std::thread::Builder::new()
-                .name(format!("gh-session-{name}"))
-                .spawn(move || runtime.run());
-            match spawned {
-                Ok(handle) => {
-                    let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
-                    if let Some(entry) = sessions.get_mut(&name) {
-                        entry.join = Some(handle);
-                    }
-                }
-                Err(e) => {
-                    self.fail_admission(&ticket.shared, format!("thread spawn failed: {e}"));
+            // Mark submitted before the task can possibly terminate, so
+            // drain never misclassifies a fast finisher as unspawned.
+            {
+                let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(entry) = sessions.get_mut(&name) {
+                    entry.submitted = true;
                 }
             }
+            self.pool.spawn(Box::new(SessionTask::new(runtime)));
         }
     }
 
@@ -552,9 +577,11 @@ impl Supervisor {
     }
 
     /// The graceful drain: stop admissions, raise every session's stop
-    /// flag, join session threads against `deadline_ms`, flush one
-    /// checkpoint per session, and clear the session map. Idempotent —
-    /// a second call returns the stored report.
+    /// flag, kick the pool so parked sessions observe the flags now,
+    /// wait for every submitted session to reach a terminal state
+    /// against `deadline_ms`, flush one checkpoint per session, and
+    /// clear the session map. Idempotent — a second call returns the
+    /// stored report.
     pub fn drain(&self, deadline_ms: u64) -> DrainReport {
         if self.draining.swap(true, Ordering::AcqRel) {
             return self
@@ -577,31 +604,28 @@ impl Supervisor {
                 let _ = handle.ctrl_tx.try_send(SessionMsg::Shutdown);
             }
         }
-        let mut joined = 0usize;
+        // Forfeit every parked task's backoff/pacing deadline so the
+        // stop flags are observed immediately, not at the next wake.
+        self.pool.kick();
         loop {
             let mut outstanding = 0usize;
             {
                 let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
                 for handle in sessions.values_mut() {
-                    match &handle.join {
-                        Some(join) if join.is_finished() => {
-                            if let Some(join) = handle.join.take() {
-                                let _ = join.join();
-                                joined += 1;
-                            }
+                    if handle.submitted {
+                        if !handle.shared.state().is_terminal() {
+                            outstanding += 1;
                         }
-                        Some(_) => outstanding += 1,
-                        None => {
-                            // Never spawned (still queued) — drain it in
-                            // place; a spawned-but-unregistered thread
-                            // shows up as Running and is counted
-                            // outstanding until the spawner registers it.
-                            handle
-                                .shared
-                                .transition(SessionState::Pending, SessionState::Drained);
-                            if !handle.shared.state().is_terminal() {
-                                outstanding += 1;
-                            }
+                    } else {
+                        // Never submitted (still queued) — drain it in
+                        // place; a submitted-but-unregistered task shows
+                        // up non-terminal and is counted outstanding
+                        // until the spawner marks it.
+                        handle
+                            .shared
+                            .transition(SessionState::Pending, SessionState::Drained);
+                        if !handle.shared.state().is_terminal() {
+                            outstanding += 1;
                         }
                     }
                 }
@@ -612,7 +636,7 @@ impl Supervisor {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        let (checkpoints, leaked) = self.flush_checkpoints();
+        let (checkpoints, joined, leaked) = self.flush_checkpoints();
         let elapsed_ms = self.clock.now_ms().saturating_sub(started);
         let report = DrainReport {
             checkpoint_write_error: self.write_checkpoints(&checkpoints),
@@ -631,15 +655,22 @@ impl Supervisor {
 
     /// Collects every session's checkpoint, counts the flushes, and
     /// clears the map (the post-drain `/status` must be empty).
-    fn flush_checkpoints(&self) -> (Vec<SessionCheckpoint>, usize) {
+    /// Returns `(checkpoints, joined, leaked)`: a submitted session
+    /// whose state is terminal joined; one still non-terminal past the
+    /// deadline leaked (its task keeps the shared Arc alive until the
+    /// pool drops it, but the daemon forgets it).
+    fn flush_checkpoints(&self) -> (Vec<SessionCheckpoint>, usize, usize) {
         let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
         let mut checkpoints = Vec::with_capacity(sessions.len());
+        let mut joined = 0usize;
         let mut leaked = 0usize;
         for (_, handle) in std::mem::take(&mut *sessions) {
-            if handle.join.is_some() {
-                // Still running past the deadline: leaked. Its thread
-                // keeps the shared Arc alive but the daemon forgets it.
-                leaked += 1;
+            if handle.submitted {
+                if handle.shared.state().is_terminal() {
+                    joined += 1;
+                } else {
+                    leaked += 1;
+                }
             }
             checkpoints.push(handle.shared.checkpoint());
             self.telemetry
@@ -647,7 +678,7 @@ impl Supervisor {
                 .counter(names::SERVE_DRAIN_CHECKPOINTS)
                 .inc();
         }
-        (checkpoints, leaked)
+        (checkpoints, joined, leaked)
     }
 
     /// Writes the checkpoint JSONL file, when configured.

@@ -1,0 +1,133 @@
+//! Regenerates the golden fleet fixtures under `crates/sim/tests/fixtures/`.
+//!
+//! The fixtures pin the exact bytes the fleet engine exported at the
+//! time they were generated (originally: the pre-scheduler contiguous
+//! shard path), so any future execution-model change can be held to
+//! byte-identity against history, not just against itself. Run with:
+//!
+//! ```text
+//! cargo run -p greenhetero-sim --release --example gen_golden
+//! ```
+//!
+//! Only regenerate when an intentional, reviewed numeric change lands;
+//! the comparison test is `crates/sim/tests/golden.rs`.
+
+// A fixture generator that dies on an error is the right failure mode,
+// so the workspace unwrap/expect lints are relaxed here.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use greenhetero_core::policies::PolicyKind;
+use greenhetero_core::telemetry::JsonlSink;
+use greenhetero_sim::fleet::FleetSpec;
+use greenhetero_sim::scenario::{Scenario, TelemetrySpec};
+
+/// An in-memory `Write` target shareable between the sink and the caller.
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn bytes(&self) -> Vec<u8> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn paper_fleet(racks: u32) -> FleetSpec {
+    FleetSpec::new(
+        Scenario {
+            servers_per_type: 2,
+            days: 1,
+            ..Scenario::paper_runtime(PolicyKind::GreenHetero)
+        },
+        racks,
+    )
+}
+
+fn chaos_fleet(racks: u32) -> FleetSpec {
+    let mut spec = FleetSpec::new(
+        Scenario {
+            servers_per_type: 2,
+            days: 1,
+            ..Scenario::chaos_runtime(PolicyKind::GreenHetero)
+        },
+        racks,
+    );
+    spec.solar_scale_spread = 0.15;
+    spec.pretrain = false;
+    spec
+}
+
+/// Drops the contiguous `"predict_us"…"epoch_us"` wall-clock field block
+/// from each JSONL line, leaving every deterministic field in place.
+fn strip_wall_clock(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .map(|line| {
+            let start = line.find(",\"predict_us\":");
+            let end = line.find(",\"budget_w\":");
+            match (start, end) {
+                (Some(s), Some(e)) if s < e => format!("{}{}", &line[..s], &line[e..]),
+                _ => panic!("JSONL line missing the fixed wall-clock block: {line}"),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::create_dir_all(&dir).expect("create fixtures dir");
+
+    // Paper-runtime fleet CSV.
+    let mut spec = paper_fleet(3);
+    spec.workers = 2;
+    let report = spec.run().expect("paper fleet run");
+    let mut csv = Vec::new();
+    report.write_csv(&mut csv).expect("paper fleet CSV");
+    std::fs::write(dir.join("golden_fleet_paper.csv"), &csv).expect("write paper CSV");
+    println!("wrote golden_fleet_paper.csv ({} bytes)", csv.len());
+
+    // Chaos-runtime fleet (solar spread + per-rack training) CSV.
+    let mut spec = chaos_fleet(5);
+    spec.workers = 2;
+    let report = spec.run().expect("chaos fleet run");
+    let mut csv = Vec::new();
+    report.write_csv(&mut csv).expect("chaos fleet CSV");
+    std::fs::write(dir.join("golden_fleet_chaos.csv"), &csv).expect("write chaos CSV");
+    println!("wrote golden_fleet_chaos.csv ({} bytes)", csv.len());
+
+    // Paper-runtime fleet JSONL event log, wall-clock block stripped
+    // (the same carve-out the determinism tests grant `_seconds`
+    // histograms — everything semantic sits outside that block).
+    let buf = SharedBuf::default();
+    let mut spec = paper_fleet(3);
+    spec.workers = 2;
+    spec.base.telemetry = TelemetrySpec::Sink(Arc::new(JsonlSink::from_writer(buf.clone())));
+    spec.run().expect("paper fleet JSONL run");
+    let jsonl = strip_wall_clock(&String::from_utf8(buf.bytes()).expect("JSONL is UTF-8"));
+    let mut file =
+        std::fs::File::create(dir.join("golden_fleet_paper.jsonl")).expect("create JSONL fixture");
+    file.write_all(jsonl.as_bytes())
+        .expect("write JSONL fixture");
+    file.write_all(b"\n").expect("trailing newline");
+    println!("wrote golden_fleet_paper.jsonl ({} bytes)", jsonl.len() + 1);
+}

@@ -231,11 +231,27 @@ impl Simulation {
         }
     }
 
+    /// Steps one epoch and appends its record to `records` — the
+    /// record-accumulating form of [`Self::step_epoch_record`] used by
+    /// batch runs and the replayable stepper.
     pub(crate) fn step_epoch(
         &mut self,
         records: &mut Vec<EpochRecord>,
         epu: &mut EpuAccumulator,
     ) -> Result<(), CoreError> {
+        let record = self.step_epoch_record(epu)?;
+        records.push(record);
+        Ok(())
+    }
+
+    /// Steps one epoch and *returns* its record instead of storing it,
+    /// so fleet-scale callers can fold the record into streaming
+    /// accumulators and drop it — O(racks) transient state instead of
+    /// O(racks × epochs) resident record vectors.
+    pub(crate) fn step_epoch_record(
+        &mut self,
+        epu: &mut EpuAccumulator,
+    ) -> Result<EpochRecord, CoreError> {
         let epoch_started = Instant::now();
         let epoch_len = self.controller.config().epoch_len;
         let intensity = self.scenario.intensity.at(self.time);
@@ -521,9 +537,8 @@ impl Simulation {
             self.emit_epoch_event(&record, &flows, enforce, epoch_wall);
         }
 
-        records.push(record);
         self.time += epoch_len;
-        Ok(())
+        Ok(record)
     }
 
     /// Builds and sends the epoch's event (and the enforcement span).

@@ -24,29 +24,33 @@
 //!   same budget bucket, full-equality revalidation on hit) pay one cold
 //!   solve and reuse the answer. Attaching, detaching, or resizing the
 //!   cache never changes a single output bit (DESIGN.md §14).
-//! * **Lock-step sharding.** Racks are sharded contiguously across a
-//!   bounded worker pool; every worker steps its racks through epoch *e*
-//!   and then waits on a barrier before any rack enters epoch *e + 1*.
-//!   The reduction into a [`FleetReport`] is a structure-of-arrays pass
-//!   that always folds per-rack results in rack order (never completion
-//!   order), so every float sum is a fixed-order reduction. The shared
-//!   event sink buffers per-rack lines and flushes them in
-//!   (epoch, rack id) order at epoch boundaries, so the fleet JSONL log
-//!   is line-order deterministic at any worker count too.
+//! * **Work-stolen lock-step epochs.** Racks are grouped into
+//!   contiguous batches and dispatched onto the work-stealing epoch
+//!   executor ([`crate::sched::run_epoch_batches`]): within an epoch,
+//!   whichever worker is free steals the next batch, and a dependency
+//!   counter (not a barrier) detects epoch completion. The worker that
+//!   finishes the last batch becomes the rollover leader: it folds every
+//!   batch's epoch records into the fleet accumulators **in ascending
+//!   rack order** (never completion order), flushes the shared event
+//!   sink through the finished epoch, and seeds the next one — so every
+//!   float sum is a fixed-order reduction and the fleet CSV/JSONL is
+//!   byte-identical at any worker count. Records are folded at the
+//!   rollover and dropped: resident state is O(racks), not
+//!   O(racks × epochs), which is what lets 100k-rack fleets fit a
+//!   per-rack RSS budget (BENCH_fleet.json gates it).
 //!
 //! [`FleetSpec::run_sequential`] is the plain one-rack-after-another
 //! reference implementation the lock-step engine is tested against.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use greenhetero_core::database::PerfDatabase;
 use greenhetero_core::error::CoreError;
 use greenhetero_core::metrics::EpuAccumulator;
 use greenhetero_core::solver::{SharedSolveCache, SharedSolveStats, DEFAULT_SHARED_SOLVE_CAPACITY};
 use greenhetero_core::telemetry::{EpochEvent, RunLedger, Telemetry, TelemetrySink};
-use greenhetero_core::types::{EpochId, Ratio, SimTime, Throughput, Watts};
+use greenhetero_core::types::{EpochId, Ratio, SimTime, Throughput, WattHours, Watts};
 use greenhetero_power::solar::synthesize_shared;
 use greenhetero_power::trace::PowerTrace;
 use greenhetero_server::rack::Rack;
@@ -55,6 +59,7 @@ use crate::engine::Simulation;
 use crate::report::{EpochRecord, RunReport};
 use crate::runner::worker_count;
 use crate::scenario::{Scenario, TelemetrySpec};
+use crate::sched::run_epoch_batches;
 
 /// A fleet experiment: N racks of the base scenario under one solar
 /// plant, stepped in lock-step epochs.
@@ -124,7 +129,12 @@ impl FleetSpec {
         self.base.validate()
     }
 
-    /// Runs the fleet in lock-step on the configured worker pool.
+    /// Runs the fleet in lock-step on the work-stealing epoch scheduler.
+    ///
+    /// Rack batches are stolen by whichever of the `workers` pool
+    /// threads is free; the rollover leader folds each finished epoch
+    /// into streaming fleet accumulators in ascending rack order and
+    /// drops the per-epoch records, so resident state stays O(racks).
     ///
     /// # Errors
     ///
@@ -137,15 +147,11 @@ impl FleetSpec {
         let workers = self.resolved_workers();
         let sims = self.build_sims(&substrate)?;
         let sink = substrate.shared_sink.as_deref();
-        let reports = if workers == 1 {
-            run_lock_step_inline(sims, sink)?
-        } else {
-            run_lock_step_pool(sims, workers, sink)?
-        };
+        let stream = run_lock_step_sched(sims, workers, sink)?;
         if let Some(sink) = sink {
             sink.flush_all();
         }
-        Ok(self.reduce(reports, workers, substrate.solve_stats()))
+        Ok(self.assemble(stream, workers, substrate.solve_stats()))
     }
 
     /// Runs each rack to completion, one after another, with no worker
@@ -246,8 +252,69 @@ impl FleetSpec {
             .collect()
     }
 
+    /// Assembles the fleet report from the streaming lock-step loop's
+    /// output: columns already folded epoch-major in rack order, plus
+    /// per-rack results harvested in rack order. Mirrors [`reduce`] —
+    /// the record-vector reduction `run_sequential` still uses as the
+    /// byte-identity oracle — add for add, in the same order.
+    ///
+    /// [`reduce`]: Self::reduce
+    fn assemble(
+        &self,
+        stream: FleetStream,
+        workers: usize,
+        shared_solve: SharedSolveStats,
+    ) -> FleetReport {
+        let racks = stream.lanes.len();
+        let epochs = stream.columns.into_fleet_records(&stream.template, racks);
+
+        let mut ledger = RunLedger::default();
+        for lane in &stream.lanes {
+            ledger.merge(&lane.report.ledger);
+        }
+
+        let mut mean_epu = 0.0;
+        let rack_summaries: Vec<RackSummary> = stream
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(rack_id, lane)| {
+                mean_epu += lane.report.epu().value();
+                RackSummary {
+                    rack_id: rack_id as u32,
+                    seed: mix_seed(self.base.seed, rack_id as u32),
+                    solar_scale: rack_solar_scale(
+                        self.solar_scale_spread,
+                        self.base.seed,
+                        rack_id as u32,
+                    ),
+                    mean_throughput: lane.mean_throughput(),
+                    epu: lane.report.epu(),
+                    grid_cost: lane.report.grid_cost,
+                    battery_cycles: lane.report.battery_cycles,
+                    unserved_energy_wh: lane.unserved_energy.value(),
+                    degraded_epochs: lane.degraded_epochs,
+                }
+            })
+            .collect();
+        mean_epu /= racks.max(1) as f64;
+
+        FleetReport {
+            racks: self.racks,
+            workers,
+            epochs,
+            rack_summaries,
+            mean_epu: Ratio::saturating(mean_epu),
+            ledger,
+            shared_solve,
+        }
+    }
+
     /// Deterministic reduction: folds per-rack reports into the fleet
     /// report in rack order, whatever order the workers finished in.
+    /// This record-vector form is retained as the sequential oracle's
+    /// reduction ([`Self::run_sequential`]); the scheduler path streams
+    /// the same fold via [`Self::assemble`].
     ///
     /// The per-epoch aggregation is a structure-of-arrays pass: one
     /// column per aggregate field, each rack's record stream scanned
@@ -376,26 +443,39 @@ impl FleetColumns {
         }
     }
 
+    /// Folds one rack's record for epoch slot `e` into the columns.
+    ///
+    /// Bit-identity invariant: for any fixed (epoch, field) cell the
+    /// additions must land in ascending rack order. Both callers honour
+    /// it — [`fold_rack`](Self::fold_rack) visits racks in ascending
+    /// order rack-major, and the scheduler's rollover leader folds
+    /// batches (contiguous ascending rack ranges) in ascending batch
+    /// order epoch-major — so the two fold schedules produce the same
+    /// fixed-order f64 reduction per cell, bit for bit.
+    fn fold_record(&mut self, e: usize, rec: &EpochRecord) {
+        self.training_racks[e] += u32::from(rec.training);
+        self.degraded_racks[e] += u32::from(rec.degraded);
+        self.budget[e] += rec.budget;
+        self.demand[e] += rec.demand;
+        self.solar[e] += rec.solar;
+        self.load[e] += rec.load;
+        self.battery_discharge[e] += rec.battery_discharge;
+        self.battery_charge[e] += rec.battery_charge;
+        self.grid_load[e] += rec.grid_load;
+        self.grid_charge[e] += rec.grid_charge;
+        self.unserved[e] += rec.unserved;
+        self.throughput[e] += rec.throughput;
+        self.shed_servers[e] += rec.shed_servers;
+        self.offline_servers[e] += rec.offline_servers;
+        self.soc_sum[e] += rec.soc.value();
+    }
+
     /// Folds one rack's full record stream into the columns. Callers
     /// fold racks in ascending rack order: that keeps every per-epoch
     /// float sum a fixed-order reduction.
     fn fold_rack(&mut self, epochs: &[EpochRecord]) {
         for (e, rec) in epochs.iter().enumerate() {
-            self.training_racks[e] += u32::from(rec.training);
-            self.degraded_racks[e] += u32::from(rec.degraded);
-            self.budget[e] += rec.budget;
-            self.demand[e] += rec.demand;
-            self.solar[e] += rec.solar;
-            self.load[e] += rec.load;
-            self.battery_discharge[e] += rec.battery_discharge;
-            self.battery_charge[e] += rec.battery_charge;
-            self.grid_load[e] += rec.grid_load;
-            self.grid_charge[e] += rec.grid_charge;
-            self.unserved[e] += rec.unserved;
-            self.throughput[e] += rec.throughput;
-            self.shed_servers[e] += rec.shed_servers;
-            self.offline_servers[e] += rec.offline_servers;
-            self.soc_sum[e] += rec.soc.value();
+            self.fold_record(e, rec);
         }
     }
 
@@ -403,12 +483,24 @@ impl FleetColumns {
     /// supplies the per-slot epoch id and time (lock-step: identical for
     /// every rack); `racks` divides the SoC sums into means.
     fn into_records(self, template: &[EpochRecord], racks: usize) -> Vec<FleetEpochRecord> {
+        let pairs: Vec<(EpochId, SimTime)> = template.iter().map(|t| (t.epoch, t.time)).collect();
+        self.into_fleet_records(&pairs, racks)
+    }
+
+    /// [`into_records`](Self::into_records) over a bare (epoch id, time)
+    /// template — the form the streaming fold captures, since it never
+    /// retains whole [`EpochRecord`]s.
+    fn into_fleet_records(
+        self,
+        template: &[(EpochId, SimTime)],
+        racks: usize,
+    ) -> Vec<FleetEpochRecord> {
         template
             .iter()
             .enumerate()
-            .map(|(e, t)| FleetEpochRecord {
-                epoch: t.epoch,
-                time: t.time,
+            .map(|(e, &(epoch, time))| FleetEpochRecord {
+                epoch,
+                time,
                 training_racks: self.training_racks[e],
                 degraded_racks: self.degraded_racks[e],
                 budget: self.budget[e],
@@ -580,141 +672,188 @@ pub fn pretrain_database(rack: &Rack, base: &Scenario) -> Result<PerfDatabase, C
     Ok(db)
 }
 
-/// Lock-step with one worker: the same epoch-major stepping order as the
-/// pool, minus the threads and the barrier.
-fn run_lock_step_inline(
-    mut sims: Vec<Simulation>,
-    sink: Option<&SharedSink>,
-) -> Result<Vec<RunReport>, CoreError> {
-    let epochs_total = sims.first().map_or(0, Simulation::epochs_total);
-    let mut records: Vec<Vec<EpochRecord>> = sims
-        .iter()
-        .map(|_| Vec::with_capacity(epochs_total as usize))
-        .collect();
-    let mut epus: Vec<EpuAccumulator> = sims.iter().map(|_| EpuAccumulator::new()).collect();
-    for epoch in 0..epochs_total {
-        for (i, sim) in sims.iter_mut().enumerate() {
-            sim.step_epoch(&mut records[i], &mut epus[i])?;
-        }
-        if let Some(sink) = sink {
-            sink.flush_through(epoch);
-        }
-    }
-    Ok(sims
-        .into_iter()
-        .zip(records.into_iter().zip(epus))
-        .map(|(sim, (recs, epu))| sim.finish(recs, epu))
-        .collect())
+/// One rack riding through the work-stealing epoch loop: its simulation,
+/// its streaming per-rack accumulators (mirroring the formulas
+/// `RunReport` computes from full record vectors, in the same epoch
+/// order, so the results are bit-identical), the record awaiting the
+/// next rollover fold, and its error slot.
+struct RackLane {
+    rack_id: u32,
+    sim: Simulation,
+    epu: EpuAccumulator,
+    steady_sum: f64,
+    steady_count: u64,
+    unserved_energy: WattHours,
+    degraded_epochs: u64,
+    pending: Option<EpochRecord>,
+    error: Option<CoreError>,
 }
 
-/// Lock-step on a bounded pool: racks are sharded contiguously, each
-/// worker steps its shard through one epoch, and a barrier separates
-/// epochs. A failing rack raises a fleet-wide abort flag; workers keep
-/// meeting the barrier (never abandoning it mid-epoch, which would
-/// deadlock the others) and all break together at the next epoch
-/// boundary. The first error in rack order is returned.
+/// A contiguous ascending run of rack lanes — the unit of stealing.
+struct FleetBatch {
+    lanes: Vec<RackLane>,
+}
+
+/// One rack's end-of-run harvest from the streaming loop.
+struct RackResult {
+    report: RunReport,
+    steady_sum: f64,
+    steady_count: u64,
+    unserved_energy: WattHours,
+    degraded_epochs: u64,
+}
+
+impl RackResult {
+    /// Streaming mirror of [`RunReport::mean_throughput`]: the same
+    /// epoch-order left-fold sum over non-training epochs, divided by
+    /// their count — bit-identical to the record-vector form.
+    fn mean_throughput(&self) -> Throughput {
+        if self.steady_count == 0 {
+            return Throughput::ZERO;
+        }
+        Throughput::new(self.steady_sum / self.steady_count as f64)
+    }
+}
+
+/// Everything the streaming lock-step loop hands back for assembly.
+struct FleetStream {
+    columns: FleetColumns,
+    template: Vec<(EpochId, SimTime)>,
+    lanes: Vec<RackResult>,
+}
+
+/// Lock-step on the work-stealing epoch scheduler: contiguous rack
+/// batches are stolen within each epoch by whichever worker is free,
+/// and the rollover leader folds the finished epoch's records into the
+/// fleet columns in ascending batch (= rack) order, flushes the shared
+/// sink through that epoch, and drops the records — streaming the whole
+/// reduction so resident state is O(racks), not O(racks × epochs).
 ///
-/// After each barrier, the elected leader flushes the shared sink
-/// through the epoch just completed — every rack's epoch-*e* event was
-/// recorded before the barrier, so the flush emits a complete, ordered
-/// epoch while the other workers proceed into *e + 1* (whose events sort
-/// strictly later and stay buffered).
-fn run_lock_step_pool(
+/// A failing rack stops its own batch mid-epoch and raises the abort:
+/// the run ends once the current epoch's dependency counter drains, the
+/// failed epoch is neither folded nor flushed (the `SharedSink` drop
+/// backstop still emits the ordered prefix of earlier epochs), and the
+/// first error in rack order is returned — independent of worker count.
+fn run_lock_step_sched(
     sims: Vec<Simulation>,
     workers: usize,
     sink: Option<&SharedSink>,
-) -> Result<Vec<RunReport>, CoreError> {
+) -> Result<FleetStream, CoreError> {
     let total = sims.len();
     let workers = workers.clamp(1, total.max(1));
     let epochs_total = sims.first().map_or(0, Simulation::epochs_total);
+    let Some(epoch_len) = sims.first().map(|s| s.scenario().controller.epoch_len) else {
+        return Ok(FleetStream {
+            columns: FleetColumns::zeroed(0),
+            template: Vec::new(),
+            lanes: Vec::new(),
+        });
+    };
 
-    // Contiguous shards, sized within one rack of each other.
-    let mut shards: Vec<Vec<(usize, Simulation)>> = (0..workers).map(|_| Vec::new()).collect();
-    let chunk = total.div_ceil(workers);
+    // ~4 batches per worker: fine enough for stealing to balance
+    // unequal rack costs, coarse enough to amortize dispatch.
+    let chunk = total.div_ceil((workers * 4).max(1)).max(1);
+    let mut batches: Vec<FleetBatch> = Vec::with_capacity(total.div_ceil(chunk));
+    let mut lanes: Vec<RackLane> = Vec::with_capacity(chunk);
     for (idx, sim) in sims.into_iter().enumerate() {
-        shards[(idx / chunk).min(workers - 1)].push((idx, sim));
+        lanes.push(RackLane {
+            rack_id: idx as u32,
+            sim,
+            epu: EpuAccumulator::new(),
+            steady_sum: 0.0,
+            steady_count: 0,
+            unserved_energy: WattHours::ZERO,
+            degraded_epochs: 0,
+            pending: None,
+            error: None,
+        });
+        if lanes.len() == chunk {
+            batches.push(FleetBatch {
+                lanes: std::mem::take(&mut lanes),
+            });
+        }
+    }
+    if !lanes.is_empty() {
+        batches.push(FleetBatch { lanes });
     }
 
-    let barrier = Barrier::new(workers);
-    let abort = AtomicBool::new(false);
-    let report_slots: Vec<Mutex<Option<RunReport>>> =
-        (0..total).map(|_| Mutex::new(None)).collect();
-    let error_slots: Vec<Mutex<Option<CoreError>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let fold_state = Mutex::new((
+        FleetColumns::zeroed(epochs_total as usize),
+        Vec::with_capacity(epochs_total as usize),
+    ));
 
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .into_iter()
-            .map(|shard| {
-                let (barrier, abort) = (&barrier, &abort);
-                let (report_slots, error_slots) = (&report_slots, &error_slots);
-                scope.spawn(move || {
-                    let mut shard = shard;
-                    let mut records: Vec<Vec<EpochRecord>> = shard
-                        .iter()
-                        .map(|_| Vec::with_capacity(epochs_total as usize))
-                        .collect();
-                    let mut epus: Vec<EpuAccumulator> =
-                        shard.iter().map(|_| EpuAccumulator::new()).collect();
-                    let mut failed = false;
-                    for epoch in 0..epochs_total {
-                        if !failed {
-                            for (slot, (rack_idx, sim)) in shard.iter_mut().enumerate() {
-                                if let Err(e) = sim.step_epoch(&mut records[slot], &mut epus[slot])
-                                {
-                                    *error_slots[*rack_idx]
-                                        .lock()
-                                        .unwrap_or_else(PoisonError::into_inner) = Some(e);
-                                    abort.store(true, Ordering::SeqCst);
-                                    failed = true;
-                                    break;
-                                }
-                            }
-                        }
-                        let outcome = barrier.wait();
-                        if abort.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        if outcome.is_leader() {
-                            if let Some(sink) = sink {
-                                sink.flush_through(epoch);
-                            }
-                        }
+    let step = |batch: &mut FleetBatch, _epoch: u64| -> bool {
+        for lane in &mut batch.lanes {
+            match lane.sim.step_epoch_record(&mut lane.epu) {
+                Ok(rec) => {
+                    // Per-rack streaming sums: same ops, same epoch
+                    // order as `Simulation::finish` over full records.
+                    if !rec.training {
+                        lane.steady_sum += rec.throughput.value();
+                        lane.steady_count += 1;
                     }
-                    for ((rack_idx, sim), (recs, epu)) in
-                        shard.into_iter().zip(records.into_iter().zip(epus))
-                    {
-                        *report_slots[rack_idx]
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner) = Some(sim.finish(recs, epu));
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            handle
-                .join()
-                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        }
-    });
-
-    if abort.load(Ordering::SeqCst) {
-        // First error in rack order wins, independent of worker count.
-        for slot in &error_slots {
-            if let Some(e) = slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
-                return Err(e);
+                    lane.unserved_energy += rec.unserved * epoch_len;
+                    lane.degraded_epochs += u64::from(rec.degraded);
+                    lane.pending = Some(rec);
+                }
+                Err(e) => {
+                    lane.error = Some(e);
+                    return false;
+                }
             }
         }
+        true
+    };
+    // Called only by the rollover leader, batches in ascending order —
+    // the lock is uncontended sequencing, not synchronization.
+    let fold = |epoch: u64, batch: &mut FleetBatch| {
+        let mut guard = fold_state.lock().unwrap_or_else(PoisonError::into_inner);
+        let (columns, template) = &mut *guard;
+        for lane in &mut batch.lanes {
+            if let Some(rec) = lane.pending.take() {
+                if lane.rack_id == 0 {
+                    template.push((rec.epoch, rec.time));
+                }
+                columns.fold_record(epoch as usize, &rec);
+            }
+        }
+    };
+    let epoch_done = |epoch: u64| {
+        if let Some(sink) = sink {
+            sink.flush_through(epoch);
+        }
+    };
+
+    let batches = run_epoch_batches(workers, epochs_total, batches, &step, &fold, &epoch_done);
+
+    let mut done: Vec<RackLane> = batches.into_iter().flat_map(|b| b.lanes).collect();
+    // First error in rack order wins, independent of worker count.
+    for lane in &mut done {
+        if let Some(e) = lane.error.take() {
+            return Err(e);
+        }
     }
-    report_slots
+    let (columns, template) = fold_state
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let lanes = done
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(PoisonError::into_inner)
-                .ok_or_else(|| CoreError::InvalidConfig {
-                    reason: "fleet worker produced no report (internal error)".into(),
-                })
+        .map(|lane| RackResult {
+            // Record-derived report fields were computed streaming; the
+            // empty-record finish harvests the rest (grid totals,
+            // battery cycles, ledger, EPU) from the simulation state.
+            report: lane.sim.finish(Vec::new(), lane.epu),
+            steady_sum: lane.steady_sum,
+            steady_count: lane.steady_count,
+            unserved_energy: lane.unserved_energy,
+            degraded_epochs: lane.degraded_epochs,
         })
-        .collect()
+        .collect();
+    Ok(FleetStream {
+        columns,
+        template,
+        lanes,
+    })
 }
 
 /// One epoch of the whole fleet: per-rack records summed in rack order.

@@ -40,3 +40,5 @@ pub mod report;
 pub mod runner;
 /// Scenario builder: datacenter composition, traces, and policy.
 pub mod scenario;
+/// Work-stealing epoch scheduler: bounded pools for sessions and fleets.
+pub mod sched;
