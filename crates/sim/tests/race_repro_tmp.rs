@@ -1,0 +1,30 @@
+//! Temporary review stress test for the rollover seed/remaining race.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use greenhetero_sim::sched::run_epoch_batches;
+
+#[test]
+fn stress_rollover_counter() {
+    for round in 0..50 {
+        let epochs = 2_000u64;
+        let batches: Vec<u64> = (0..8).collect();
+        let steps = AtomicU64::new(0);
+        let out = run_epoch_batches(
+            4,
+            epochs,
+            batches,
+            &|_b, _e| {
+                steps.fetch_add(1, Ordering::Relaxed);
+                true
+            },
+            &|_e, _b| {},
+            &|_e| {},
+        );
+        assert_eq!(out.len(), 8);
+        assert_eq!(
+            steps.load(Ordering::Relaxed),
+            epochs * 8,
+            "round {round}: step count drifted"
+        );
+    }
+}
